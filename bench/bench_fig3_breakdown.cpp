@@ -1,0 +1,91 @@
+// Figure 3 — runtime breakdown of CPU- and GPU-based k-mer counters on 64
+// nodes for the H. sapien 54X dataset.
+//
+// Paper setup: (a) CPU baseline on 2688 cores (42 per node); (b) GPU k-mer
+// pipeline on 384 GPUs (6 per node). Headline observations to reproduce:
+//   * GPU run is ~two orders of magnitude faster end to end
+//     (~50 minutes -> ~30 seconds, excl. I/O);
+//   * the k-mer exchange time is roughly the same in (a) and (b) —
+//     the same per-node volume crosses the same node links;
+//   * exchange dominates the GPU run (communication becomes the
+//     bottleneck, §III-C).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dedukt/util/format.hpp"
+#include "dedukt/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dedukt;
+  using core::PipelineKind;
+  const CliParser cli(argc, argv);
+  bench::print_banner(
+      "Figure 3",
+      "Runtime breakdown, CPU (2688 cores) vs GPU (384 GPUs), H. sapien "
+      "54X, 64 nodes.");
+
+  const int cpu_ranks = static_cast<int>(cli.get_int("cpu-ranks", 2688));
+  const int gpu_ranks = static_cast<int>(cli.get_int("gpu-ranks", 384));
+
+  const auto datasets = bench::load_datasets(cli, {"hsapiens54x"});
+  const auto& dataset = datasets[0];
+  std::printf("input: %s bases (1/%llu of H. sapien 54X), k=17\n\n",
+              format_count(dataset.reads.total_bases()).c_str(),
+              static_cast<unsigned long long>(dataset.scale));
+
+  struct Row {
+    const char* label;
+    core::CountResult result;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"(a) CPU 2688 cores",
+                  bench::run_pipeline(dataset, PipelineKind::kCpu,
+                                      cpu_ranks)});
+  rows.push_back({"(b) GPU 384 GPUs (kmer)",
+                  bench::run_pipeline(dataset, PipelineKind::kGpuKmer,
+                                      gpu_ranks)});
+
+  TextTable table(
+      "Fig. 3 — projected full-size Summit time per phase (seconds)");
+  table.set_header({"configuration", "parse & process", "exchange",
+                    "kmer counter", "total", "exchange share"});
+  for (const auto& row : rows) {
+    const PhaseTimes breakdown =
+        bench::projected_breakdown(row.result, dataset.scale);
+    const double parse = breakdown.get(core::kPhaseParse);
+    const double exchange = breakdown.get(core::kPhaseExchange);
+    const double count = breakdown.get(core::kPhaseCount);
+    const double total = parse + exchange + count;
+    table.add_row({row.label, format_fixed(parse, 1),
+                   format_fixed(exchange, 1), format_fixed(count, 1),
+                   format_fixed(total, 1),
+                   format_fixed(exchange / total * 100, 0) + "%"});
+  }
+  table.print();
+
+  const double cpu_total = bench::projected_total(rows[0].result,
+                                                  dataset.scale);
+  const double gpu_total = bench::projected_total(rows[1].result,
+                                                  dataset.scale);
+  const double cpu_exchange =
+      bench::projected_breakdown(rows[0].result, dataset.scale)
+          .get(core::kPhaseExchange);
+  const double gpu_exchange =
+      bench::projected_breakdown(rows[1].result, dataset.scale)
+          .get(core::kPhaseExchange);
+
+  std::printf("\noverall GPU speedup over CPU baseline: %s  (paper: ~100x, "
+              "\"50 minutes to 30 seconds\")\n",
+              format_speedup(cpu_total / gpu_total).c_str());
+  std::printf("exchange time CPU vs GPU: %s vs %s  (paper: \"roughly the "
+              "same across (a) and (b)\")\n",
+              format_seconds(cpu_exchange).c_str(),
+              format_seconds(gpu_exchange).c_str());
+  std::printf("measured (host) wall time of the functional simulation: "
+              "CPU %s, GPU %s\n",
+              format_seconds(rows[0].result.measured_breakdown().total())
+                  .c_str(),
+              format_seconds(rows[1].result.measured_breakdown().total())
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 7 — runtime breakdown of the GPU k-mer counters on 64 nodes
+// (384 GPUs): kmer-based vs supermer-based with m=7 and m=9, for
+// (a) C. elegans 40X and (b) H. sapien 54X.
+//
+// Shapes to reproduce (§V-C): supermers add ~33% to parse & process and
+// ~27% to counting, but cut the exchange by ~33%, which wins overall
+// because exchange is the dominant phase.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dedukt/util/format.hpp"
+#include "dedukt/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dedukt;
+  using core::PipelineKind;
+  const CliParser cli(argc, argv);
+  bench::print_banner("Figure 7",
+                      "GPU runtime breakdown, kmer vs supermer (m=7, m=9), "
+                      "64 nodes / 384 GPUs.");
+
+  const int gpu_ranks = static_cast<int>(cli.get_int("gpu-ranks", 384));
+
+  for (const auto& dataset :
+       bench::load_datasets(cli, bench::large_dataset_keys())) {
+    struct Variant {
+      std::string label;
+      core::CountResult result;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"kmer", bench::run_pipeline(
+                                    dataset, PipelineKind::kGpuKmer,
+                                    gpu_ranks)});
+    variants.push_back(
+        {"supermer (m=7)", bench::run_pipeline(
+                               dataset, PipelineKind::kGpuSupermer,
+                               gpu_ranks, 7)});
+    variants.push_back(
+        {"supermer (m=9)", bench::run_pipeline(
+                               dataset, PipelineKind::kGpuSupermer,
+                               gpu_ranks, 9)});
+
+    TextTable table("Fig. 7 — " + dataset.preset.short_name +
+                    " projected full-size Summit seconds per phase");
+    table.set_header({"variant", "parse & process", "exchange",
+                      "kmer counter", "total"});
+    for (const auto& v : variants) {
+      const PhaseTimes b =
+          bench::projected_breakdown(v.result, dataset.scale);
+      table.add_row({v.label,
+                     format_fixed(b.get(core::kPhaseParse), 2),
+                     format_fixed(b.get(core::kPhaseExchange), 2),
+                     format_fixed(b.get(core::kPhaseCount), 2),
+                     format_fixed(b.total(), 2)});
+    }
+    table.print();
+
+    const PhaseTimes kb =
+        bench::projected_breakdown(variants[0].result, dataset.scale);
+    const PhaseTimes sb =
+        bench::projected_breakdown(variants[1].result, dataset.scale);
+    std::printf("supermer(m=7) vs kmer: parse %+.0f%%, count %+.0f%%, "
+                "exchange %+.0f%%, overall %s\n\n",
+                (sb.get(core::kPhaseParse) / kb.get(core::kPhaseParse) - 1) *
+                    100,
+                (sb.get(core::kPhaseCount) / kb.get(core::kPhaseCount) - 1) *
+                    100,
+                (sb.get(core::kPhaseExchange) /
+                     kb.get(core::kPhaseExchange) - 1) * 100,
+                format_speedup(kb.total() / sb.total()).c_str());
+  }
+  std::printf("paper reference: parse +33%%, count +27%%, exchange -33%%, "
+              "overall ~1.5x win for supermers.\n");
+  return 0;
+}

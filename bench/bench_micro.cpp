@@ -1,0 +1,211 @@
+// Micro-benchmarks (google-benchmark) for the hot paths: hashing, packing,
+// minimizer selection, supermer construction, hash-table insertion, and the
+// in-process Alltoallv. These measure HOST wall time of the functional
+// simulation (the per-figure drivers report modeled Summit time).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "dedukt/core/bloom_filter.hpp"
+#include "dedukt/core/device_hash_table.hpp"
+#include "dedukt/core/partitioner.hpp"
+#include "dedukt/core/host_hash_table.hpp"
+#include "dedukt/hash/murmur3.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/kmer/supermer.hpp"
+#include "dedukt/kmer/wide.hpp"
+#include "dedukt/mpisim/runtime.hpp"
+#include "dedukt/util/rng.hpp"
+
+namespace {
+
+using namespace dedukt;
+
+std::string random_bases(std::uint64_t seed, std::size_t len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  Xoshiro256 rng(seed);
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+void BM_Murmur3_x86_32(benchmark::State& state) {
+  const std::string data = random_bases(1, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hash::murmur3_x86_32(data.data(), data.size(), 0));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Murmur3_x86_32)->Arg(17)->Arg(64)->Arg(4096);
+
+void BM_HashU64(benchmark::State& state) {
+  std::uint64_t x = 0x12345678;
+  for (auto _ : state) {
+    x = hash::hash_u64(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_HashU64);
+
+void BM_ExtractKmersRolling(benchmark::State& state) {
+  const std::string read = random_bases(2, 10'000);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    kmer::for_each_kmer(read, 17, io::BaseEncoding::kRandomized,
+                        [&](kmer::KmerCode code) { sink ^= code; });
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (10'000 - 17 + 1));
+}
+BENCHMARK(BM_ExtractKmersRolling);
+
+void BM_MinimizerOf(benchmark::State& state) {
+  const auto order = static_cast<kmer::MinimizerOrder>(state.range(0));
+  const kmer::MinimizerPolicy policy(order, 7);
+  const std::string read = random_bases(3, 1017);
+  std::vector<kmer::KmerCode> codes;
+  kmer::for_each_kmer(read, 17, policy.encoding(),
+                      [&](kmer::KmerCode c) { codes.push_back(c); });
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kmer::minimizer_of(codes[i++ % codes.size()], 17, policy));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MinimizerOf)
+    ->Arg(static_cast<int>(kmer::MinimizerOrder::kLexicographic))
+    ->Arg(static_cast<int>(kmer::MinimizerOrder::kKmc2))
+    ->Arg(static_cast<int>(kmer::MinimizerOrder::kRandomized));
+
+void BM_BuildSupermers(benchmark::State& state) {
+  kmer::SupermerConfig cfg;
+  cfg.window = static_cast<int>(state.range(0));
+  const std::string read = random_bases(4, 20'000);
+  for (auto _ : state) {
+    std::vector<kmer::DestinedSupermer> out;
+    kmer::build_supermers(read, cfg, 384, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (20'000 - 17 + 1));
+}
+BENCHMARK(BM_BuildSupermers)->Arg(1)->Arg(7)->Arg(15);
+
+void BM_HostHashTableInsert(benchmark::State& state) {
+  Xoshiro256 rng(5);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 100'000; ++i) keys.push_back(rng.below(30'000));
+  for (auto _ : state) {
+    core::HostHashTable table(30'000);
+    for (const auto key : keys) table.add(key);
+    benchmark::DoNotOptimize(table.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
+}
+BENCHMARK(BM_HostHashTableInsert);
+
+void BM_DeviceHashTableInsert(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 100'000; ++i) keys.push_back(rng.below(30'000));
+  gpusim::Device device;
+  auto d_keys = device.alloc<std::uint64_t>(keys.size());
+  device.copy_to_device<std::uint64_t>(keys, d_keys);
+  for (auto _ : state) {
+    core::DeviceHashTable table(device, 30'000);
+    table.count_kmers(d_keys, keys.size());
+    benchmark::DoNotOptimize(table.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
+}
+BENCHMARK(BM_DeviceHashTableInsert);
+
+void BM_AlltoallvWall(benchmark::State& state) {
+  const int nranks = static_cast<int>(state.range(0));
+  mpisim::Runtime runtime(nranks);
+  for (auto _ : state) {
+    runtime.run([&](mpisim::Comm& comm) {
+      std::vector<std::vector<std::uint64_t>> send(
+          static_cast<std::size_t>(nranks),
+          std::vector<std::uint64_t>(1024, 7));
+      benchmark::DoNotOptimize(comm.alltoallv(send));
+    });
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          nranks * nranks * 1024 * 8);
+}
+BENCHMARK(BM_AlltoallvWall)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BloomTestAndInsert(benchmark::State& state) {
+  gpusim::Device device;
+  core::DeviceBloomFilter bloom(device, 100'000,
+                                static_cast<double>(state.range(0)));
+  Xoshiro256 rng(8);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 100'000; ++i) keys.push_back(rng());
+  auto d_keys = device.alloc<std::uint64_t>(keys.size());
+  device.copy_to_device<std::uint64_t>(keys, d_keys);
+  auto d_seen = device.alloc<std::uint8_t>(keys.size(), std::uint8_t{0});
+  for (auto _ : state) {
+    bloom.test_and_insert(d_keys, keys.size(), d_seen);
+    benchmark::DoNotOptimize(d_seen.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100'000);
+}
+BENCHMARK(BM_BloomTestAndInsert)->Arg(8)->Arg(16);
+
+void BM_BuildWideSupermers(benchmark::State& state) {
+  kmer::SupermerConfig cfg;
+  cfg.window = static_cast<int>(state.range(0));
+  cfg.wide = true;
+  const std::string read = random_bases(9, 20'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kmer::build_wide_supermers_read(read, cfg, 384));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (20'000 - 17 + 1));
+}
+BENCHMARK(BM_BuildWideSupermers)->Arg(15)->Arg(47);
+
+void BM_WidePackUnpack(benchmark::State& state) {
+  const std::string kmer_str = random_bases(10, 55);
+  for (auto _ : state) {
+    const auto code = kmer::wide_pack(kmer_str, io::BaseEncoding::kStandard);
+    benchmark::DoNotOptimize(
+        kmer::wide_unpack(code, 55, io::BaseEncoding::kStandard));
+  }
+}
+BENCHMARK(BM_WidePackUnpack);
+
+void BM_LptAssign(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  std::vector<std::uint64_t> weights;
+  for (int i = 0; i < 24'576; ++i) weights.push_back(rng.below(100'000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::lpt_assign(weights, 384));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          24'576);
+}
+BENCHMARK(BM_LptAssign);
+
+void BM_PackUnpack(benchmark::State& state) {
+  const std::string kmer_str = random_bases(7, 17);
+  for (auto _ : state) {
+    const auto code = kmer::pack(kmer_str, io::BaseEncoding::kStandard);
+    benchmark::DoNotOptimize(
+        kmer::unpack(code, 17, io::BaseEncoding::kStandard));
+  }
+}
+BENCHMARK(BM_PackUnpack);
+
+}  // namespace

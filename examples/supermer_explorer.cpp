@@ -1,0 +1,156 @@
+// Supermer explorer — studies the §IV communication optimization on a
+// dataset: supermer count/length distributions and wire-volume reduction
+// as functions of the minimizer length m, the window length w, and the
+// ordering policy.
+//
+// Usage:
+//   supermer_explorer [--dataset=ecoli30x] [--scale=500] [--k=17]
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "dedukt/io/datasets.hpp"
+#include "dedukt/kmer/supermer.hpp"
+#include "dedukt/kmer/theory.hpp"
+#include "dedukt/util/cli.hpp"
+#include "dedukt/util/format.hpp"
+#include "dedukt/util/stats.hpp"
+#include "dedukt/util/table.hpp"
+
+namespace {
+
+using namespace dedukt;
+
+struct Stats {
+  std::uint64_t count = 0;
+  RunningStats lengths;
+};
+
+Stats survey(const io::ReadBatch& reads, const kmer::SupermerConfig& cfg) {
+  Stats stats;
+  for (const auto& read : reads.reads) {
+    for (const auto& d : kmer::build_supermers_read(read.bases, cfg, 384)) {
+      ++stats.count;
+      stats.lengths.add(static_cast<double>(d.smer.len));
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliParser cli(argc, argv);
+  const std::string key = cli.get("dataset", "ecoli30x");
+  const auto preset = io::find_preset(key);
+  if (!preset) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", key.c_str());
+    return 1;
+  }
+  const auto scale = static_cast<std::uint64_t>(cli.get_int("scale", 500));
+  const io::ReadBatch reads = io::make_dataset(*preset, scale);
+  const int k = static_cast<int>(cli.get_int("k", 17));
+  const std::uint64_t kmers = reads.total_kmers(k);
+
+  std::printf("dataset: %s at 1/%llu — %s bases, %s k-mers (k=%d)\n\n",
+              preset->short_name.c_str(),
+              static_cast<unsigned long long>(scale),
+              format_count(reads.total_bases()).c_str(),
+              format_count(kmers).c_str(), k);
+
+  // m sweep at the paper's window (15).
+  TextTable m_table("minimizer length sweep (window=15, randomized order)");
+  m_table.set_header({"m", "supermers", "avg len", "max len",
+                      "units reduction", "wire-byte reduction"});
+  for (const int m : {5, 7, 9, 11, 13}) {
+    kmer::SupermerConfig cfg;
+    cfg.k = k;
+    cfg.m = m;
+    cfg.window = 15;
+    const Stats stats = survey(reads, cfg);
+    m_table.add_row(
+        {std::to_string(m), format_count(stats.count),
+         format_fixed(stats.lengths.mean(), 2),
+         format_fixed(stats.lengths.max(), 0),
+         format_speedup(static_cast<double>(kmers) /
+                        static_cast<double>(stats.count)),
+         format_speedup(
+             static_cast<double>(kmer::theory::kmer_wire_bytes(kmers)) /
+             static_cast<double>(
+                 kmer::theory::supermer_wire_bytes(stats.count)))});
+  }
+  m_table.print();
+
+  // Ordering sweep at the paper's operating point.
+  std::printf("\n");
+  TextTable o_table("ordering sweep (k=17 defaults, m=7, window=15)");
+  o_table.set_header({"ordering", "supermers", "avg len"});
+  for (const auto order : {kmer::MinimizerOrder::kLexicographic,
+                           kmer::MinimizerOrder::kKmc2,
+                           kmer::MinimizerOrder::kRandomized}) {
+    kmer::SupermerConfig cfg;
+    cfg.k = k;
+    cfg.m = 7;
+    cfg.window = 15;
+    cfg.order = order;
+    const Stats stats = survey(reads, cfg);
+    o_table.add_row({kmer::to_string(order), format_count(stats.count),
+                     format_fixed(stats.lengths.mean(), 2)});
+  }
+  o_table.print();
+
+  // Read-generation sweep (§VI): the paper's counter targets third-
+  // generation long reads; short second-generation reads lose a little
+  // compression to per-read boundary cuts (each read restarts its windows).
+  std::printf("\n");
+  TextTable g_table(
+      "read-length sweep (m=7, window=15; same genome, same coverage)");
+  g_table.set_header({"read length", "reads", "k-mers", "supermers",
+                      "units reduction"});
+  for (const double read_len : {150.0, 1000.0, 10'000.0}) {
+    io::GenomeSpec gspec = io::genome_spec_for(*preset, scale, 42);
+    io::ReadSpec rspec = io::read_spec_for(*preset, 42);
+    rspec.mean_read_length = std::min(
+        read_len, static_cast<double>(gspec.length) /
+                      static_cast<double>(std::max(gspec.replicons, 1)) /
+                      4.0);
+    rspec.read_length_sigma = read_len <= 300 ? 0.05 : 0.35;  // 2nd vs 3rd gen
+    rspec.min_read_length = static_cast<std::uint64_t>(
+        std::max(rspec.mean_read_length / 4.0, 32.0));
+    const io::ReadBatch generation_reads = io::generate_dataset(gspec, rspec);
+    kmer::SupermerConfig cfg;
+    cfg.k = k;
+    const Stats stats = survey(generation_reads, cfg);
+    const std::uint64_t gen_kmers = generation_reads.total_kmers(k);
+    g_table.add_row(
+        {format_fixed(rspec.mean_read_length, 0),
+         format_count(generation_reads.size()), format_count(gen_kmers),
+         format_count(stats.count),
+         format_speedup(static_cast<double>(gen_kmers) /
+                        static_cast<double>(stats.count))});
+  }
+  g_table.print();
+
+  // Supermer length histogram at the paper's defaults.
+  kmer::SupermerConfig cfg;
+  cfg.k = k;
+  std::vector<std::uint64_t> histogram(
+      static_cast<std::size_t>(cfg.max_supermer_bases()) + 1, 0);
+  std::uint64_t total = 0;
+  for (const auto& read : reads.reads) {
+    for (const auto& d : kmer::build_supermers_read(read.bases, cfg, 384)) {
+      ++histogram[d.smer.len];
+      ++total;
+    }
+  }
+  std::printf("\nsupermer length distribution (m=7, window=15):\n");
+  for (std::size_t len = static_cast<std::size_t>(k);
+       len < histogram.size(); ++len) {
+    if (histogram[len] == 0) continue;
+    std::printf("  len %2zu: %6.2f%% %s\n", len,
+                100.0 * static_cast<double>(histogram[len]) /
+                    static_cast<double>(total),
+                std::string(histogram[len] * 50 / total + 1, '#').c_str());
+  }
+  return 0;
+}

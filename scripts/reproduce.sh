@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Reproduce the paper end to end: build, run the full test suite, then run
+# every per-figure/table benchmark driver. Outputs land in ./reproduction/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p reproduction
+ctest --test-dir build 2>&1 | tee reproduction/tests.txt
+
+for b in build/bench/bench_*; do
+  name="$(basename "$b")"
+  echo "== ${name}"
+  "$b" 2>&1 | tee "reproduction/${name}.txt"
+done
+
+echo
+echo "Done. Compare reproduction/*.txt against EXPERIMENTS.md."

@@ -1,0 +1,26 @@
+// The `dedukt` command-line application, as a testable library entry point.
+//
+// Subcommands:
+//   count    count k-mers in a FASTQ/FASTA (or a synthetic Table-I preset)
+//            with any of the three pipelines and write a counts file
+//   histo    print the k-mer frequency spectrum and its coverage /
+//            genome-size estimates from a counts file
+//   dump     convert a binary counts file to TSV
+//   info     summarize a counts file
+//   compare  set/multiset similarity of two counts files
+//
+// The binary in tools/ is a thin main() around run_app(); tests drive
+// run_app() directly with argv vectors and capture the streams.
+#pragma once
+
+#include <iosfwd>
+
+namespace dedukt::core {
+
+/// Run the CLI. argv[0] is the program name; returns the process exit code
+/// (0 success, 1 usage error, 2 runtime failure). All human output goes to
+/// `out`, diagnostics to `err`.
+int run_app(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace dedukt::core

@@ -1,0 +1,60 @@
+// Device-resident Bloom filter for singleton k-mer suppression.
+//
+// The CPU baseline's ancestry (diBELLA / HipMer k-mer analysis, and
+// Melsted & Pritchard's BFCounter, cited as [20]) uses Bloom filters so
+// that k-mers seen only once — overwhelmingly sequencing errors in real
+// data — never occupy hash-table slots. This is the same optimization on
+// the simulated GPU: a test-and-insert kernel sets each k-mer's bits with
+// atomic OR and reports whether all bits were already set.
+//
+// Filtered counting semantics (see DeviceHashTable::count_kmers_filtered):
+// a k-mer enters the counting table on its second observed occurrence, and
+// the claiming insert adds 2 to compensate for the absorbed first
+// occurrence — so surviving k-mers carry their exact multiplicity, and
+// false positives (rate configurable via bits_per_key) at worst admit a
+// singleton or add +1.
+#pragma once
+
+#include <cstdint>
+
+#include "dedukt/gpusim/device.hpp"
+
+namespace dedukt::core {
+
+class DeviceBloomFilter {
+ public:
+  /// Number of bits set/tested per key (double hashing).
+  static constexpr int kHashes = 4;
+
+  /// Sized for `expected_keys` distinct keys at `bits_per_key` bits each
+  /// (8 bits/key with 4 hashes gives ~2.4% false positives; 16 gives
+  /// ~0.2%).
+  DeviceBloomFilter(gpusim::Device& device, std::uint64_t expected_keys,
+                    double bits_per_key = 12.0);
+
+  /// Kernel: for each of the `n` packed k-mers, atomically set its bits
+  /// and write 1 to out_seen[i] iff every bit was already set (the key was
+  /// — probably — seen before). out_seen must hold at least n bytes.
+  gpusim::LaunchStats test_and_insert(
+      const gpusim::DeviceBuffer<std::uint64_t>& kmers, std::size_t n,
+      gpusim::DeviceBuffer<std::uint8_t>& out_seen);
+
+  /// Device-side test-and-set of a single key; returns true if all bits
+  /// were already set. Exposed for fused kernels (count_supermers).
+  [[nodiscard]] bool test_and_set(std::uint64_t key,
+                                  gpusim::ThreadCtx& ctx);
+
+  /// Bits in the filter (power of two).
+  [[nodiscard]] std::uint64_t bits() const { return mask_ + 1; }
+
+  /// Expected false-positive rate for `keys` inserted distinct keys:
+  /// (1 - e^(-kh*keys/bits))^kh.
+  [[nodiscard]] double expected_fp_rate(std::uint64_t keys) const;
+
+ private:
+  gpusim::Device* device_;
+  gpusim::DeviceBuffer<std::uint64_t> words_;
+  std::uint64_t mask_ = 0;  ///< bits - 1
+};
+
+}  // namespace dedukt::core

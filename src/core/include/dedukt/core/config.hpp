@@ -1,0 +1,145 @@
+// Pipeline configuration shared by the CPU baseline and both GPU pipelines.
+#pragma once
+
+#include <string>
+
+#include "dedukt/kmer/minimizer.hpp"
+#include "dedukt/kmer/wide.hpp"
+#include "dedukt/kmer/supermer.hpp"
+
+namespace dedukt::core {
+
+/// Which of the three counters to run (paper §III & §IV).
+enum class PipelineKind {
+  kCpu,          ///< Algorithm 1 baseline (diBELLA-derived, CPU only)
+  kGpuKmer,      ///< §III — GPU parse/count, k-mers on the wire
+  kGpuSupermer,  ///< §IV — GPU parse/count, supermers on the wire
+};
+
+[[nodiscard]] inline std::string to_string(PipelineKind kind) {
+  switch (kind) {
+    case PipelineKind::kCpu: return "cpu";
+    case PipelineKind::kGpuKmer: return "gpu-kmer";
+    case PipelineKind::kGpuSupermer: return "gpu-supermer";
+  }
+  return "?";
+}
+
+/// How exchanged data crosses the host<->device boundary (§III-B2):
+/// staged through the CPU (D2H, MPI, H2D) or GPUDirect.
+enum class ExchangeMode { kStaged, kGpuDirect };
+
+[[nodiscard]] inline std::string to_string(ExchangeMode mode) {
+  return mode == ExchangeMode::kStaged ? "staged" : "gpudirect";
+}
+
+/// How supermer destinations are chosen (§IV-A vs the §VII extension).
+/// Defined here (and aliased by partitioner.hpp's documentation) so
+/// PipelineConfig stays self-contained.
+enum class PartitionScheme {
+  kMinimizerHash,      ///< the paper's scheme: hash(minimizer) mod P
+  kFrequencyBalanced,  ///< §VII extension: sampled-weight LPT assignment
+};
+
+[[nodiscard]] inline std::string to_string(PartitionScheme scheme) {
+  return scheme == PartitionScheme::kMinimizerHash ? "minimizer-hash"
+                                                   : "freq-balanced";
+}
+
+struct PipelineConfig {
+  PipelineKind kind = PipelineKind::kGpuSupermer;
+  int k = 17;      ///< the paper's evaluation k
+  int m = 7;       ///< minimizer length (paper uses 7 and 9)
+  int window = 15; ///< supermer window (single-64-bit-word packing, §IV-C)
+  kmer::MinimizerOrder order = kmer::MinimizerOrder::kRandomized;
+  ExchangeMode exchange = ExchangeMode::kStaged;
+  /// Supermer routing: the paper's minimizer hash, or the frequency-
+  /// balanced assignment (§VII future work, implemented as an extension).
+  /// Only consulted by the supermer pipeline.
+  PartitionScheme partition = PartitionScheme::kMinimizerHash;
+  /// Count canonical k-mers (min of k-mer and reverse complement). The
+  /// paper does not canonicalize; off by default.
+  bool canonical = false;
+  /// Hash-table slots per expected key (1/load-factor).
+  double table_headroom = 2.0;
+  /// Memory-bound multi-round processing (§III-A): a rank parses,
+  /// exchanges and counts at most this many k-mers per round; the rank
+  /// needing the most rounds sets the count for everyone. 0 = one round.
+  std::uint64_t max_kmers_per_round = 0;
+  /// BFCounter-style Bloom pre-filter at the counting stage (the diBELLA
+  /// lineage's singleton suppression): k-mers seen once never occupy a
+  /// table slot; survivors keep exact counts modulo Bloom false positives.
+  /// GPU pipelines only; incompatible with multi-round processing (the
+  /// filter state would not span rounds).
+  bool filter_singletons = false;
+  /// Two-word supermer packing (extension): windows up to 63 - k + 1
+  /// instead of the single-word cap of 32 - k (§IV-C), trading 17 wire
+  /// bytes per supermer for fewer, longer supermers. Supermer pipeline
+  /// only.
+  bool wide_supermers = false;
+  /// Source-side consolidation (the paper's footnote 1, after Georganas):
+  /// count k-mers locally on the source rank first and exchange
+  /// (k-mer, count) pairs (12 bytes each) instead of one 8-byte word per
+  /// occurrence. Wins when the per-rank duplicate multiplicity exceeds
+  /// 1.5x — i.e. at small rank counts — and loses at scale, which is why
+  /// the paper (and diBELLA) consolidate at the destination. GPU k-mer
+  /// pipeline only.
+  bool source_consolidation = false;
+
+  [[nodiscard]] kmer::SupermerConfig supermer_config() const {
+    kmer::SupermerConfig c;
+    c.k = k;
+    c.m = m;
+    c.window = window;
+    c.order = order;
+    c.wide = wide_supermers;
+    return c;
+  }
+
+  [[nodiscard]] kmer::MinimizerPolicy minimizer_policy() const {
+    return kmer::MinimizerPolicy(order, m);
+  }
+
+  /// Encoding all packed codes use under this configuration.
+  [[nodiscard]] io::BaseEncoding encoding() const {
+    return minimizer_policy().encoding();
+  }
+
+  void validate() const {
+    if (kind == PipelineKind::kGpuSupermer) {
+      supermer_config().validate();
+    } else if (kind == PipelineKind::kGpuKmer) {
+      DEDUKT_REQUIRE_MSG(k >= 2 && k <= kmer::kMaxPackedK,
+                         "k out of range for the GPU pipelines: " << k);
+      DEDUKT_REQUIRE_MSG(m >= 1 && m < k, "need 1 <= m < k");
+    } else {
+      // The CPU baseline also supports wide k-mers (31 < k <= 63) through
+      // run_cpu_wide_rank / run_distributed_count_wide.
+      DEDUKT_REQUIRE_MSG(k >= 2 && k <= kmer::kMaxWideK,
+                         "k out of range: " << k);
+      DEDUKT_REQUIRE_MSG(m >= 1 && m < k && m <= kmer::kMaxPackedK,
+                         "need 1 <= m < k with m <= 31");
+    }
+    DEDUKT_REQUIRE(table_headroom >= 1.0);
+    // Canonical counting is a CPU-baseline option; the paper's GPU
+    // pipelines do not canonicalize (§IV-A).
+    DEDUKT_REQUIRE_MSG(!canonical || kind == PipelineKind::kCpu,
+                       "canonical counting is only supported by the CPU "
+                       "pipeline");
+    DEDUKT_REQUIRE_MSG(!filter_singletons || kind != PipelineKind::kCpu,
+                       "the Bloom pre-filter is implemented for the GPU "
+                       "pipelines");
+    DEDUKT_REQUIRE_MSG(!(filter_singletons && max_kmers_per_round != 0),
+                       "the Bloom pre-filter does not span multi-round "
+                       "processing");
+    DEDUKT_REQUIRE_MSG(!source_consolidation ||
+                           kind == PipelineKind::kGpuKmer,
+                       "source-side consolidation applies to the GPU k-mer "
+                       "pipeline");
+    DEDUKT_REQUIRE_MSG(!(source_consolidation && filter_singletons),
+                       "source consolidation and the Bloom pre-filter are "
+                       "mutually exclusive");
+  }
+};
+
+}  // namespace dedukt::core

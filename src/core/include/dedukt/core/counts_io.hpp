@@ -1,0 +1,49 @@
+// Persistence for counting results, so downstream tools can consume them
+// (the paper positions the counter as the front end of assembly, profiling
+// and search pipelines).
+//
+// Two formats:
+//  * binary — "DKCT" magic, version, k, base encoding, entry count, then
+//    (packed k-mer, count) pairs as little-endian u64s. Compact and exact.
+//  * TSV — "<ASCII k-mer>\t<count>\n" rows, for interop with KMC/Jellyfish
+//    style dumps and shell tooling.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dedukt/io/dna.hpp"
+
+namespace dedukt::core {
+
+/// An on-disk counting result.
+struct CountsFile {
+  int k = 0;
+  io::BaseEncoding encoding = io::BaseEncoding::kStandard;
+  /// (packed k-mer, count), sorted by key.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> counts;
+};
+
+/// Binary format magic and version.
+inline constexpr char kCountsMagic[4] = {'D', 'K', 'C', 'T'};
+inline constexpr std::uint32_t kCountsVersion = 1;
+
+void write_counts_binary(std::ostream& out, const CountsFile& file);
+void write_counts_binary_file(const std::string& path,
+                              const CountsFile& file);
+
+[[nodiscard]] CountsFile read_counts_binary(std::istream& in);
+[[nodiscard]] CountsFile read_counts_binary_file(const std::string& path);
+
+/// TSV dump: one "<kmer>\t<count>" row per entry, k-mers decoded to ASCII.
+void write_counts_tsv(std::ostream& out, const CountsFile& file);
+void write_counts_tsv_file(const std::string& path, const CountsFile& file);
+
+/// Parse a TSV dump back (k inferred from the first row's k-mer length).
+[[nodiscard]] CountsFile read_counts_tsv(std::istream& in,
+                                         io::BaseEncoding encoding);
+
+}  // namespace dedukt::core

@@ -1,0 +1,113 @@
+// Weighted de Bruijn graph over a k-mer count table — the paper's
+// introduction lists "a (weighted) de Bruijn graph representation" as the
+// first downstream consumer of k-mer histograms (citations [4], [11],
+// [25]), and assemblers like HipMer build exactly this from the counting
+// stage this library reproduces.
+//
+// Nodes are the distinct k-mers of a count table (weights = multiplicities);
+// there is an edge u -> v when the (k-1)-suffix of u equals the
+// (k-1)-prefix of v and both are present. The module answers the standard
+// first-order questions: degree distributions, unitig decomposition
+// (maximal non-branching paths), and graph statistics (unitig N50, tips,
+// junctions).
+//
+// Works on non-canonical counts (the paper's setting): each strand forms
+// its own subgraph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dedukt/core/host_hash_table.hpp"
+#include "dedukt/io/dna.hpp"
+#include "dedukt/kmer/kmer.hpp"
+
+namespace dedukt::core {
+
+/// One maximal non-branching path of the graph.
+struct Unitig {
+  /// Number of k-mers on the path.
+  std::uint64_t kmers = 0;
+  /// Length in bases (kmers + k - 1).
+  std::uint64_t bases = 0;
+  /// Mean multiplicity (coverage) of the path's k-mers.
+  double mean_coverage = 0.0;
+  /// First k-mer code of the path (for reconstruction / debugging).
+  kmer::KmerCode first = 0;
+};
+
+struct GraphStats {
+  std::uint64_t nodes = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t unitigs = 0;
+  std::uint64_t unitig_bases = 0;
+  std::uint64_t longest_unitig_bases = 0;
+  std::uint64_t n50_bases = 0;  ///< unitig N50 by bases
+  std::uint64_t tips = 0;       ///< nodes with in-degree 0 or out-degree 0
+  std::uint64_t junctions = 0;  ///< nodes with in-degree > 1 or out > 1
+  std::uint64_t isolated = 0;   ///< nodes with no edges at all
+};
+
+/// The graph. Construction indexes the k-mer set; queries are O(1)-ish
+/// hash probes per neighbor.
+class DeBruijnGraph {
+ public:
+  /// Build from sorted (packed k-mer, count) pairs (a CountResult's
+  /// global_counts or a CountsFile's counts).
+  DeBruijnGraph(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts,
+      int k, io::BaseEncoding encoding);
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] std::uint64_t nodes() const { return table_.unique(); }
+
+  /// True if the k-mer is a node.
+  [[nodiscard]] bool contains(kmer::KmerCode code) const {
+    return table_.count(code) != 0;
+  }
+
+  /// Multiplicity of a node (0 if absent).
+  [[nodiscard]] std::uint64_t coverage(kmer::KmerCode code) const {
+    return table_.count(code);
+  }
+
+  /// Successors of a node: the up-to-4 k-mers extending its (k-1)-suffix.
+  [[nodiscard]] std::vector<kmer::KmerCode> successors(
+      kmer::KmerCode code) const;
+
+  /// Predecessors of a node.
+  [[nodiscard]] std::vector<kmer::KmerCode> predecessors(
+      kmer::KmerCode code) const;
+
+  [[nodiscard]] int out_degree(kmer::KmerCode code) const {
+    return static_cast<int>(successors(code).size());
+  }
+  [[nodiscard]] int in_degree(kmer::KmerCode code) const {
+    return static_cast<int>(predecessors(code).size());
+  }
+
+  /// Decompose the graph into maximal non-branching paths. Every node
+  /// belongs to exactly one unitig.
+  [[nodiscard]] std::vector<Unitig> unitigs() const;
+
+  /// Whole-graph statistics (includes the unitig decomposition).
+  [[nodiscard]] GraphStats stats() const;
+
+  /// Reconstruct the ASCII sequence of a unitig starting at `first` by
+  /// walking the non-branching chain.
+  [[nodiscard]] std::string unitig_sequence(kmer::KmerCode first) const;
+
+ private:
+  /// A node is "linear" if it has exactly one predecessor and that
+  /// predecessor has exactly one successor (i.e., the chain continues
+  /// through it).
+  [[nodiscard]] bool chain_continues_into(kmer::KmerCode node) const;
+
+  HostHashTable table_;
+  int k_;
+  io::BaseEncoding encoding_;
+};
+
+}  // namespace dedukt::core

@@ -1,0 +1,98 @@
+// Device-side k-mer counter (§III-B3).
+//
+// Open-addressing hash table in simulated GPU global memory: one 64-bit key
+// slot array (all-ones = empty) and one 32-bit count array. Insertion is a
+// GPU kernel — one thread per received k-mer — using an atomic CAS to claim
+// a slot and an atomic add to bump the count, with linear probing on
+// collision, exactly as the paper describes. A second kernel variant first
+// extracts the k-mers of each received supermer, then counts them (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/kmer/wide.hpp"
+
+namespace dedukt::core {
+
+class DeviceBloomFilter;
+
+class DeviceHashTable {
+ public:
+  /// Seed for the slot hash (shared with HostHashTable so both tables probe
+  /// identically).
+  static constexpr std::uint64_t kProbeSeed = 0x7AB1Eu;
+
+  /// Build a table on `device` with capacity for `expected_keys` at the
+  /// given headroom factor (capacity is rounded up to a power of two).
+  DeviceHashTable(gpusim::Device& device, std::size_t expected_keys,
+                  double headroom = 2.0);
+
+  /// Count kernel: one thread per k-mer in `kmers` (device buffer holding
+  /// `n` packed codes). Throws SimulationError if the table fills up.
+  gpusim::LaunchStats count_kmers(const gpusim::DeviceBuffer<std::uint64_t>& kmers,
+                                  std::size_t n);
+
+  /// Supermer count kernel: one thread per supermer; each extracts its
+  /// k-mers (Algorithm 2 COUNTKMER) and inserts them.
+  gpusim::LaunchStats count_supermers(
+      const gpusim::DeviceBuffer<std::uint64_t>& supermers,
+      const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n,
+      int k);
+
+  /// Accumulation kernel for source-side consolidation (paper footnote 1):
+  /// one thread per received (k-mer, local-count) pair; adds `counts[i]`
+  /// occurrences of `keys[i]` in one atomic add.
+  gpusim::LaunchStats accumulate_pairs(
+      const gpusim::DeviceBuffer<std::uint64_t>& keys,
+      const gpusim::DeviceBuffer<std::uint32_t>& key_counts, std::size_t n);
+
+  /// Wide-supermer count kernel (two-word packing extension): one thread
+  /// per wide supermer; k stays <= 31 so the extracted k-mers are narrow.
+  gpusim::LaunchStats count_wide_supermers(
+      const gpusim::DeviceBuffer<kmer::WideKey>& supermers,
+      const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n,
+      int k);
+
+  gpusim::LaunchStats count_wide_supermers_filtered(
+      const gpusim::DeviceBuffer<kmer::WideKey>& supermers,
+      const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n,
+      int k, DeviceBloomFilter& bloom);
+
+  /// Bloom-filtered variants (BFCounter-style singleton suppression, see
+  /// bloom_filter.hpp): a k-mer enters the table only on its second
+  /// observed occurrence; the claiming insert adds 2 so surviving counts
+  /// equal the true multiplicity (modulo Bloom false positives, which at
+  /// worst admit a singleton or add +1).
+  gpusim::LaunchStats count_kmers_filtered(
+      const gpusim::DeviceBuffer<std::uint64_t>& kmers, std::size_t n,
+      DeviceBloomFilter& bloom);
+
+  gpusim::LaunchStats count_supermers_filtered(
+      const gpusim::DeviceBuffer<std::uint64_t>& supermers,
+      const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n,
+      int k, DeviceBloomFilter& bloom);
+
+  [[nodiscard]] std::size_t capacity() const { return keys_.size(); }
+
+  /// Distinct keys currently stored (host-side scan of device memory).
+  [[nodiscard]] std::size_t unique() const;
+
+  /// Sum of all counts.
+  [[nodiscard]] std::uint64_t total() const;
+
+  /// Copy all (key, count) pairs to the host, priced as a D2H transfer.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint32_t>>
+  to_host();
+
+ private:
+  gpusim::Device* device_ = nullptr;
+  gpusim::DeviceBuffer<std::uint64_t> keys_;
+  gpusim::DeviceBuffer<std::uint32_t> counts_;
+  std::size_t mask_ = 0;
+};
+
+}  // namespace dedukt::core

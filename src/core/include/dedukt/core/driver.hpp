@@ -1,0 +1,71 @@
+// Driver — runs a whole distributed counting job.
+//
+// Wires the per-rank pipelines into an mpisim::Runtime: partitions the
+// input reads across ranks (the parallel-I/O stand-in), executes the
+// selected pipeline on every rank (each GPU rank owning its own simulated
+// V100), gathers the per-rank partitions of the global hash table, and
+// aggregates a CountResult.
+#pragma once
+
+#include <cstdint>
+
+#include "dedukt/core/config.hpp"
+#include "dedukt/core/host_hash_table.hpp"
+#include "dedukt/core/result.hpp"
+#include "dedukt/core/summit.hpp"
+#include "dedukt/gpusim/device_props.hpp"
+#include "dedukt/io/sequence.hpp"
+
+namespace dedukt::core {
+
+struct DriverOptions {
+  PipelineConfig pipeline;
+  /// Number of MPI ranks (paper: 1 per GPU for GPU runs, 1 per core for
+  /// CPU runs).
+  int nranks = 6;
+  /// Price communication with the Summit network model (vs. a free local
+  /// transport). On by default so results carry modeled exchange times.
+  bool summit_network = true;
+  /// Ranks sharing one node's injection bandwidth; 0 derives the paper's
+  /// value from the pipeline kind (6 for GPU runs, 42 for CPU runs).
+  int ranks_per_node = 0;
+  /// Gather the global (k-mer, count) table to the result. Turn off for
+  /// large benchmark runs where only the metrics matter.
+  bool collect_counts = true;
+  /// Property sheet for each rank's simulated GPU.
+  gpusim::DeviceProps device = gpusim::DeviceProps::v100();
+
+  [[nodiscard]] int effective_ranks_per_node() const {
+    if (ranks_per_node > 0) return ranks_per_node;
+    return pipeline.kind == PipelineKind::kCpu ? summit::kCoresPerNode
+                                               : summit::kGpusPerNode;
+  }
+};
+
+/// Run a distributed count of `reads` according to `options`.
+[[nodiscard]] CountResult run_distributed_count(const io::ReadBatch& reads,
+                                                const DriverOptions& options);
+
+/// Serial reference counter (single table, no distribution) with the same
+/// k / encoding / canonical settings — the oracle the tests compare
+/// distributed results against.
+[[nodiscard]] HostHashTable reference_count(const io::ReadBatch& reads,
+                                            const PipelineConfig& config);
+
+/// Result of a wide-k (31 < k <= 63) distributed count: the usual metrics
+/// plus two-word global counts. `base.global_counts` stays empty — wide
+/// keys do not fit the narrow table.
+struct WideCountResult {
+  CountResult base;
+  std::vector<std::pair<kmer::WideKey, std::uint64_t>> global_counts;
+};
+
+/// Distributed wide-k count (CPU pipeline only; 31 < k <= 63).
+[[nodiscard]] WideCountResult run_distributed_count_wide(
+    const io::ReadBatch& reads, const DriverOptions& options);
+
+/// Serial wide-k reference counter.
+[[nodiscard]] WideHostHashTable reference_count_wide(
+    const io::ReadBatch& reads, const PipelineConfig& config);
+
+}  // namespace dedukt::core

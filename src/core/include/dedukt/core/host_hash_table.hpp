@@ -1,0 +1,159 @@
+// Host-side open-addressing k-mer counter — the hash table of the CPU
+// baseline (Algorithm 1 lines 10-15) and the merge target for gathered
+// results. Linear probing, power-of-two capacity, grows by doubling.
+//
+// Generic over the key type: HostHashTable counts single-word packed
+// k-mers (k <= 31, the paper's regime); WideHostHashTable counts two-word
+// wide k-mers (k <= 63).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dedukt/hash/murmur3.hpp"
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/kmer/wide.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+/// Key policy for single-word packed k-mers.
+struct NarrowKeyTraits {
+  using Key = kmer::KmerCode;
+  [[nodiscard]] static constexpr Key invalid() { return kmer::kInvalidCode; }
+  [[nodiscard]] static constexpr std::uint64_t hash(const Key& key,
+                                                    std::uint64_t seed) {
+    return hash::hash_u64(key, seed);
+  }
+};
+
+/// Key policy for two-word wide k-mers.
+struct WideKeyTraits {
+  using Key = kmer::WideKey;
+  [[nodiscard]] static constexpr Key invalid() {
+    return kmer::kInvalidWideKey;
+  }
+  [[nodiscard]] static constexpr std::uint64_t hash(const Key& key,
+                                                    std::uint64_t seed) {
+    return kmer::hash_wide(key, seed);
+  }
+};
+
+template <typename Traits>
+class BasicHostHashTable {
+ public:
+  using Key = typename Traits::Key;
+
+  /// Seed for the slot hash; distinct from the destination hash so the
+  /// per-rank tables do not inherit the partitioning function's structure.
+  static constexpr std::uint64_t kProbeSeed = 0x7AB1Eu;
+
+  explicit BasicHostHashTable(std::size_t expected_keys = 64) {
+    const std::size_t capacity =
+        std::bit_ceil(std::max<std::size_t>(expected_keys * 2, 16));
+    keys_.assign(capacity, Traits::invalid());
+    counts_.assign(capacity, 0);
+  }
+
+  /// Add `count` occurrences of `key` (Algorithm 1: INSERT or INCREMENT).
+  void add(const Key& key, std::uint64_t count = 1) {
+    DEDUKT_REQUIRE_MSG(
+        !(key == Traits::invalid()),
+        "the all-ones key is reserved as the empty-slot sentinel");
+    if ((size_ + 1) * 2 > keys_.size()) grow();
+    std::size_t slot = slot_of(key);
+    while (true) {
+      if (keys_[slot] == key) {
+        counts_[slot] += count;
+        break;
+      }
+      if (keys_[slot] == Traits::invalid()) {
+        keys_[slot] = key;
+        counts_[slot] = count;
+        ++size_;
+        break;
+      }
+      slot = (slot + 1) & (keys_.size() - 1);  // linear probing (§III-B3)
+    }
+    total_ += count;
+  }
+
+  /// Count of `key` (0 if absent).
+  [[nodiscard]] std::uint64_t count(const Key& key) const {
+    std::size_t slot = slot_of(key);
+    while (true) {
+      if (keys_[slot] == key) return counts_[slot];
+      if (keys_[slot] == Traits::invalid()) return 0;
+      slot = (slot + 1) & (keys_.size() - 1);
+    }
+  }
+
+  /// Number of distinct keys.
+  [[nodiscard]] std::size_t unique() const { return size_; }
+
+  /// Sum of all counts.
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  [[nodiscard]] std::size_t capacity() const { return keys_.size(); }
+
+  /// Visit all (key, count) pairs in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      if (!(keys_[i] == Traits::invalid())) fn(keys_[i], counts_[i]);
+    }
+  }
+
+  /// Extract all entries as a vector (sorted by key for determinism).
+  [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> entries_sorted()
+      const {
+    std::vector<std::pair<Key, std::uint64_t>> out;
+    out.reserve(size_);
+    for_each([&](const Key& key, std::uint64_t count) {
+      out.emplace_back(key, count);
+    });
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Merge another table into this one.
+  void merge(const BasicHostHashTable& other) {
+    other.for_each(
+        [&](const Key& key, std::uint64_t count) { add(key, count); });
+  }
+
+ private:
+  void grow() {
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<std::uint64_t> old_counts = std::move(counts_);
+    keys_.assign(old_keys.size() * 2, Traits::invalid());
+    counts_.assign(old_counts.size() * 2, 0);
+    size_ = 0;
+    total_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (!(old_keys[i] == Traits::invalid())) {
+        add(old_keys[i], old_counts[i]);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t slot_of(const Key& key) const {
+    return Traits::hash(key, kProbeSeed) & (keys_.size() - 1);
+  }
+
+  std::vector<Key> keys_;
+  std::vector<std::uint64_t> counts_;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// The paper's regime: single-word packed k-mers (k <= 31).
+using HostHashTable = BasicHostHashTable<NarrowKeyTraits>;
+
+/// Wide k-mers (31 < k <= 63), used by the wide CPU pipeline.
+using WideHostHashTable = BasicHostHashTable<WideKeyTraits>;
+
+}  // namespace dedukt::core

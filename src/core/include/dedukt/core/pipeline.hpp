@@ -1,0 +1,48 @@
+// Per-rank pipeline entry points.
+//
+// Each function runs one rank's share of a distributed counting round —
+// the three modules of Fig. 1: parse & process, exchange, count — and
+// returns that rank's metrics. The rank's partition of the global hash
+// table is left in `local_table`.
+//
+// These are the building blocks; most callers use driver.hpp, which wires
+// them into a Runtime and aggregates a CountResult.
+#pragma once
+
+#include "dedukt/core/config.hpp"
+#include "dedukt/core/host_hash_table.hpp"
+#include "dedukt/core/result.hpp"
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/io/sequence.hpp"
+#include "dedukt/mpisim/comm.hpp"
+
+namespace dedukt::core {
+
+/// CPU baseline (Algorithm 1; derived from diBELLA's k-mer analysis).
+[[nodiscard]] RankMetrics run_cpu_rank(mpisim::Comm& comm,
+                                       const io::ReadBatch& reads,
+                                       const PipelineConfig& config,
+                                       HostHashTable& local_table);
+
+/// Wide-k CPU pipeline: Algorithm 1 with two-word packed k-mers
+/// (31 < k <= 63), for long-read analyses beyond the single-word regime.
+[[nodiscard]] RankMetrics run_cpu_wide_rank(mpisim::Comm& comm,
+                                            const io::ReadBatch& reads,
+                                            const PipelineConfig& config,
+                                            WideHostHashTable& local_table);
+
+/// GPU pipeline, k-mers on the wire (§III).
+[[nodiscard]] RankMetrics run_gpu_kmer_rank(mpisim::Comm& comm,
+                                            gpusim::Device& device,
+                                            const io::ReadBatch& reads,
+                                            const PipelineConfig& config,
+                                            HostHashTable& local_table);
+
+/// GPU pipeline, supermers on the wire (§IV).
+[[nodiscard]] RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm,
+                                                gpusim::Device& device,
+                                                const io::ReadBatch& reads,
+                                                const PipelineConfig& config,
+                                                HostHashTable& local_table);
+
+}  // namespace dedukt::core

@@ -1,0 +1,106 @@
+// Result types for a distributed counting run.
+//
+// Every rank reports exact work counts, measured host wall time per phase,
+// and modeled Summit time per phase; the CountResult aggregates them the
+// way the paper's figures do (per-phase maxima = the bulk-synchronous
+// critical path; per-rank counted-k-mer loads = Table III's imbalance).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dedukt/core/config.hpp"
+#include "dedukt/util/stats.hpp"
+#include "dedukt/util/timer.hpp"
+
+namespace dedukt::core {
+
+/// Canonical phase names used by all pipelines, matching the legend of
+/// Figures 3 and 7: "parse & process kmers", "exchange", "kmer counter".
+inline constexpr const char* kPhaseParse = "parse";
+inline constexpr const char* kPhaseExchange = "exchange";
+inline constexpr const char* kPhaseCount = "count";
+
+/// Per-rank ledger of one counting run.
+struct RankMetrics {
+  // Work counts.
+  std::uint64_t reads = 0;
+  std::uint64_t bases = 0;
+  std::uint64_t kmers_parsed = 0;        ///< k-mers this rank extracted
+  std::uint64_t supermers_built = 0;     ///< 0 for the k-mer pipelines
+  std::uint64_t supermer_bases = 0;      ///< bases across built supermers
+  std::uint64_t kmers_received = 0;      ///< k-mers this rank counted
+  std::uint64_t supermers_received = 0;
+  std::uint64_t bytes_sent = 0;          ///< off-rank exchange payload
+  std::uint64_t bytes_received = 0;
+  std::uint64_t unique_kmers = 0;        ///< distinct keys in the local table
+  std::uint64_t counted_kmers = 0;       ///< total count in the local table
+
+  PhaseTimes measured;  ///< host wall time of the functional simulation
+  PhaseTimes modeled;   ///< modeled Summit time
+
+  /// Modeled time of the Alltoallv routine alone (no staging copies, no
+  /// phase overhead) — what the paper's Fig. 8 measures.
+  double modeled_alltoallv_seconds = 0.0;
+  /// Volume-proportional share of modeled_alltoallv_seconds.
+  double modeled_alltoallv_volume_seconds = 0.0;
+  /// The volume-proportional share of `modeled` per phase. When a run on a
+  /// 1/scale input is projected to full size, only this share scales; the
+  /// remainder (message latencies, launch overheads) stays constant.
+  PhaseTimes modeled_volume;
+};
+
+/// Whole-run result.
+struct CountResult {
+  PipelineConfig config;
+  int nranks = 0;
+  std::vector<RankMetrics> ranks;
+
+  /// Global (k-mer, count) pairs, sorted by key. Populated only when the
+  /// driver is asked to collect counts.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> global_counts;
+
+  // --- aggregates ---
+
+  /// Element-wise sum of all rank ledgers (phase times summed too).
+  [[nodiscard]] RankMetrics totals() const;
+
+  /// Per-phase maximum over ranks: the modeled critical path of the
+  /// bulk-synchronous run — what the paper's stacked bars show.
+  [[nodiscard]] PhaseTimes modeled_breakdown() const;
+
+  /// Per-phase maximum over ranks of measured host time.
+  [[nodiscard]] PhaseTimes measured_breakdown() const;
+
+  /// Modeled breakdown projected to a `scale`-times-larger input: per rank
+  /// and phase, constant terms stay fixed and volume terms scale linearly;
+  /// the per-phase maximum over ranks is then taken as usual.
+  [[nodiscard]] PhaseTimes projected_breakdown(double scale) const;
+
+  /// Modeled Alltoallv-routine time (Fig. 8's metric) projected to a
+  /// `scale`-times-larger input; max over ranks.
+  [[nodiscard]] double projected_alltoallv_seconds(double scale) const;
+
+  /// Sum of the modeled per-phase maxima.
+  [[nodiscard]] double modeled_total_seconds() const;
+
+  /// Table III metric: max/avg of counted k-mers per rank.
+  [[nodiscard]] double load_imbalance() const;
+
+  /// Min/max counted k-mers across ranks (Table III columns).
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> min_max_load() const;
+
+  [[nodiscard]] std::uint64_t total_kmers() const;
+  [[nodiscard]] std::uint64_t total_unique() const;
+  [[nodiscard]] std::uint64_t total_supermers() const;
+  [[nodiscard]] std::uint64_t total_bytes_exchanged() const;
+
+  /// k-mer frequency spectrum from global_counts:
+  /// multiplicity -> number of distinct k-mers with that multiplicity.
+  [[nodiscard]] std::map<std::uint64_t, std::uint64_t> spectrum() const;
+};
+
+}  // namespace dedukt::core

@@ -1,0 +1,50 @@
+// k-mer frequency-spectrum analysis — the downstream use the paper's
+// introduction motivates ("the resulting k-mer histograms are valuable for
+// understanding the distributions of genomic subsequences, creating
+// 'profiles' ... identifying k-mers of scientific interest by frequency").
+//
+// Works on the (multiplicity -> #distinct k-mers) histogram produced by
+// CountResult::spectrum() and provides the standard estimators used by
+// assemblers and profilers: coverage peak, genome size, and the
+// error-k-mer share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dedukt::core {
+
+/// multiplicity -> number of distinct k-mers with that multiplicity.
+using Spectrum = std::map<std::uint64_t, std::uint64_t>;
+
+struct SpectrumAnalysis {
+  /// Multiplicity of the spectrum's main (non-error) peak — the k-mer
+  /// coverage estimate. 0 if no peak was found.
+  std::uint64_t coverage_peak = 0;
+  /// Estimated genome size: total non-error k-mer instances / peak.
+  std::uint64_t genome_size_estimate = 0;
+  /// Distinct k-mers below the error/signal valley (likely sequencing
+  /// errors in real data; rare k-mers in synthetic data).
+  std::uint64_t error_kmers = 0;
+  /// First multiplicity of the valley between the error spike at 1-2x and
+  /// the coverage peak. 0 when the spectrum is unimodal.
+  std::uint64_t valley = 0;
+  /// Total distinct k-mers and total instances, for convenience.
+  std::uint64_t distinct_kmers = 0;
+  std::uint64_t total_instances = 0;
+};
+
+/// Analyze a spectrum. `min_peak_multiplicity` guards against calling the
+/// error spike the coverage peak (default 3, as in common k-mer profilers).
+[[nodiscard]] SpectrumAnalysis analyze_spectrum(
+    const Spectrum& spectrum, std::uint64_t min_peak_multiplicity = 3);
+
+/// Render the spectrum as fixed-width histogram rows (multiplicity, count,
+/// bar), clamped to `max_rows`. For terminal output in tools/examples.
+[[nodiscard]] std::vector<std::string> render_spectrum(
+    const Spectrum& spectrum, std::size_t max_rows = 25,
+    std::size_t bar_width = 50);
+
+}  // namespace dedukt::core

@@ -1,0 +1,315 @@
+#include "dedukt/core/app.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dedukt/core/counts_io.hpp"
+#include "dedukt/core/debruijn.hpp"
+#include "dedukt/core/driver.hpp"
+#include "dedukt/core/spectrum.hpp"
+#include "dedukt/io/datasets.hpp"
+#include "dedukt/io/fasta.hpp"
+#include "dedukt/io/fastq.hpp"
+#include "dedukt/util/cli.hpp"
+#include "dedukt/util/error.hpp"
+#include "dedukt/util/format.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+constexpr const char* kUsage = R"(dedukt — distributed-memory k-mer counting (GPU-simulated)
+
+usage: dedukt <command> [flags]
+
+commands:
+  count    --input=reads.fastq|genome.fa | --synthetic=<preset> [--scale=N]
+           --output=counts.bin|counts.tsv
+           [--k=17] [--m=7] [--window=15] [--ranks=6]
+           [--pipeline=gpu-supermer|gpu-kmer|cpu]
+           [--order=randomized|kmc2|lexicographic]
+           [--canonical] [--filter-singletons] [--wide-supermers]
+           [--freq-balanced] [--rounds-limit=N]
+  histo    --counts=counts.bin [--max-rows=25]
+  graph    --counts=counts.bin [--min-count=1]
+  dump     --counts=counts.bin [--output=counts.tsv]
+  info     --counts=counts.bin
+  compare  --a=a.bin --b=b.bin
+
+synthetic presets: ecoli30x paeruginosa30x vvulnificus30x abaumannii30x
+                   celegans40x hsapiens54x
+)";
+
+io::ReadBatch load_input(const CliParser& cli, std::ostream& out) {
+  const std::string input = cli.get("input");
+  if (!input.empty()) {
+    if (input.ends_with(".fa") || input.ends_with(".fasta")) {
+      return io::read_fasta_file(input);
+    }
+    return io::read_fastq_file(input);
+  }
+  const std::string preset_key = cli.get("synthetic");
+  DEDUKT_REQUIRE_MSG(!preset_key.empty(),
+                     "count needs --input or --synthetic");
+  const auto preset = io::find_preset(preset_key);
+  DEDUKT_REQUIRE_MSG(preset.has_value(),
+                     "unknown synthetic preset '" << preset_key << "'");
+  const auto scale = static_cast<std::uint64_t>(cli.get_int("scale", 500));
+  out << "generating " << preset->short_name << " at 1/" << scale
+      << " scale\n";
+  return io::make_dataset(*preset, scale);
+}
+
+PipelineKind parse_pipeline(const std::string& name) {
+  if (name == "cpu") return PipelineKind::kCpu;
+  if (name == "gpu-kmer") return PipelineKind::kGpuKmer;
+  if (name == "gpu-supermer") return PipelineKind::kGpuSupermer;
+  throw PreconditionError("unknown --pipeline '" + name + "'");
+}
+
+kmer::MinimizerOrder parse_order(const std::string& name) {
+  if (name == "lexicographic") return kmer::MinimizerOrder::kLexicographic;
+  if (name == "kmc2") return kmer::MinimizerOrder::kKmc2;
+  if (name == "randomized") return kmer::MinimizerOrder::kRandomized;
+  throw PreconditionError("unknown --order '" + name + "'");
+}
+
+int cmd_count(const CliParser& cli, std::ostream& out) {
+  const io::ReadBatch reads = load_input(cli, out);
+
+  DriverOptions options;
+  options.pipeline.kind = parse_pipeline(cli.get("pipeline", "gpu-supermer"));
+  options.pipeline.k = static_cast<int>(cli.get_int("k", 17));
+  options.pipeline.m = static_cast<int>(cli.get_int("m", 7));
+  options.pipeline.window = static_cast<int>(cli.get_int("window", 15));
+  options.pipeline.order = parse_order(cli.get("order", "randomized"));
+  options.pipeline.canonical = cli.get_bool("canonical", false);
+  options.pipeline.filter_singletons =
+      cli.get_bool("filter-singletons", false);
+  options.pipeline.wide_supermers = cli.get_bool("wide-supermers", false);
+  if (cli.get_bool("freq-balanced", false)) {
+    options.pipeline.partition = PartitionScheme::kFrequencyBalanced;
+  }
+  options.pipeline.max_kmers_per_round =
+      static_cast<std::uint64_t>(cli.get_int("rounds-limit", 0));
+  options.nranks = static_cast<int>(cli.get_int("ranks", 6));
+
+  out << "counting " << format_count(reads.total_bases()) << " bases, k="
+      << options.pipeline.k << ", pipeline=" << to_string(
+             options.pipeline.kind)
+      << ", ranks=" << options.nranks << "\n";
+
+  const CountResult result = run_distributed_count(reads, options);
+  out << "counted " << format_count(result.totals().counted_kmers)
+      << " k-mer instances, " << format_count(result.total_unique())
+      << " distinct\n";
+  const PhaseTimes breakdown = result.modeled_breakdown();
+  out << "modeled Summit time: parse "
+      << format_seconds(breakdown.get(kPhaseParse)) << ", exchange "
+      << format_seconds(breakdown.get(kPhaseExchange)) << ", count "
+      << format_seconds(breakdown.get(kPhaseCount)) << "\n";
+
+  const std::string output = cli.get("output");
+  if (!output.empty()) {
+    CountsFile file;
+    file.k = options.pipeline.k;
+    file.encoding = options.pipeline.encoding();
+    file.counts = result.global_counts;
+    if (output.ends_with(".tsv")) {
+      write_counts_tsv_file(output, file);
+    } else {
+      write_counts_binary_file(output, file);
+    }
+    out << "wrote " << file.counts.size() << " entries to " << output
+        << "\n";
+  }
+  return 0;
+}
+
+int cmd_histo(const CliParser& cli, std::ostream& out) {
+  const std::string path = cli.get("counts");
+  DEDUKT_REQUIRE_MSG(!path.empty(), "histo needs --counts=<file>");
+  const CountsFile file = read_counts_binary_file(path);
+
+  Spectrum spectrum;
+  for (const auto& [_, count] : file.counts) ++spectrum[count];
+
+  out << "k-mer frequency spectrum (k=" << file.k << "):\n";
+  for (const std::string& row : render_spectrum(
+           spectrum,
+           static_cast<std::size_t>(cli.get_int("max-rows", 25)))) {
+    out << "  " << row << "\n";
+  }
+  const SpectrumAnalysis analysis = analyze_spectrum(spectrum);
+  out << "distinct k-mers      : " << format_count(analysis.distinct_kmers)
+      << "\n";
+  out << "total instances      : " << format_count(analysis.total_instances)
+      << "\n";
+  out << "coverage peak        : " << analysis.coverage_peak << "x\n";
+  out << "genome size estimate : "
+      << format_count(analysis.genome_size_estimate) << "\n";
+  if (analysis.valley > 0) {
+    out << "error/signal valley  : " << analysis.valley << " ("
+        << format_count(analysis.error_kmers) << " likely-error k-mers)\n";
+  }
+  return 0;
+}
+
+int cmd_dump(const CliParser& cli, std::ostream& out) {
+  const std::string path = cli.get("counts");
+  DEDUKT_REQUIRE_MSG(!path.empty(), "dump needs --counts=<file>");
+  const CountsFile file = read_counts_binary_file(path);
+  const std::string output = cli.get("output");
+  if (output.empty()) {
+    write_counts_tsv(out, file);
+  } else {
+    write_counts_tsv_file(output, file);
+    out << "wrote " << file.counts.size() << " rows to " << output << "\n";
+  }
+  return 0;
+}
+
+int cmd_graph(const CliParser& cli, std::ostream& out) {
+  const std::string path = cli.get("counts");
+  DEDUKT_REQUIRE_MSG(!path.empty(), "graph needs --counts=<file>");
+  const CountsFile file = read_counts_binary_file(path);
+
+  const auto min_count =
+      static_cast<std::uint64_t>(cli.get_int("min-count", 1));
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> kept;
+  for (const auto& entry : file.counts) {
+    if (entry.second >= min_count) kept.push_back(entry);
+  }
+  const DeBruijnGraph graph(kept, file.k, file.encoding);
+  const GraphStats stats = graph.stats();
+  out << "weighted de Bruijn graph (k=" << file.k << ", count >= "
+      << min_count << "):\n";
+  out << "nodes                : " << format_count(stats.nodes) << "\n";
+  out << "edges                : " << format_count(stats.edges) << "\n";
+  out << "unitigs              : " << format_count(stats.unitigs) << "\n";
+  out << "unitig N50           : " << format_count(stats.n50_bases)
+      << " bases\n";
+  out << "longest unitig       : "
+      << format_count(stats.longest_unitig_bases) << " bases\n";
+  out << "tips / junctions     : " << stats.tips << " / "
+      << stats.junctions << "\n";
+  return 0;
+}
+
+int cmd_info(const CliParser& cli, std::ostream& out) {
+  const std::string path = cli.get("counts");
+  DEDUKT_REQUIRE_MSG(!path.empty(), "info needs --counts=<file>");
+  const CountsFile file = read_counts_binary_file(path);
+  std::uint64_t total = 0, max_count = 0;
+  for (const auto& [_, count] : file.counts) {
+    total += count;
+    max_count = std::max(max_count, count);
+  }
+  out << "counts file          : " << path << "\n";
+  out << "k                    : " << file.k << "\n";
+  out << "base encoding        : "
+      << (file.encoding == io::BaseEncoding::kStandard ? "standard"
+                                                       : "randomized")
+      << "\n";
+  out << "distinct k-mers      : " << format_count(file.counts.size())
+      << "\n";
+  out << "total instances      : " << format_count(total) << "\n";
+  out << "max multiplicity     : " << max_count << "\n";
+  return 0;
+}
+
+int cmd_compare(const CliParser& cli, std::ostream& out) {
+  const std::string path_a = cli.get("a");
+  const std::string path_b = cli.get("b");
+  DEDUKT_REQUIRE_MSG(!path_a.empty() && !path_b.empty(),
+                     "compare needs --a and --b");
+  const CountsFile a = read_counts_binary_file(path_a);
+  const CountsFile b = read_counts_binary_file(path_b);
+  DEDUKT_REQUIRE_MSG(a.k == b.k, "counts files have different k: "
+                                     << a.k << " vs " << b.k);
+  DEDUKT_REQUIRE_MSG(a.encoding == b.encoding,
+                     "counts files use different base encodings");
+
+  const std::map<std::uint64_t, std::uint64_t> map_b(b.counts.begin(),
+                                                     b.counts.end());
+  std::uint64_t intersection = 0, shared_mass = 0, total_mass = 0;
+  for (const auto& [key, count] : a.counts) {
+    const auto it = map_b.find(key);
+    if (it != map_b.end()) {
+      ++intersection;
+      shared_mass += std::min(count, it->second);
+    }
+    total_mass += count;
+  }
+  for (const auto& [_, count] : b.counts) total_mass += count;
+  const std::uint64_t set_union =
+      a.counts.size() + b.counts.size() - intersection;
+
+  out << "distinct: A " << format_count(a.counts.size()) << ", B "
+      << format_count(b.counts.size()) << ", shared "
+      << format_count(intersection) << "\n";
+  out << "jaccard              : "
+      << format_fixed(set_union == 0
+                          ? 0.0
+                          : static_cast<double>(intersection) /
+                                static_cast<double>(set_union),
+                      4)
+      << "\n";
+  out << "containment A in B   : "
+      << format_fixed(a.counts.empty()
+                          ? 0.0
+                          : static_cast<double>(intersection) /
+                                static_cast<double>(a.counts.size()),
+                      4)
+      << "\n";
+  out << "bray-curtis          : "
+      << format_fixed(total_mass == 0
+                          ? 0.0
+                          : 1.0 - 2.0 * static_cast<double>(shared_mass) /
+                                      static_cast<double>(total_mass),
+                      4)
+      << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int run_app(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err) {
+  if (argc < 2) {
+    err << kUsage;
+    return 1;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    out << kUsage;
+    return 0;
+  }
+  // Re-parse flags with the subcommand stripped.
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) rest.push_back(argv[i]);
+  const CliParser cli(static_cast<int>(rest.size()), rest.data());
+
+  try {
+    if (command == "count") return cmd_count(cli, out);
+    if (command == "histo") return cmd_histo(cli, out);
+    if (command == "dump") return cmd_dump(cli, out);
+    if (command == "graph") return cmd_graph(cli, out);
+    if (command == "info") return cmd_info(cli, out);
+    if (command == "compare") return cmd_compare(cli, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  } catch (const PreconditionError& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace dedukt::core

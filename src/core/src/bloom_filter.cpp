@@ -1,0 +1,78 @@
+#include "dedukt/core/bloom_filter.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+#include "dedukt/hash/murmur3.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+namespace {
+constexpr std::uint64_t kBloomSeed1 = 0xB100Fu;
+constexpr std::uint64_t kBloomSeed2 = 0xF117E2u;
+}  // namespace
+
+DeviceBloomFilter::DeviceBloomFilter(gpusim::Device& device,
+                                     std::uint64_t expected_keys,
+                                     double bits_per_key)
+    : device_(&device) {
+  DEDUKT_REQUIRE(bits_per_key >= 1.0);
+  const auto want = static_cast<std::uint64_t>(
+      static_cast<double>(std::max<std::uint64_t>(expected_keys, 64)) *
+      bits_per_key);
+  const std::uint64_t nbits = std::bit_ceil(want);
+  words_ = device.alloc<std::uint64_t>(nbits / 64, std::uint64_t{0});
+  mask_ = nbits - 1;
+}
+
+bool DeviceBloomFilter::test_and_set(std::uint64_t key,
+                                     gpusim::ThreadCtx& ctx) {
+  // Double hashing: bit_i = h1 + i*h2 (Kirsch & Mitzenmacher).
+  const std::uint64_t h1 = hash::hash_u64(key, kBloomSeed1);
+  const std::uint64_t h2 = hash::hash_u64(key, kBloomSeed2) | 1;
+  bool all_set = true;
+  for (int i = 0; i < kHashes; ++i) {
+    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) &
+                              mask_;
+    const std::uint64_t word_mask = std::uint64_t{1} << (bit & 63);
+    std::atomic_ref<std::uint64_t> word(words_[bit >> 6]);
+    const std::uint64_t previous =
+        word.fetch_or(word_mask, std::memory_order_relaxed);
+    if ((previous & word_mask) == 0) all_set = false;
+    ctx.count_atomic();
+    ctx.count_gmem_read(sizeof(std::uint64_t));
+    ctx.count_ops(6);
+  }
+  return all_set;
+}
+
+gpusim::LaunchStats DeviceBloomFilter::test_and_insert(
+    const gpusim::DeviceBuffer<std::uint64_t>& kmers, std::size_t n,
+    gpusim::DeviceBuffer<std::uint8_t>& out_seen) {
+  DEDUKT_REQUIRE(n <= kmers.size());
+  DEDUKT_REQUIRE(n <= out_seen.size());
+  const std::uint64_t* in = kmers.data();
+  std::uint8_t* out = out_seen.data();
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=, this](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(std::uint64_t));
+    out[i] = test_and_set(in[i], ctx) ? 1 : 0;
+    ctx.count_gmem_write(1);
+  });
+}
+
+double DeviceBloomFilter::expected_fp_rate(std::uint64_t keys) const {
+  const double fill =
+      1.0 - std::exp(-static_cast<double>(kHashes) *
+                     static_cast<double>(keys) /
+                     static_cast<double>(bits()));
+  return std::pow(fill, kHashes);
+}
+
+}  // namespace dedukt::core

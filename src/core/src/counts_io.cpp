@@ -1,0 +1,142 @@
+#include "dedukt/core/counts_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw ParseError("truncated counts file (u32)");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw ParseError("truncated counts file (u64)");
+  return v;
+}
+
+void check(const CountsFile& file) {
+  DEDUKT_REQUIRE_MSG(file.k >= 1 && file.k <= kmer::kMaxPackedK,
+                     "counts file k out of range: " << file.k);
+}
+
+}  // namespace
+
+void write_counts_binary(std::ostream& out, const CountsFile& file) {
+  check(file);
+  out.write(kCountsMagic, sizeof(kCountsMagic));
+  write_u32(out, kCountsVersion);
+  write_u32(out, static_cast<std::uint32_t>(file.k));
+  write_u32(out, file.encoding == io::BaseEncoding::kStandard ? 0u : 1u);
+  write_u64(out, file.counts.size());
+  for (const auto& [key, count] : file.counts) {
+    write_u64(out, key);
+    write_u64(out, count);
+  }
+  if (!out) throw ParseError("failed writing counts stream");
+}
+
+void write_counts_binary_file(const std::string& path,
+                              const CountsFile& file) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  write_counts_binary(out, file);
+}
+
+CountsFile read_counts_binary(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCountsMagic, sizeof(magic)) != 0) {
+    throw ParseError("not a DEDUKT counts file (bad magic)");
+  }
+  const std::uint32_t version = read_u32(in);
+  if (version != kCountsVersion) {
+    throw ParseError("unsupported counts file version " +
+                     std::to_string(version));
+  }
+  CountsFile file;
+  file.k = static_cast<int>(read_u32(in));
+  const std::uint32_t encoding = read_u32(in);
+  if (encoding > 1) throw ParseError("bad encoding tag in counts file");
+  file.encoding = encoding == 0 ? io::BaseEncoding::kStandard
+                                : io::BaseEncoding::kRandomized;
+  check(file);
+  const std::uint64_t n = read_u64(in);
+  file.counts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = read_u64(in);
+    const std::uint64_t count = read_u64(in);
+    file.counts.emplace_back(key, count);
+  }
+  return file;
+}
+
+CountsFile read_counts_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open counts file: " + path);
+  return read_counts_binary(in);
+}
+
+void write_counts_tsv(std::ostream& out, const CountsFile& file) {
+  check(file);
+  for (const auto& [key, count] : file.counts) {
+    out << kmer::unpack(key, file.k, file.encoding) << '\t' << count
+        << '\n';
+  }
+  if (!out) throw ParseError("failed writing TSV counts stream");
+}
+
+void write_counts_tsv_file(const std::string& path, const CountsFile& file) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  write_counts_tsv(out, file);
+}
+
+CountsFile read_counts_tsv(std::istream& in, io::BaseEncoding encoding) {
+  CountsFile file;
+  file.encoding = encoding;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      throw ParseError("TSV counts row without tab: " + line);
+    }
+    const std::string kmer_str = line.substr(0, tab);
+    if (file.k == 0) {
+      file.k = static_cast<int>(kmer_str.size());
+      check(file);
+    } else if (kmer_str.size() != static_cast<std::size_t>(file.k)) {
+      throw ParseError("TSV counts rows have mixed k-mer lengths");
+    }
+    char* end = nullptr;
+    const std::uint64_t count =
+        std::strtoull(line.c_str() + tab + 1, &end, 10);
+    if (end == line.c_str() + tab + 1) {
+      throw ParseError("TSV counts row with bad count: " + line);
+    }
+    file.counts.emplace_back(kmer::pack(kmer_str, encoding), count);
+  }
+  return file;
+}
+
+}  // namespace dedukt::core

@@ -1,0 +1,114 @@
+// CPU baseline pipeline — Algorithm 1, the diBELLA-derived counter the
+// paper benchmarks against (§III-A, §V-A).
+#include <vector>
+
+#include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/summit.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/io/partition.hpp"
+#include "pipeline_common.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// One round of the pipeline (the whole job when it fits in memory).
+RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
+                         const PipelineConfig& config,
+                         HostHashTable& local_table) {
+  config.validate();
+  const auto parts = static_cast<std::uint32_t>(comm.size());
+  const io::BaseEncoding enc = config.encoding();
+
+  RankMetrics metrics;
+  metrics.reads = reads.size();
+  metrics.bases = reads.total_bases();
+
+  // --- PARSEKMER: extract k-mers and bucket by destination processor ---
+  std::vector<std::vector<std::uint64_t>> outgoing(parts);
+  {
+    ScopedPhase phase(metrics.measured, kPhaseParse);
+    for (const auto& read : reads.reads) {
+      for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+        kmer::for_each_kmer(fragment, config.k, enc, [&](kmer::KmerCode code) {
+          if (config.canonical) {
+            code = kmer::canonical(code, config.k, enc);
+          }
+          const std::uint32_t dest = kmer::kmer_partition(code, parts);
+          outgoing[dest].push_back(code);
+          ++metrics.kmers_parsed;
+        });
+      }
+    }
+  }
+  const double parse_modeled =
+      static_cast<double>(metrics.bases) / summit::kCpuParseBasesPerSec;
+  metrics.modeled.add(kPhaseParse, parse_modeled);
+  metrics.modeled_volume.add(kPhaseParse, parse_modeled);
+
+  // --- EXCHANGEKMER: Alltoallv of packed k-mers ---
+  mpisim::AlltoallvResult<std::uint64_t> received;
+  {
+    detail::CommCapture capture(comm);
+    {
+      ScopedPhase phase(metrics.measured, kPhaseExchange);
+      received = comm.alltoallv(outgoing);
+    }
+    metrics.bytes_sent = capture.bytes_sent();
+    metrics.bytes_received = capture.bytes_received();
+    metrics.modeled.add(kPhaseExchange, capture.modeled_seconds());
+    metrics.modeled_volume.add(kPhaseExchange,
+                               capture.modeled_volume_seconds());
+    metrics.modeled_alltoallv_seconds = capture.modeled_seconds();
+    metrics.modeled_alltoallv_volume_seconds =
+        capture.modeled_volume_seconds();
+  }
+  outgoing.clear();
+  outgoing.shrink_to_fit();
+
+  // --- COUNTKMER: build the local partition of the global hash table ---
+  {
+    ScopedPhase phase(metrics.measured, kPhaseCount);
+    for (const std::uint64_t code : received.data) {
+      local_table.add(code);
+    }
+  }
+  metrics.kmers_received = received.data.size();
+  const double count_modeled =
+      static_cast<double>(metrics.kmers_received) /
+      summit::kCpuCountKmersPerSec;
+  metrics.modeled.add(kPhaseCount, count_modeled);
+  metrics.modeled_volume.add(kPhaseCount, count_modeled);
+
+  metrics.unique_kmers = local_table.unique();
+  metrics.counted_kmers = local_table.total();
+  return metrics;
+}
+
+}  // namespace
+
+RankMetrics run_cpu_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
+                         const PipelineConfig& config,
+                         HostHashTable& local_table) {
+  config.validate();
+  const std::uint64_t rounds = detail::plan_rounds(
+      comm, reads, config.k, config.max_kmers_per_round);
+  if (rounds == 1) {
+    return run_cpu_single(comm, reads, config, local_table);
+  }
+  // §III-A multi-round processing: split this rank's reads into `rounds`
+  // base-balanced sub-batches and run the full pipeline per round, all
+  // ranks in lockstep, accumulating into the same local table.
+  const std::vector<io::ReadBatch> round_batches =
+      io::partition_by_bases(reads, static_cast<int>(rounds));
+  RankMetrics total;
+  for (const io::ReadBatch& batch : round_batches) {
+    const RankMetrics round = run_cpu_single(comm, batch, config, local_table);
+    detail::accumulate_round(total, round);
+  }
+  total.unique_kmers = local_table.unique();
+  total.counted_kmers = local_table.total();
+  return total;
+}
+
+}  // namespace dedukt::core

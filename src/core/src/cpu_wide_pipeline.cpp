@@ -1,0 +1,120 @@
+// Wide-k CPU pipeline — Algorithm 1 with two-word packed k-mers
+// (31 < k <= 63). Structurally identical to the narrow CPU baseline; the
+// wire type is the 16-byte WideKey and the hash is the 128->64 mix, so the
+// exchanged volume per k-mer doubles — exactly the regime where the
+// supermer idea would pay off even more.
+#include <vector>
+
+#include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/summit.hpp"
+#include "dedukt/io/partition.hpp"
+#include "dedukt/kmer/wide.hpp"
+#include "pipeline_common.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+RankMetrics run_cpu_wide_single(mpisim::Comm& comm,
+                                const io::ReadBatch& reads,
+                                const PipelineConfig& config,
+                                WideHostHashTable& local_table) {
+  const auto parts = static_cast<std::uint32_t>(comm.size());
+  const io::BaseEncoding enc = config.encoding();
+
+  RankMetrics metrics;
+  metrics.reads = reads.size();
+  metrics.bases = reads.total_bases();
+
+  // --- PARSEKMER ---
+  std::vector<std::vector<kmer::WideKey>> outgoing(parts);
+  {
+    ScopedPhase phase(metrics.measured, kPhaseParse);
+    for (const auto& read : reads.reads) {
+      for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+        kmer::for_each_wide_kmer(
+            fragment, config.k, enc, [&](kmer::WideCode code) {
+              if (config.canonical) {
+                code = kmer::wide_canonical(code, config.k, enc);
+              }
+              const std::uint32_t dest =
+                  kmer::wide_kmer_partition(code, parts);
+              outgoing[dest].push_back(kmer::to_key(code));
+              ++metrics.kmers_parsed;
+            });
+      }
+    }
+  }
+  const double parse_modeled =
+      static_cast<double>(metrics.bases) / summit::kCpuParseBasesPerSec;
+  metrics.modeled.add(kPhaseParse, parse_modeled);
+  metrics.modeled_volume.add(kPhaseParse, parse_modeled);
+
+  // --- EXCHANGEKMER ---
+  mpisim::AlltoallvResult<kmer::WideKey> received;
+  {
+    detail::CommCapture capture(comm);
+    {
+      ScopedPhase phase(metrics.measured, kPhaseExchange);
+      received = comm.alltoallv(outgoing);
+    }
+    metrics.bytes_sent = capture.bytes_sent();
+    metrics.bytes_received = capture.bytes_received();
+    metrics.modeled.add(kPhaseExchange, capture.modeled_seconds());
+    metrics.modeled_volume.add(kPhaseExchange,
+                               capture.modeled_volume_seconds());
+    metrics.modeled_alltoallv_seconds = capture.modeled_seconds();
+    metrics.modeled_alltoallv_volume_seconds =
+        capture.modeled_volume_seconds();
+  }
+  outgoing.clear();
+  outgoing.shrink_to_fit();
+
+  // --- COUNTKMER ---
+  {
+    ScopedPhase phase(metrics.measured, kPhaseCount);
+    for (const kmer::WideKey& key : received.data) {
+      local_table.add(key);
+    }
+  }
+  metrics.kmers_received = received.data.size();
+  const double count_modeled =
+      static_cast<double>(metrics.kmers_received) /
+      summit::kCpuCountKmersPerSec;
+  metrics.modeled.add(kPhaseCount, count_modeled);
+  metrics.modeled_volume.add(kPhaseCount, count_modeled);
+
+  metrics.unique_kmers = local_table.unique();
+  metrics.counted_kmers = local_table.total();
+  return metrics;
+}
+
+}  // namespace
+
+RankMetrics run_cpu_wide_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
+                              const PipelineConfig& config,
+                              WideHostHashTable& local_table) {
+  DEDUKT_REQUIRE_MSG(config.k > kmer::kMaxPackedK &&
+                         config.k <= kmer::kMaxWideK,
+                     "wide pipeline handles 31 < k <= 63, got k="
+                         << config.k);
+  DEDUKT_REQUIRE_MSG(config.kind == PipelineKind::kCpu,
+                     "wide-k counting is CPU-pipeline only");
+  const std::uint64_t rounds = detail::plan_rounds(
+      comm, reads, config.k, config.max_kmers_per_round);
+  if (rounds == 1) {
+    return run_cpu_wide_single(comm, reads, config, local_table);
+  }
+  const std::vector<io::ReadBatch> round_batches =
+      io::partition_by_bases(reads, static_cast<int>(rounds));
+  RankMetrics total;
+  for (const io::ReadBatch& batch : round_batches) {
+    detail::accumulate_round(
+        total, run_cpu_wide_single(comm, batch, config, local_table));
+  }
+  total.unique_kmers = local_table.unique();
+  total.counted_kmers = local_table.total();
+  return total;
+}
+
+}  // namespace dedukt::core

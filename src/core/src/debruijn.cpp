@@ -1,0 +1,144 @@
+#include "dedukt/core/debruijn.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+DeBruijnGraph::DeBruijnGraph(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts,
+    int k, io::BaseEncoding encoding)
+    : table_(counts.size()), k_(k), encoding_(encoding) {
+  DEDUKT_REQUIRE_MSG(k >= 2 && k <= kmer::kMaxPackedK,
+                     "de Bruijn graph needs 2 <= k <= 31");
+  for (const auto& [code, count] : counts) {
+    DEDUKT_REQUIRE_MSG(count > 0, "zero-count k-mer in graph input");
+    table_.add(code, count);
+  }
+}
+
+std::vector<kmer::KmerCode> DeBruijnGraph::successors(
+    kmer::KmerCode code) const {
+  std::vector<kmer::KmerCode> out;
+  const kmer::KmerCode mask = kmer::code_mask(k_);
+  for (io::BaseCode base = 0; base < 4; ++base) {
+    const kmer::KmerCode candidate = kmer::append_base(code, base) & mask;
+    if (contains(candidate)) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<kmer::KmerCode> DeBruijnGraph::predecessors(
+    kmer::KmerCode code) const {
+  std::vector<kmer::KmerCode> out;
+  const kmer::KmerCode suffix = code >> 2;  // drop the last base
+  for (kmer::KmerCode base = 0; base < 4; ++base) {
+    const kmer::KmerCode candidate =
+        (base << (2 * (k_ - 1))) | suffix;
+    if (contains(candidate)) out.push_back(candidate);
+  }
+  return out;
+}
+
+bool DeBruijnGraph::chain_continues_into(kmer::KmerCode node) const {
+  const auto preds = predecessors(node);
+  if (preds.size() != 1) return false;
+  return out_degree(preds[0]) == 1;
+}
+
+std::vector<Unitig> DeBruijnGraph::unitigs() const {
+  std::vector<Unitig> out;
+  std::unordered_set<std::uint64_t> visited;
+  visited.reserve(table_.unique());
+
+  auto walk = [&](kmer::KmerCode start, bool cycle) {
+    Unitig unitig;
+    unitig.first = start;
+    double coverage_sum = 0;
+    kmer::KmerCode current = start;
+    while (true) {
+      visited.insert(current);
+      ++unitig.kmers;
+      coverage_sum += static_cast<double>(table_.count(current));
+      const auto next = successors(current);
+      if (next.size() != 1) break;                    // branch or dead end
+      if (!cycle && !chain_continues_into(next[0])) break;  // junction ahead
+      if (visited.count(next[0])) break;              // closed the loop
+      current = next[0];
+    }
+    unitig.bases = unitig.kmers + static_cast<std::uint64_t>(k_) - 1;
+    unitig.mean_coverage =
+        coverage_sum / static_cast<double>(unitig.kmers);
+    out.push_back(unitig);
+  };
+
+  // Pass 1: walk from every unitig start (nodes where a chain cannot
+  // continue through from a unique linear predecessor).
+  table_.for_each([&](kmer::KmerCode code, std::uint64_t) {
+    if (!visited.count(code) && !chain_continues_into(code)) {
+      walk(code, /*cycle=*/false);
+    }
+  });
+  // Pass 2: anything left is on a pure cycle of linear nodes.
+  table_.for_each([&](kmer::KmerCode code, std::uint64_t) {
+    if (!visited.count(code)) walk(code, /*cycle=*/true);
+  });
+  return out;
+}
+
+GraphStats DeBruijnGraph::stats() const {
+  GraphStats stats;
+  stats.nodes = table_.unique();
+  table_.for_each([&](kmer::KmerCode code, std::uint64_t) {
+    const int out = out_degree(code);
+    const int in = in_degree(code);
+    stats.edges += static_cast<std::uint64_t>(out);
+    if (in == 0 && out == 0) {
+      ++stats.isolated;
+    } else if (in == 0 || out == 0) {
+      ++stats.tips;
+    }
+    if (in > 1 || out > 1) ++stats.junctions;
+  });
+
+  std::vector<std::uint64_t> lengths;
+  for (const Unitig& unitig : unitigs()) {
+    ++stats.unitigs;
+    stats.unitig_bases += unitig.bases;
+    stats.longest_unitig_bases =
+        std::max(stats.longest_unitig_bases, unitig.bases);
+    lengths.push_back(unitig.bases);
+  }
+  std::sort(lengths.rbegin(), lengths.rend());
+  std::uint64_t running = 0;
+  for (const std::uint64_t length : lengths) {
+    running += length;
+    if (running * 2 >= stats.unitig_bases) {
+      stats.n50_bases = length;
+      break;
+    }
+  }
+  return stats;
+}
+
+std::string DeBruijnGraph::unitig_sequence(kmer::KmerCode first) const {
+  DEDUKT_REQUIRE_MSG(contains(first), "unitig start is not a graph node");
+  std::string sequence = kmer::unpack(first, k_, encoding_);
+  std::unordered_set<std::uint64_t> seen = {first};
+  kmer::KmerCode current = first;
+  while (true) {
+    const auto next = successors(current);
+    if (next.size() != 1) break;
+    if (!chain_continues_into(next[0])) break;
+    if (seen.count(next[0])) break;
+    current = next[0];
+    seen.insert(current);
+    sequence.push_back(
+        io::decode_base(static_cast<io::BaseCode>(current & 3), encoding_));
+  }
+  return sequence;
+}
+
+}  // namespace dedukt::core

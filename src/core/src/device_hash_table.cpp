@@ -1,0 +1,302 @@
+#include "dedukt/core/device_hash_table.hpp"
+
+#include <atomic>
+#include <bit>
+
+#include "dedukt/core/bloom_filter.hpp"
+#include "dedukt/hash/murmur3.hpp"
+#include "dedukt/kmer/supermer.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// One probe sequence: claim-or-increment with device atomics. The thread
+/// that claims the slot adds `claim_add`; later hits add `hit_add` (both 1
+/// for plain counting; the Bloom-filtered path claims with 2 to compensate
+/// for the absorbed first occurrence). Returns the number of probes (for
+/// traffic accounting). Throws if the table is full.
+std::size_t insert_with_atomics(std::uint64_t* keys, std::uint32_t* counts,
+                                std::size_t mask, std::uint64_t key,
+                                std::uint32_t claim_add = 1,
+                                std::uint32_t hit_add = 1) {
+  DEDUKT_CHECK_MSG(key != kmer::kInvalidCode,
+                   "all-ones key is the empty-slot sentinel");
+  std::size_t slot = hash::hash_u64(key, DeviceHashTable::kProbeSeed) & mask;
+  for (std::size_t probes = 1; probes <= mask + 1; ++probes) {
+    std::atomic_ref<std::uint64_t> key_ref(keys[slot]);
+    std::uint64_t expected = kmer::kInvalidCode;
+    // atomicCAS(keys + slot, EMPTY, key): claims an empty slot, or tells us
+    // who owns it.
+    const bool claimed = key_ref.compare_exchange_strong(
+        expected, key, std::memory_order_relaxed);
+    if (claimed || expected == key) {
+      std::atomic_ref<std::uint32_t> count_ref(counts[slot]);
+      count_ref.fetch_add(claimed ? claim_add : hit_add,
+                          std::memory_order_relaxed);  // atomicAdd
+      return probes;
+    }
+    slot = (slot + 1) & mask;  // linear probing (§III-B3)
+  }
+  throw SimulationError("device hash table full");
+}
+
+}  // namespace
+
+gpusim::LaunchStats DeviceHashTable::accumulate_pairs(
+    const gpusim::DeviceBuffer<std::uint64_t>& keys_in,
+    const gpusim::DeviceBuffer<std::uint32_t>& key_counts, std::size_t n) {
+  DEDUKT_REQUIRE(n <= keys_in.size());
+  DEDUKT_REQUIRE(n <= key_counts.size());
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const std::uint64_t* in_keys = keys_in.data();
+  const std::uint32_t* in_counts = key_counts.data();
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(std::uint64_t) + sizeof(std::uint32_t));
+    const std::size_t probes =
+        insert_with_atomics(keys, counts, mask, in_keys[i],
+                            /*claim_add=*/in_counts[i],
+                            /*hit_add=*/in_counts[i]);
+    ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+    ctx.count_atomic(2);
+    ctx.count_ops(10 + probes * 4);
+  });
+}
+
+namespace {
+
+}  // namespace
+
+DeviceHashTable::DeviceHashTable(gpusim::Device& device,
+                                 std::size_t expected_keys, double headroom)
+    : device_(&device) {
+  DEDUKT_REQUIRE(headroom >= 1.0);
+  const auto want = static_cast<std::size_t>(
+      static_cast<double>(std::max<std::size_t>(expected_keys, 8)) *
+      headroom);
+  const std::size_t capacity = std::bit_ceil(want);
+  keys_ = device.alloc<std::uint64_t>(capacity, kmer::kInvalidCode);
+  counts_ = device.alloc<std::uint32_t>(capacity, 0u);
+  mask_ = capacity - 1;
+}
+
+gpusim::LaunchStats DeviceHashTable::count_kmers(
+    const gpusim::DeviceBuffer<std::uint64_t>& kmers, std::size_t n) {
+  DEDUKT_REQUIRE(n <= kmers.size());
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const std::uint64_t* in = kmers.data();
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(std::uint64_t));  // load the k-mer
+    const std::size_t probes = insert_with_atomics(keys, counts, mask, in[i]);
+    // Each probe reads a key slot; the terminal probe does CAS + add.
+    ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+    ctx.count_atomic(2);
+    ctx.count_ops(10 + probes * 4);
+  });
+}
+
+gpusim::LaunchStats DeviceHashTable::count_supermers(
+    const gpusim::DeviceBuffer<std::uint64_t>& supermers,
+    const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n,
+    int k) {
+  DEDUKT_REQUIRE(n <= supermers.size());
+  DEDUKT_REQUIRE(n <= lengths.size());
+  DEDUKT_REQUIRE(k >= 2 && k <= kmer::kMaxPackedK);
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const std::uint64_t* smers = supermers.data();
+  const std::uint8_t* lens = lengths.data();
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(std::uint64_t) + sizeof(std::uint8_t));
+    const kmer::PackedSupermer smer{smers[i], lens[i]};
+    kmer::for_each_kmer_in_supermer(smer, k, [&](kmer::KmerCode code) {
+      ctx.count_ops(6);  // shift+mask extraction (§IV-B)
+      const std::size_t probes =
+          insert_with_atomics(keys, counts, mask, code);
+      ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+      ctx.count_atomic(2);
+      ctx.count_ops(10 + probes * 4);
+    });
+  });
+}
+
+gpusim::LaunchStats DeviceHashTable::count_kmers_filtered(
+    const gpusim::DeviceBuffer<std::uint64_t>& kmers, std::size_t n,
+    DeviceBloomFilter& bloom) {
+  DEDUKT_REQUIRE(n <= kmers.size());
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const std::uint64_t* in = kmers.data();
+  DeviceBloomFilter* filter = &bloom;
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(std::uint64_t));
+    if (!filter->test_and_set(in[i], ctx)) return;  // 1st occurrence absorbed
+    const std::size_t probes =
+        insert_with_atomics(keys, counts, mask, in[i], /*claim_add=*/2,
+                            /*hit_add=*/1);
+    ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+    ctx.count_atomic(2);
+    ctx.count_ops(10 + probes * 4);
+  });
+}
+
+gpusim::LaunchStats DeviceHashTable::count_supermers_filtered(
+    const gpusim::DeviceBuffer<std::uint64_t>& supermers,
+    const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n, int k,
+    DeviceBloomFilter& bloom) {
+  DEDUKT_REQUIRE(n <= supermers.size());
+  DEDUKT_REQUIRE(n <= lengths.size());
+  DEDUKT_REQUIRE(k >= 2 && k <= kmer::kMaxPackedK);
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const std::uint64_t* smers = supermers.data();
+  const std::uint8_t* lens = lengths.data();
+  DeviceBloomFilter* filter = &bloom;
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(std::uint64_t) + sizeof(std::uint8_t));
+    const kmer::PackedSupermer smer{smers[i], lens[i]};
+    kmer::for_each_kmer_in_supermer(smer, k, [&](kmer::KmerCode code) {
+      ctx.count_ops(6);
+      if (!filter->test_and_set(code, ctx)) return;
+      const std::size_t probes =
+          insert_with_atomics(keys, counts, mask, code, /*claim_add=*/2,
+                              /*hit_add=*/1);
+      ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+      ctx.count_atomic(2);
+      ctx.count_ops(10 + probes * 4);
+    });
+  });
+}
+
+gpusim::LaunchStats DeviceHashTable::count_wide_supermers(
+    const gpusim::DeviceBuffer<kmer::WideKey>& supermers,
+    const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n,
+    int k) {
+  DEDUKT_REQUIRE(n <= supermers.size());
+  DEDUKT_REQUIRE(n <= lengths.size());
+  DEDUKT_REQUIRE(k >= 2 && k <= kmer::kMaxPackedK);
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const kmer::WideKey* smers = supermers.data();
+  const std::uint8_t* lens = lengths.data();
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(kmer::WideKey) + sizeof(std::uint8_t));
+    const kmer::PackedWideSupermer smer{smers[i], lens[i]};
+    kmer::for_each_kmer_in_wide_supermer(smer, k, [&](kmer::KmerCode code) {
+      ctx.count_ops(8);  // two-word shift+mask extraction
+      const std::size_t probes =
+          insert_with_atomics(keys, counts, mask, code);
+      ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+      ctx.count_atomic(2);
+      ctx.count_ops(10 + probes * 4);
+    });
+  });
+}
+
+gpusim::LaunchStats DeviceHashTable::count_wide_supermers_filtered(
+    const gpusim::DeviceBuffer<kmer::WideKey>& supermers,
+    const gpusim::DeviceBuffer<std::uint8_t>& lengths, std::size_t n, int k,
+    DeviceBloomFilter& bloom) {
+  DEDUKT_REQUIRE(n <= supermers.size());
+  DEDUKT_REQUIRE(n <= lengths.size());
+  DEDUKT_REQUIRE(k >= 2 && k <= kmer::kMaxPackedK);
+  auto* keys = keys_.data();
+  auto* counts = counts_.data();
+  const std::size_t mask = mask_;
+  const kmer::WideKey* smers = supermers.data();
+  const std::uint8_t* lens = lengths.data();
+  DeviceBloomFilter* filter = &bloom;
+
+  const auto shape = device_->shape_for(n);
+  return device_->launch(shape.grid_dim, shape.block_dim,
+                         [=](gpusim::ThreadCtx& ctx) {
+    const std::uint64_t i = ctx.global_id();
+    if (i >= n) return;
+    ctx.count_gmem_read(sizeof(kmer::WideKey) + sizeof(std::uint8_t));
+    const kmer::PackedWideSupermer smer{smers[i], lens[i]};
+    kmer::for_each_kmer_in_wide_supermer(smer, k, [&](kmer::KmerCode code) {
+      ctx.count_ops(8);
+      if (!filter->test_and_set(code, ctx)) return;
+      const std::size_t probes =
+          insert_with_atomics(keys, counts, mask, code, /*claim_add=*/2,
+                              /*hit_add=*/1);
+      ctx.count_gmem_read(probes * sizeof(std::uint64_t));
+      ctx.count_atomic(2);
+      ctx.count_ops(10 + probes * 4);
+    });
+  });
+}
+
+std::size_t DeviceHashTable::unique() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] != kmer::kInvalidCode) ++n;
+  }
+  return n;
+}
+
+std::uint64_t DeviceHashTable::total() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) n += counts_[i];
+  return n;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint32_t>>
+DeviceHashTable::to_host() {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  out.reserve(unique());
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i] != kmer::kInvalidCode) out.emplace_back(keys_[i], counts_[i]);
+  }
+  // Price the extraction as a D2H transfer of the occupied (key, count)
+  // pairs — 12 bytes per entry.
+  if (!out.empty()) {
+    const std::size_t bytes = out.size() * 12;
+    std::vector<std::uint8_t> scratch(bytes);
+    auto tmp = device_->alloc<std::uint8_t>(bytes);
+    device_->copy_to_host(tmp, std::span<std::uint8_t>(scratch));
+    device_->free(tmp);
+  }
+  return out;
+}
+
+}  // namespace dedukt::core

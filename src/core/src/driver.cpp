@@ -1,0 +1,206 @@
+#include "dedukt/core/driver.hpp"
+
+#include <algorithm>
+
+#include "dedukt/core/pipeline.hpp"
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/io/partition.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/kmer/wide.hpp"
+#include "dedukt/mpisim/runtime.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// Wire format for gathering per-rank table entries to rank 0.
+struct KmerCount {
+  std::uint64_t key;
+  std::uint64_t count;
+};
+static_assert(std::is_trivially_copyable_v<KmerCount>);
+
+}  // namespace
+
+CountResult run_distributed_count(const io::ReadBatch& reads,
+                                  const DriverOptions& options) {
+  options.pipeline.validate();
+  DEDUKT_REQUIRE(options.nranks >= 1);
+
+  const std::vector<io::ReadBatch> batches =
+      io::partition_by_bases(reads, options.nranks);
+
+  const mpisim::NetworkModel network =
+      options.summit_network
+          ? summit::network(options.effective_ranks_per_node())
+          : mpisim::NetworkModel::local();
+  mpisim::Runtime runtime(options.nranks, network);
+
+  CountResult result;
+  result.config = options.pipeline;
+  result.nranks = options.nranks;
+  result.ranks.resize(static_cast<std::size_t>(options.nranks));
+
+  // Written only by rank 0 inside the run; read after the run returns.
+  std::vector<std::vector<KmerCount>> gathered;
+
+  runtime.run([&](mpisim::Comm& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    const io::ReadBatch& mine = batches[rank];
+
+    HostHashTable table;
+    RankMetrics metrics;
+    switch (options.pipeline.kind) {
+      case PipelineKind::kCpu:
+        metrics = run_cpu_rank(comm, mine, options.pipeline, table);
+        break;
+      case PipelineKind::kGpuKmer: {
+        gpusim::Device device(options.device);
+        metrics =
+            run_gpu_kmer_rank(comm, device, mine, options.pipeline, table);
+        break;
+      }
+      case PipelineKind::kGpuSupermer: {
+        gpusim::Device device(options.device);
+        metrics = run_gpu_supermer_rank(comm, device, mine, options.pipeline,
+                                        table);
+        break;
+      }
+    }
+    result.ranks[rank] = metrics;
+
+    if (options.collect_counts) {
+      std::vector<KmerCount> entries;
+      entries.reserve(table.unique());
+      table.for_each([&](std::uint64_t key, std::uint64_t count) {
+        entries.push_back({key, count});
+      });
+      auto all = comm.gatherv(entries, /*root=*/0);
+      if (comm.rank() == 0) gathered = std::move(all);
+    }
+  });
+
+  if (options.collect_counts) {
+    std::size_t total = 0;
+    for (const auto& part : gathered) total += part.size();
+    result.global_counts.reserve(total);
+    for (const auto& part : gathered) {
+      for (const auto& entry : part) {
+        result.global_counts.emplace_back(entry.key, entry.count);
+      }
+    }
+    std::sort(result.global_counts.begin(), result.global_counts.end());
+    // Partitioning normally sends every occurrence of a k-mer to one rank,
+    // so keys are disjoint across parts — but be robust and sum duplicates
+    // (e.g. if a future routing scheme relaxes the guarantee).
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < result.global_counts.size(); ++read) {
+      if (write > 0 &&
+          result.global_counts[write - 1].first ==
+              result.global_counts[read].first) {
+        result.global_counts[write - 1].second +=
+            result.global_counts[read].second;
+      } else {
+        result.global_counts[write++] = result.global_counts[read];
+      }
+    }
+    result.global_counts.resize(write);
+  }
+  return result;
+}
+
+HostHashTable reference_count(const io::ReadBatch& reads,
+                              const PipelineConfig& config) {
+  const io::BaseEncoding enc = config.encoding();
+  HostHashTable table(reads.total_kmers(config.k));
+  for (const auto& read : reads.reads) {
+    for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+      kmer::for_each_kmer(fragment, config.k, enc, [&](kmer::KmerCode code) {
+        if (config.canonical) code = kmer::canonical(code, config.k, enc);
+        table.add(code);
+      });
+    }
+  }
+  return table;
+}
+
+namespace {
+
+/// Wire format for gathering wide per-rank table entries to rank 0.
+struct WideKmerCount {
+  kmer::WideKey key;
+  std::uint64_t count;
+};
+static_assert(std::is_trivially_copyable_v<WideKmerCount>);
+
+}  // namespace
+
+WideCountResult run_distributed_count_wide(const io::ReadBatch& reads,
+                                           const DriverOptions& options) {
+  options.pipeline.validate();
+  DEDUKT_REQUIRE_MSG(options.pipeline.kind == PipelineKind::kCpu,
+                     "wide-k counting runs on the CPU pipeline");
+  DEDUKT_REQUIRE(options.nranks >= 1);
+
+  const std::vector<io::ReadBatch> batches =
+      io::partition_by_bases(reads, options.nranks);
+  const mpisim::NetworkModel network =
+      options.summit_network
+          ? summit::network(options.effective_ranks_per_node())
+          : mpisim::NetworkModel::local();
+  mpisim::Runtime runtime(options.nranks, network);
+
+  WideCountResult result;
+  result.base.config = options.pipeline;
+  result.base.nranks = options.nranks;
+  result.base.ranks.resize(static_cast<std::size_t>(options.nranks));
+
+  std::vector<std::vector<WideKmerCount>> gathered;
+  runtime.run([&](mpisim::Comm& comm) {
+    const auto rank = static_cast<std::size_t>(comm.rank());
+    WideHostHashTable table;
+    result.base.ranks[rank] =
+        run_cpu_wide_rank(comm, batches[rank], options.pipeline, table);
+
+    if (options.collect_counts) {
+      std::vector<WideKmerCount> entries;
+      entries.reserve(table.unique());
+      table.for_each([&](const kmer::WideKey& key, std::uint64_t count) {
+        entries.push_back({key, count});
+      });
+      auto all = comm.gatherv(entries, /*root=*/0);
+      if (comm.rank() == 0) gathered = std::move(all);
+    }
+  });
+
+  if (options.collect_counts) {
+    for (const auto& part : gathered) {
+      for (const auto& entry : part) {
+        result.global_counts.emplace_back(entry.key, entry.count);
+      }
+    }
+    std::sort(result.global_counts.begin(), result.global_counts.end());
+  }
+  return result;
+}
+
+WideHostHashTable reference_count_wide(const io::ReadBatch& reads,
+                                       const PipelineConfig& config) {
+  const io::BaseEncoding enc = config.encoding();
+  WideHostHashTable table(reads.total_kmers(config.k));
+  for (const auto& read : reads.reads) {
+    for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+      kmer::for_each_wide_kmer(
+          fragment, config.k, enc, [&](kmer::WideCode code) {
+            if (config.canonical) {
+              code = kmer::wide_canonical(code, config.k, enc);
+            }
+            table.add(kmer::to_key(code));
+          });
+    }
+  }
+  return table;
+}
+
+}  // namespace dedukt::core

@@ -1,0 +1,317 @@
+// GPU pipeline with k-mers on the wire (§III-B).
+//
+// parse & process: reads concatenated and copied to the device; one thread
+// per base position parses and routes k-mers (two-phase outgoing-buffer
+// population). exchange: staged through the CPU (D2H -> MPI_Alltoallv ->
+// H2D) or GPUDirect. count: open-addressing device hash table with atomic
+// CAS/add.
+#include <algorithm>
+#include <vector>
+
+#include "dedukt/core/bloom_filter.hpp"
+#include "dedukt/core/device_hash_table.hpp"
+#include "dedukt/core/kernels.hpp"
+#include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/summit.hpp"
+#include "dedukt/io/partition.hpp"
+#include "pipeline_common.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// One round of the pipeline (the whole job when it fits in memory).
+RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
+                              const io::ReadBatch& reads,
+                              const PipelineConfig& config,
+                              HostHashTable& local_table) {
+  config.validate();
+  const auto parts = static_cast<std::uint32_t>(comm.size());
+  const io::BaseEncoding enc = config.encoding();
+  const bool staged = config.exchange == ExchangeMode::kStaged;
+
+  RankMetrics metrics;
+  metrics.reads = reads.size();
+  metrics.bases = reads.total_bases();
+
+  // --- parse & process k-mers on the device ---
+  std::vector<std::uint32_t> counts(parts);
+  std::vector<std::uint64_t> offsets;
+  gpusim::DeviceBuffer<std::uint64_t> d_out;
+  std::uint64_t total = 0;
+  {
+    ScopedPhase phase(metrics.measured, kPhaseParse);
+    detail::DeviceCapture device_capture(device);
+
+    kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
+                                                                 config.k);
+    auto d_bases = device.alloc<char>(staging.bases.size());
+    device.copy_to_device<char>(staging.bases, d_bases);
+
+    auto d_counts = device.alloc<std::uint32_t>(parts, 0u);
+    kernels::parse_count_kmers(device, d_bases, staging.bases.size(),
+                               config.k, enc, parts, d_counts);
+    device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
+
+    total = detail::exclusive_prefix(counts, offsets);
+    DEDUKT_CHECK_MSG(total == staging.total_kmers,
+                     "parse kernel lost k-mers: " << total << " vs "
+                                                  << staging.total_kmers);
+
+    auto d_offsets = device.alloc<std::uint64_t>(parts);
+    device.copy_to_device<std::uint64_t>(offsets, d_offsets);
+    auto d_cursors = device.alloc<std::uint32_t>(parts, 0u);
+    d_out = device.alloc<std::uint64_t>(
+        std::max<std::uint64_t>(total, 1));
+    kernels::parse_fill_kmers(device, d_bases, staging.bases.size(),
+                              config.k, enc, parts, d_offsets, d_cursors,
+                              d_out);
+
+    device.free(d_bases);
+    device.free(d_counts);
+    device.free(d_offsets);
+    device.free(d_cursors);
+
+    metrics.kmers_parsed = total;
+    const double parse_modeled =
+        std::max(device_capture.modeled_seconds(),
+                 static_cast<double>(total) / summit::kGpuParseKmersPerSec);
+    metrics.modeled.add(kPhaseParse,
+                        parse_modeled + summit::kGpuParseOverheadSec);
+    metrics.modeled_volume.add(
+        kPhaseParse,
+        std::max(device_capture.modeled_volume_seconds(),
+                 static_cast<double>(total) / summit::kGpuParseKmersPerSec));
+  }
+
+  // --- source-side consolidation (footnote 1, after Georganas) ---
+  // Count locally first and ship (k-mer, count) pairs. Exchanged volume
+  // becomes 12 bytes per locally-distinct k-mer instead of 8 bytes per
+  // occurrence — a win only when the per-rank duplicate multiplicity
+  // exceeds 1.5x, i.e. at small rank counts. See
+  // bench_ablation_consolidation for the crossover.
+  if (config.source_consolidation) {
+    std::vector<std::vector<std::uint64_t>> out_keys(parts);
+    std::vector<std::vector<std::uint32_t>> out_key_counts(parts);
+    {
+      ScopedPhase phase(metrics.measured, kPhaseParse);
+      detail::DeviceCapture device_capture(device);
+
+      DeviceHashTable local(device, total, config.table_headroom);
+      local.count_kmers(d_out, total);
+      device.free(d_out);
+      for (const auto& [key, count] : local.to_host()) {
+        const std::uint32_t dest = kmer::kmer_partition(key, parts);
+        out_keys[dest].push_back(key);
+        out_key_counts[dest].push_back(count);
+      }
+      const double consolidate_modeled =
+          std::max(device_capture.modeled_seconds(),
+                   static_cast<double>(total) / summit::kGpuCountKmersPerSec);
+      metrics.modeled.add(kPhaseParse, consolidate_modeled);
+      metrics.modeled_volume.add(
+          kPhaseParse,
+          std::max(device_capture.modeled_volume_seconds(),
+                   static_cast<double>(total) /
+                       summit::kGpuCountKmersPerSec));
+    }
+
+    mpisim::AlltoallvResult<std::uint64_t> recv_keys;
+    mpisim::AlltoallvResult<std::uint32_t> recv_key_counts;
+    gpusim::DeviceBuffer<std::uint64_t> d_recv_keys;
+    gpusim::DeviceBuffer<std::uint32_t> d_recv_key_counts;
+    {
+      ScopedPhase phase(metrics.measured, kPhaseExchange);
+      detail::DeviceCapture device_capture(device);
+      detail::CommCapture comm_capture(comm);
+
+      recv_keys = comm.alltoallv(out_keys);
+      recv_key_counts = comm.alltoallv(out_key_counts);
+      DEDUKT_CHECK(recv_keys.data.size() == recv_key_counts.data.size());
+
+      d_recv_keys = device.alloc<std::uint64_t>(
+          std::max<std::size_t>(recv_keys.data.size(), 1));
+      d_recv_key_counts = device.alloc<std::uint32_t>(
+          std::max<std::size_t>(recv_key_counts.data.size(), 1));
+      if (staged) {
+        device.copy_to_device<std::uint64_t>(recv_keys.data, d_recv_keys);
+        device.copy_to_device<std::uint32_t>(recv_key_counts.data,
+                                             d_recv_key_counts);
+      } else {
+        std::copy(recv_keys.data.begin(), recv_keys.data.end(),
+                  d_recv_keys.data());
+        std::copy(recv_key_counts.data.begin(), recv_key_counts.data.end(),
+                  d_recv_key_counts.data());
+      }
+      metrics.bytes_sent = comm_capture.bytes_sent();
+      metrics.bytes_received = comm_capture.bytes_received();
+      const double staging =
+          staged ? device_capture.modeled_seconds() : 0.0;
+      const double staging_volume =
+          staged ? device_capture.modeled_volume_seconds() : 0.0;
+      metrics.modeled.add(kPhaseExchange,
+                          comm_capture.modeled_seconds() + staging +
+                              summit::kGpuExchangeOverheadSec);
+      metrics.modeled_volume.add(
+          kPhaseExchange,
+          comm_capture.modeled_volume_seconds() + staging_volume);
+      metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
+      metrics.modeled_alltoallv_volume_seconds =
+          comm_capture.modeled_volume_seconds();
+    }
+
+    {
+      ScopedPhase phase(metrics.measured, kPhaseCount);
+      detail::DeviceCapture device_capture(device);
+
+      std::uint64_t kmers_to_count = 0;
+      for (const std::uint32_t count : recv_key_counts.data) {
+        kmers_to_count += count;
+      }
+      DeviceHashTable table(device, recv_keys.data.size(),
+                            config.table_headroom);
+      table.accumulate_pairs(d_recv_keys, d_recv_key_counts,
+                             recv_keys.data.size());
+      device.free(d_recv_keys);
+      device.free(d_recv_key_counts);
+
+      for (const auto& [key, count] : table.to_host()) {
+        local_table.add(key, count);
+      }
+      metrics.kmers_received = kmers_to_count;
+      // Accumulation touches one pair per locally-distinct k-mer.
+      const double count_modeled = std::max(
+          device_capture.modeled_seconds(),
+          static_cast<double>(recv_keys.data.size()) /
+              summit::kGpuCountKmersPerSec);
+      metrics.modeled.add(kPhaseCount,
+                          count_modeled + summit::kGpuCountOverheadSec);
+      metrics.modeled_volume.add(
+          kPhaseCount,
+          std::max(device_capture.modeled_volume_seconds(),
+                   static_cast<double>(recv_keys.data.size()) /
+                       summit::kGpuCountKmersPerSec));
+    }
+    metrics.unique_kmers = local_table.unique();
+    metrics.counted_kmers = local_table.total();
+    return metrics;
+  }
+
+  // --- exchange ---
+  mpisim::AlltoallvResult<std::uint64_t> received;
+  gpusim::DeviceBuffer<std::uint64_t> d_recv;
+  {
+    ScopedPhase phase(metrics.measured, kPhaseExchange);
+    detail::DeviceCapture device_capture(device);
+    detail::CommCapture comm_capture(comm);
+
+    // Outgoing buffer leaves the device: priced D2H when staged, free of
+    // host-link cost under GPUDirect.
+    std::vector<std::uint64_t> host_out(total);
+    if (staged) {
+      device.copy_to_host(d_out, std::span<std::uint64_t>(host_out));
+    } else {
+      std::copy(d_out.data(), d_out.data() + total, host_out.begin());
+    }
+    device.free(d_out);
+
+    std::vector<std::vector<std::uint64_t>> outgoing(parts);
+    for (std::uint32_t dest = 0; dest < parts; ++dest) {
+      outgoing[dest].assign(host_out.begin() + offsets[dest],
+                            host_out.begin() + offsets[dest] + counts[dest]);
+    }
+    host_out.clear();
+    host_out.shrink_to_fit();
+
+    received = comm.alltoallv(outgoing);
+
+    d_recv = device.alloc<std::uint64_t>(
+        std::max<std::size_t>(received.data.size(), 1));
+    if (staged) {
+      device.copy_to_device<std::uint64_t>(received.data, d_recv);
+    } else {
+      std::copy(received.data.begin(), received.data.end(), d_recv.data());
+    }
+
+    metrics.bytes_sent = comm_capture.bytes_sent();
+    metrics.bytes_received = comm_capture.bytes_received();
+    const double staging =
+        staged ? device_capture.modeled_seconds() : 0.0;
+    const double staging_volume =
+        staged ? device_capture.modeled_volume_seconds() : 0.0;
+    metrics.modeled.add(kPhaseExchange,
+                        comm_capture.modeled_seconds() + staging +
+                            summit::kGpuExchangeOverheadSec);
+    metrics.modeled_volume.add(
+        kPhaseExchange,
+        comm_capture.modeled_volume_seconds() + staging_volume);
+    metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
+    metrics.modeled_alltoallv_volume_seconds =
+        comm_capture.modeled_volume_seconds();
+  }
+
+  // --- build the k-mer counter on the device ---
+  {
+    ScopedPhase phase(metrics.measured, kPhaseCount);
+    detail::DeviceCapture device_capture(device);
+
+    DeviceHashTable table(device, received.data.size(),
+                          config.table_headroom);
+    if (config.filter_singletons) {
+      DeviceBloomFilter bloom(device, received.data.size());
+      table.count_kmers_filtered(d_recv, received.data.size(), bloom);
+    } else {
+      table.count_kmers(d_recv, received.data.size());
+    }
+    device.free(d_recv);
+
+    for (const auto& [key, count] : table.to_host()) {
+      local_table.add(key, count);
+    }
+    metrics.kmers_received = received.data.size();
+    const double count_modeled =
+        std::max(device_capture.modeled_seconds(),
+                 static_cast<double>(metrics.kmers_received) /
+                     summit::kGpuCountKmersPerSec);
+    const double count_volume =
+        std::max(device_capture.modeled_volume_seconds(),
+                 static_cast<double>(metrics.kmers_received) /
+                     summit::kGpuCountKmersPerSec);
+    metrics.modeled.add(kPhaseCount,
+                        count_modeled + summit::kGpuCountOverheadSec);
+    metrics.modeled_volume.add(kPhaseCount, count_volume);
+  }
+
+  metrics.unique_kmers = local_table.unique();
+  metrics.counted_kmers = local_table.total();
+  return metrics;
+}
+
+}  // namespace
+
+RankMetrics run_gpu_kmer_rank(mpisim::Comm& comm, gpusim::Device& device,
+                              const io::ReadBatch& reads,
+                              const PipelineConfig& config,
+                              HostHashTable& local_table) {
+  config.validate();
+  const std::uint64_t rounds = detail::plan_rounds(
+      comm, reads, config.k, config.max_kmers_per_round);
+  if (rounds == 1) {
+    return run_gpu_kmer_single(comm, device, reads, config, local_table);
+  }
+  // §III-A multi-round processing: split this rank's reads into `rounds`
+  // base-balanced sub-batches and run the full pipeline per round, all
+  // ranks in lockstep, accumulating into the same local table.
+  const std::vector<io::ReadBatch> round_batches =
+      io::partition_by_bases(reads, static_cast<int>(rounds));
+  RankMetrics total;
+  for (const io::ReadBatch& batch : round_batches) {
+    const RankMetrics round = run_gpu_kmer_single(comm, device, batch, config, local_table);
+    detail::accumulate_round(total, round);
+  }
+  total.unique_kmers = local_table.unique();
+  total.counted_kmers = local_table.total();
+  return total;
+}
+
+}  // namespace dedukt::core

@@ -1,0 +1,326 @@
+// GPU pipeline with supermers on the wire (§IV).
+//
+// parse & process: one thread per window builds supermers in private
+// registers (Algorithm 2); supermers are routed by minimizer hash so every
+// occurrence of a k-mer reaches the same rank. exchange: two Alltoallv's —
+// packed supermer words and per-supermer length bytes (§IV-C: "an extra
+// buffer is also maintained to store the length of each supermer").
+// count: the destination extracts each supermer's k-mers and counts them in
+// the device hash table.
+#include <algorithm>
+#include <vector>
+
+#include "dedukt/core/bloom_filter.hpp"
+#include "dedukt/core/device_hash_table.hpp"
+#include "dedukt/core/kernels.hpp"
+#include "dedukt/core/partitioner.hpp"
+#include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/summit.hpp"
+#include "dedukt/io/partition.hpp"
+#include "pipeline_common.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// One round of the pipeline (the whole job when it fits in memory).
+/// `routing` carries the §VII frequency-balanced table when enabled; it is
+/// built once per job (not per round) so every occurrence of a k-mer
+/// routes to the same rank across rounds.
+/// Word selects the supermer packing: std::uint64_t for the paper's
+/// single-word regime, kmer::WideKey for the two-word extension that lifts
+/// the window cap of 15.
+template <typename Word>
+RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
+                                  const io::ReadBatch& reads,
+                                  const PipelineConfig& config,
+                                  HostHashTable& local_table,
+                                  kernels::DestinationTable routing) {
+  constexpr bool kWide = std::is_same_v<Word, kmer::WideKey>;
+  config.validate();
+  const auto parts = static_cast<std::uint32_t>(comm.size());
+  const kmer::SupermerConfig smer_config = config.supermer_config();
+  const bool staged = config.exchange == ExchangeMode::kStaged;
+
+  RankMetrics metrics;
+  metrics.reads = reads.size();
+  metrics.bases = reads.total_bases();
+
+  // --- parse & process: build supermers on the device ---
+  std::vector<std::uint32_t> counts(parts);
+  std::vector<std::uint64_t> offsets;
+  gpusim::DeviceBuffer<Word> d_words;
+  gpusim::DeviceBuffer<std::uint8_t> d_lens;
+  std::uint64_t total_supermers = 0;
+  {
+    ScopedPhase phase(metrics.measured, kPhaseParse);
+    detail::DeviceCapture device_capture(device);
+
+    kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
+                                                                 config.k);
+    metrics.kmers_parsed = staging.total_kmers;
+    const std::vector<kernels::Window> windows =
+        kernels::build_windows(staging, config.k, config.window);
+
+    auto d_bases = device.alloc<char>(staging.bases.size());
+    device.copy_to_device<char>(staging.bases, d_bases);
+    auto d_windows = device.alloc<kernels::Window>(
+        std::max<std::size_t>(windows.size(), 1));
+    device.copy_to_device<kernels::Window>(windows, d_windows);
+
+    auto d_counts = device.alloc<std::uint32_t>(parts, 0u);
+    if constexpr (kWide) {
+      kernels::supermer_count_wide(device, d_bases, d_windows,
+                                   windows.size(), smer_config, parts,
+                                   d_counts, routing);
+    } else {
+      kernels::supermer_count(device, d_bases, d_windows, windows.size(),
+                              smer_config, parts, d_counts, routing);
+    }
+    device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
+
+    total_supermers = detail::exclusive_prefix(counts, offsets);
+
+    auto d_offsets = device.alloc<std::uint64_t>(parts);
+    device.copy_to_device<std::uint64_t>(offsets, d_offsets);
+    auto d_cursors = device.alloc<std::uint32_t>(parts, 0u);
+    d_words = device.alloc<Word>(
+        std::max<std::uint64_t>(total_supermers, 1));
+    d_lens = device.alloc<std::uint8_t>(
+        std::max<std::uint64_t>(total_supermers, 1));
+    if constexpr (kWide) {
+      kernels::supermer_fill_wide(device, d_bases, d_windows,
+                                  windows.size(), smer_config, parts,
+                                  d_offsets, d_cursors, d_words, d_lens,
+                                  routing);
+    } else {
+      kernels::supermer_fill(device, d_bases, d_windows, windows.size(),
+                             smer_config, parts, d_offsets, d_cursors,
+                             d_words, d_lens, routing);
+    }
+
+    device.free(d_bases);
+    device.free(d_windows);
+    device.free(d_counts);
+    device.free(d_offsets);
+    device.free(d_cursors);
+
+    metrics.supermers_built = total_supermers;
+    for (std::uint64_t i = 0; i < total_supermers; ++i) {
+      metrics.supermer_bases += d_lens[i];
+    }
+    // Supermer construction costs ~33% over plain k-mer parsing (§V-C).
+    const double parse_modeled =
+        std::max(device_capture.modeled_seconds(),
+                 static_cast<double>(metrics.kmers_parsed) /
+                     (summit::kGpuParseKmersPerSec /
+                      summit::kSupermerParseOverhead));
+    metrics.modeled.add(kPhaseParse,
+                        parse_modeled + summit::kGpuParseOverheadSec);
+    metrics.modeled_volume.add(
+        kPhaseParse,
+        std::max(device_capture.modeled_volume_seconds(),
+                 static_cast<double>(metrics.kmers_parsed) /
+                     (summit::kGpuParseKmersPerSec /
+                      summit::kSupermerParseOverhead)));
+  }
+
+  // --- exchange supermer words and lengths ---
+  mpisim::AlltoallvResult<Word> recv_words;
+  mpisim::AlltoallvResult<std::uint8_t> recv_lens;
+  gpusim::DeviceBuffer<Word> d_recv_words;
+  gpusim::DeviceBuffer<std::uint8_t> d_recv_lens;
+  {
+    ScopedPhase phase(metrics.measured, kPhaseExchange);
+    detail::DeviceCapture device_capture(device);
+    detail::CommCapture comm_capture(comm);
+
+    std::vector<Word> host_words(total_supermers);
+    std::vector<std::uint8_t> host_lens(total_supermers);
+    if (staged) {
+      device.copy_to_host(d_words, std::span<Word>(host_words));
+      device.copy_to_host(d_lens, std::span<std::uint8_t>(host_lens));
+    } else {
+      std::copy(d_words.data(), d_words.data() + total_supermers,
+                host_words.begin());
+      std::copy(d_lens.data(), d_lens.data() + total_supermers,
+                host_lens.begin());
+    }
+    device.free(d_words);
+    device.free(d_lens);
+
+    std::vector<std::vector<Word>> out_words(parts);
+    std::vector<std::vector<std::uint8_t>> out_lens(parts);
+    for (std::uint32_t dest = 0; dest < parts; ++dest) {
+      out_words[dest].assign(
+          host_words.begin() + offsets[dest],
+          host_words.begin() + offsets[dest] + counts[dest]);
+      out_lens[dest].assign(host_lens.begin() + offsets[dest],
+                            host_lens.begin() + offsets[dest] + counts[dest]);
+    }
+
+    recv_words = comm.alltoallv(out_words);
+    recv_lens = comm.alltoallv(out_lens);
+    DEDUKT_CHECK(recv_words.data.size() == recv_lens.data.size());
+
+    d_recv_words = device.alloc<Word>(
+        std::max<std::size_t>(recv_words.data.size(), 1));
+    d_recv_lens = device.alloc<std::uint8_t>(
+        std::max<std::size_t>(recv_lens.data.size(), 1));
+    if (staged) {
+      device.copy_to_device<Word>(recv_words.data, d_recv_words);
+      device.copy_to_device<std::uint8_t>(recv_lens.data, d_recv_lens);
+    } else {
+      std::copy(recv_words.data.begin(), recv_words.data.end(),
+                d_recv_words.data());
+      std::copy(recv_lens.data.begin(), recv_lens.data.end(),
+                d_recv_lens.data());
+    }
+
+    metrics.bytes_sent = comm_capture.bytes_sent();
+    metrics.bytes_received = comm_capture.bytes_received();
+    const double staging =
+        staged ? device_capture.modeled_seconds() : 0.0;
+    const double staging_volume =
+        staged ? device_capture.modeled_volume_seconds() : 0.0;
+    metrics.modeled.add(kPhaseExchange,
+                        comm_capture.modeled_seconds() + staging +
+                            summit::kGpuExchangeOverheadSec);
+    metrics.modeled_volume.add(
+        kPhaseExchange,
+        comm_capture.modeled_volume_seconds() + staging_volume);
+    metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
+    metrics.modeled_alltoallv_volume_seconds =
+        comm_capture.modeled_volume_seconds();
+  }
+
+  // --- extract k-mers from received supermers and count ---
+  {
+    ScopedPhase phase(metrics.measured, kPhaseCount);
+    detail::DeviceCapture device_capture(device);
+
+    metrics.supermers_received = recv_words.data.size();
+    std::uint64_t kmers_to_count = 0;
+    for (const std::uint8_t len : recv_lens.data) {
+      kmers_to_count += static_cast<std::uint64_t>(len) -
+                        static_cast<std::uint64_t>(config.k) + 1;
+    }
+
+    DeviceHashTable table(device, kmers_to_count, config.table_headroom);
+    if (config.filter_singletons) {
+      DeviceBloomFilter bloom(device, kmers_to_count);
+      if constexpr (kWide) {
+        table.count_wide_supermers_filtered(d_recv_words, d_recv_lens,
+                                            recv_words.data.size(),
+                                            config.k, bloom);
+      } else {
+        table.count_supermers_filtered(d_recv_words, d_recv_lens,
+                                       recv_words.data.size(), config.k,
+                                       bloom);
+      }
+    } else {
+      if constexpr (kWide) {
+        table.count_wide_supermers(d_recv_words, d_recv_lens,
+                                   recv_words.data.size(), config.k);
+      } else {
+        table.count_supermers(d_recv_words, d_recv_lens,
+                              recv_words.data.size(), config.k);
+      }
+    }
+    device.free(d_recv_words);
+    device.free(d_recv_lens);
+
+    for (const auto& [key, count] : table.to_host()) {
+      local_table.add(key, count);
+    }
+    metrics.kmers_received = kmers_to_count;
+    // Counting from supermers costs ~27% over direct counting (§V-C).
+    const double count_modeled =
+        std::max(device_capture.modeled_seconds(),
+                 static_cast<double>(kmers_to_count) /
+                     (summit::kGpuCountKmersPerSec /
+                      summit::kSupermerCountOverhead));
+    const double count_volume =
+        std::max(device_capture.modeled_volume_seconds(),
+                 static_cast<double>(kmers_to_count) /
+                     (summit::kGpuCountKmersPerSec /
+                      summit::kSupermerCountOverhead));
+    metrics.modeled.add(kPhaseCount,
+                        count_modeled + summit::kGpuCountOverheadSec);
+    metrics.modeled_volume.add(kPhaseCount, count_volume);
+  }
+
+  metrics.unique_kmers = local_table.unique();
+  metrics.counted_kmers = local_table.total();
+  return metrics;
+}
+
+}  // namespace
+
+RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
+                                  const io::ReadBatch& reads,
+                                  const PipelineConfig& config,
+                                  HostHashTable& local_table) {
+  config.validate();
+  const std::uint64_t rounds = detail::plan_rounds(
+      comm, reads, config.k, config.max_kmers_per_round);
+
+  // §VII extension: build the frequency-balanced routing table ONCE for
+  // the whole job — per-round tables would route the same k-mer to
+  // different ranks in different rounds and break table locality. Its
+  // sampling work and collectives are charged to the parse phase.
+  RankMetrics setup;
+  kernels::DestinationTable routing;
+  gpusim::DeviceBuffer<std::uint32_t> d_routing;
+  if (config.partition == PartitionScheme::kFrequencyBalanced) {
+    ScopedPhase phase(setup.measured, kPhaseParse);
+    detail::CommCapture comm_capture(comm);
+    detail::DeviceCapture device_capture(device);
+
+    const MinimizerAssignment assignment = MinimizerAssignment::build(
+        comm, reads, config.supermer_config(), /*sample_stride=*/4);
+    d_routing = device.alloc<std::uint32_t>(assignment.buckets());
+    device.copy_to_device<std::uint32_t>(assignment.table(), d_routing);
+    routing.bucket_to_rank = d_routing.data();
+    routing.nbuckets = assignment.buckets();
+
+    // Sampling touches 1/stride of the k-mers at the supermer parse rate.
+    const double sampling = static_cast<double>(reads.total_bases()) / 4.0 /
+                            (summit::kGpuParseKmersPerSec /
+                             summit::kSupermerParseOverhead);
+    setup.modeled.add(kPhaseParse,
+                      sampling + comm_capture.modeled_seconds() +
+                          device_capture.modeled_seconds());
+    setup.modeled_volume.add(
+        kPhaseParse, sampling + comm_capture.modeled_volume_seconds() +
+                         device_capture.modeled_volume_seconds());
+  }
+
+  auto run_single = [&](const io::ReadBatch& batch) {
+    if (config.wide_supermers) {
+      return run_gpu_supermer_single<kmer::WideKey>(
+          comm, device, batch, config, local_table, routing);
+    }
+    return run_gpu_supermer_single<std::uint64_t>(
+        comm, device, batch, config, local_table, routing);
+  };
+
+  RankMetrics total = setup;
+  if (rounds == 1) {
+    detail::accumulate_round(total, run_single(reads));
+  } else {
+    // §III-A multi-round processing: split this rank's reads into `rounds`
+    // base-balanced sub-batches and run the full pipeline per round, all
+    // ranks in lockstep, accumulating into the same local table.
+    const std::vector<io::ReadBatch> round_batches =
+        io::partition_by_bases(reads, static_cast<int>(rounds));
+    for (const io::ReadBatch& batch : round_batches) {
+      detail::accumulate_round(total, run_single(batch));
+    }
+  }
+  total.unique_kmers = local_table.unique();
+  total.counted_kmers = local_table.total();
+  return total;
+}
+
+}  // namespace dedukt::core

@@ -1,0 +1,112 @@
+// Internal helpers shared by the three pipeline translation units.
+#pragma once
+
+#include <cstdint>
+
+#include "dedukt/core/result.hpp"
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/io/sequence.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/mpisim/comm.hpp"
+
+namespace dedukt::core::detail {
+
+/// §III-A: "Depending on the total size of the input, relative to software
+/// limits (approximating available memory), the computation and
+/// communication may proceed in multiple rounds." All ranks must agree on
+/// the round count, so the per-rank requirement is maximized collectively.
+inline std::uint64_t plan_rounds(mpisim::Comm& comm,
+                                 const io::ReadBatch& reads, int k,
+                                 std::uint64_t max_kmers_per_round) {
+  if (max_kmers_per_round == 0) return 1;  // unlimited memory
+  std::uint64_t local = 0;
+  for (const auto& read : reads.reads) {
+    local += kmer::count_kmers(read.bases, k);
+  }
+  const std::uint64_t mine =
+      std::max<std::uint64_t>(1, (local + max_kmers_per_round - 1) /
+                                     max_kmers_per_round);
+  return comm.allreduce(mine, mpisim::ReduceOp::kMax);
+}
+
+/// Fold one round's metrics into the running total (work counts and phase
+/// times add; table-derived fields are set by the caller at the end).
+inline void accumulate_round(RankMetrics& total, const RankMetrics& round) {
+  total.reads += round.reads;
+  total.bases += round.bases;
+  total.kmers_parsed += round.kmers_parsed;
+  total.supermers_built += round.supermers_built;
+  total.supermer_bases += round.supermer_bases;
+  total.kmers_received += round.kmers_received;
+  total.supermers_received += round.supermers_received;
+  total.bytes_sent += round.bytes_sent;
+  total.bytes_received += round.bytes_received;
+  total.measured.merge(round.measured);
+  total.modeled.merge(round.modeled);
+  total.modeled_volume.merge(round.modeled_volume);
+  total.modeled_alltoallv_seconds += round.modeled_alltoallv_seconds;
+  total.modeled_alltoallv_volume_seconds +=
+      round.modeled_alltoallv_volume_seconds;
+}
+
+/// Snapshot/delta of a rank's communication ledger around one phase.
+class CommCapture {
+ public:
+  explicit CommCapture(mpisim::Comm& comm)
+      : comm_(comm), start_(comm.stats()) {}
+
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return comm_.stats().bytes_sent - start_.bytes_sent;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return comm_.stats().bytes_received - start_.bytes_received;
+  }
+  [[nodiscard]] double modeled_seconds() const {
+    return comm_.stats().modeled_seconds - start_.modeled_seconds;
+  }
+  [[nodiscard]] double modeled_volume_seconds() const {
+    return comm_.stats().modeled_volume_seconds -
+           start_.modeled_volume_seconds;
+  }
+
+ private:
+  mpisim::Comm& comm_;
+  mpisim::CommStats start_;
+};
+
+/// Snapshot/delta of a device's modeled timeline around one phase.
+class DeviceCapture {
+ public:
+  explicit DeviceCapture(gpusim::Device& device)
+      : device_(device), start_(device.timeline()) {}
+
+  [[nodiscard]] double modeled_seconds() const {
+    return device_.timeline().total_seconds() - start_.total_seconds();
+  }
+  [[nodiscard]] double transfer_seconds() const {
+    return device_.timeline().transfer_seconds() -
+           start_.transfer_seconds();
+  }
+  /// Volume-proportional share of modeled_seconds().
+  [[nodiscard]] double modeled_volume_seconds() const {
+    return device_.timeline().volume_seconds - start_.volume_seconds;
+  }
+
+ private:
+  gpusim::Device& device_;
+  gpusim::DeviceTimeline start_;
+};
+
+/// Exclusive prefix sum of per-destination counts; returns the total.
+inline std::uint64_t exclusive_prefix(const std::vector<std::uint32_t>& counts,
+                                      std::vector<std::uint64_t>& offsets) {
+  offsets.resize(counts.size());
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i] = running;
+    running += counts[i];
+  }
+  return running;
+}
+
+}  // namespace dedukt::core::detail

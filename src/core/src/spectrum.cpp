@@ -1,0 +1,85 @@
+#include "dedukt/core/spectrum.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace dedukt::core {
+
+SpectrumAnalysis analyze_spectrum(const Spectrum& spectrum,
+                                  std::uint64_t min_peak_multiplicity) {
+  SpectrumAnalysis result;
+  if (spectrum.empty()) return result;
+
+  for (const auto& [multiplicity, count] : spectrum) {
+    result.distinct_kmers += count;
+    result.total_instances += multiplicity * count;
+  }
+
+  // Coverage peak: the most-populated multiplicity at or above the guard.
+  std::uint64_t peak_count = 0;
+  for (const auto& [multiplicity, count] : spectrum) {
+    if (multiplicity >= min_peak_multiplicity && count > peak_count) {
+      peak_count = count;
+      result.coverage_peak = multiplicity;
+    }
+  }
+  if (result.coverage_peak == 0) return result;
+
+  // Valley: the least-populated multiplicity strictly before the peak —
+  // the error/signal boundary in a bimodal spectrum.
+  std::uint64_t valley_count = ~std::uint64_t{0};
+  for (const auto& [multiplicity, count] : spectrum) {
+    if (multiplicity >= result.coverage_peak) break;
+    if (count < valley_count) {
+      valley_count = count;
+      result.valley = multiplicity;
+    }
+  }
+  // Unimodal spectra (no mass before the peak) have no valley.
+  if (result.valley >= result.coverage_peak) result.valley = 0;
+
+  // Error k-mers: everything at or below the valley.
+  std::uint64_t error_instances = 0;
+  if (result.valley > 0) {
+    for (const auto& [multiplicity, count] : spectrum) {
+      if (multiplicity > result.valley) break;
+      result.error_kmers += count;
+      error_instances += multiplicity * count;
+    }
+  }
+
+  result.genome_size_estimate =
+      (result.total_instances - error_instances) / result.coverage_peak;
+  return result;
+}
+
+std::vector<std::string> render_spectrum(const Spectrum& spectrum,
+                                         std::size_t max_rows,
+                                         std::size_t bar_width) {
+  std::vector<std::string> rows;
+  std::uint64_t max_count = 0;
+  for (const auto& [_, count] : spectrum) {
+    max_count = std::max(max_count, count);
+  }
+  for (const auto& [multiplicity, count] : spectrum) {
+    if (rows.size() >= max_rows) {
+      rows.push_back("... (" +
+                     std::to_string(spectrum.size() - rows.size()) +
+                     " more rows)");
+      break;
+    }
+    const std::size_t bar = max_count == 0
+                                ? 0
+                                : static_cast<std::size_t>(
+                                      count * bar_width / max_count);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%8llu %10llu ",
+                  static_cast<unsigned long long>(multiplicity),
+                  static_cast<unsigned long long>(count));
+    rows.push_back(buf + std::string(bar, '#'));
+  }
+  return rows;
+}
+
+}  // namespace dedukt::core

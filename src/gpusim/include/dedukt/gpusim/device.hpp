@@ -1,0 +1,173 @@
+// Device — one simulated GPU: memory management, host<->device transfers,
+// kernel launches, and a running timeline of modeled time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "dedukt/gpusim/cost_model.hpp"
+#include "dedukt/gpusim/device_buffer.hpp"
+#include "dedukt/gpusim/device_props.hpp"
+#include "dedukt/gpusim/launch.hpp"
+#include "dedukt/util/error.hpp"
+#include "dedukt/util/timer.hpp"
+
+namespace dedukt::gpusim {
+
+/// Accumulated modeled time on one device, split the way the paper splits
+/// its pipeline (kernel compute vs host-link transfers).
+struct DeviceTimeline {
+  double kernel_seconds = 0.0;
+  double h2d_seconds = 0.0;
+  double d2h_seconds = 0.0;
+  /// Volume-proportional share of the above (without launch and transfer
+  /// overheads); this is the part that scales with data size when a
+  /// down-scaled run is projected to a full-size input.
+  double volume_seconds = 0.0;
+  std::uint64_t h2d_bytes = 0;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t launches = 0;
+
+  [[nodiscard]] double transfer_seconds() const {
+    return h2d_seconds + d2h_seconds;
+  }
+  [[nodiscard]] double total_seconds() const {
+    return kernel_seconds + transfer_seconds();
+  }
+
+  void merge(const DeviceTimeline& other) {
+    kernel_seconds += other.kernel_seconds;
+    h2d_seconds += other.h2d_seconds;
+    d2h_seconds += other.d2h_seconds;
+    volume_seconds += other.volume_seconds;
+    h2d_bytes += other.h2d_bytes;
+    d2h_bytes += other.d2h_bytes;
+    launches += other.launches;
+  }
+};
+
+class Device {
+ public:
+  explicit Device(DeviceProps props = DeviceProps::v100())
+      : props_(std::move(props)), cost_model_(props_) {}
+
+  [[nodiscard]] const DeviceProps& props() const { return props_; }
+  [[nodiscard]] const DeviceTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] std::uint64_t allocated_bytes() const { return allocated_; }
+
+  void reset_timeline() { timeline_ = DeviceTimeline{}; }
+
+  /// Allocate an uninitialized (value-initialized) device buffer of n
+  /// elements; throws SimulationError if the device memory would overflow.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n) {
+    reserve(n * sizeof(T));
+    return DeviceBuffer<T>(n);
+  }
+
+  /// Allocate a device buffer filled with `fill`.
+  template <typename T>
+  [[nodiscard]] DeviceBuffer<T> alloc(std::size_t n, const T& fill) {
+    reserve(n * sizeof(T));
+    return DeviceBuffer<T>(n, fill);
+  }
+
+  /// Release accounting for a buffer (its storage dies with the object).
+  template <typename T>
+  void free(DeviceBuffer<T>& buffer) {
+    DEDUKT_CHECK(allocated_ >= buffer.bytes());
+    allocated_ -= buffer.bytes();
+    buffer = DeviceBuffer<T>();
+  }
+
+  /// Copy host -> device, priced at host-link bandwidth.
+  template <typename T>
+  void copy_to_device(std::span<const T> host, DeviceBuffer<T>& dst) {
+    DEDUKT_REQUIRE_MSG(host.size() <= dst.size(),
+                       "H2D copy larger than destination buffer");
+    std::copy(host.begin(), host.end(), dst.data());
+    const std::uint64_t bytes = host.size() * sizeof(T);
+    timeline_.h2d_bytes += bytes;
+    timeline_.h2d_seconds += cost_model_.transfer_seconds(bytes);
+    timeline_.volume_seconds += cost_model_.transfer_volume_seconds(bytes);
+  }
+
+  /// Copy device -> host, priced at host-link bandwidth.
+  template <typename T>
+  void copy_to_host(const DeviceBuffer<T>& src, std::span<T> host) {
+    DEDUKT_REQUIRE_MSG(host.size() <= src.size(),
+                       "D2H copy larger than source buffer");
+    std::copy(src.data(), src.data() + host.size(), host.begin());
+    const std::uint64_t bytes = host.size() * sizeof(T);
+    timeline_.d2h_bytes += bytes;
+    timeline_.d2h_seconds += cost_model_.transfer_seconds(bytes);
+    timeline_.volume_seconds += cost_model_.transfer_volume_seconds(bytes);
+  }
+
+  /// Launch a kernel over `grid_dim` blocks of `block_dim` threads.
+  /// The kernel callable is invoked once per thread with a ThreadCtx.
+  /// Returns per-launch stats; modeled time also accumulates on the
+  /// timeline.
+  template <typename Kernel>
+  LaunchStats launch(std::uint32_t grid_dim, std::uint32_t block_dim,
+                     Kernel&& kernel) {
+    DEDUKT_REQUIRE_MSG(block_dim > 0 && grid_dim > 0,
+                       "empty launch configuration");
+    DEDUKT_REQUIRE_MSG(
+        block_dim <= static_cast<std::uint32_t>(props_.max_threads_per_block),
+        "block_dim " << block_dim << " exceeds device limit");
+
+    Timer wall;
+    LaunchCounters counters;
+    counters.threads =
+        static_cast<std::uint64_t>(grid_dim) * block_dim;
+    // Threads within a block execute in warp order, matching the coalescing
+    // assumptions of the paper's kernels; execution is sequential on the
+    // host, which is valid for the data-parallel, atomics-only kernels this
+    // library uses (no __syncthreads dependencies).
+    for (std::uint32_t b = 0; b < grid_dim; ++b) {
+      for (std::uint32_t t = 0; t < block_dim; ++t) {
+        ThreadCtx ctx(b, t, block_dim, grid_dim, counters);
+        kernel(ctx);
+      }
+    }
+
+    LaunchStats stats;
+    stats.counters = counters;
+    stats.modeled_seconds = cost_model_.kernel_seconds(counters);
+    stats.wall_seconds = wall.seconds();
+    timeline_.kernel_seconds += stats.modeled_seconds;
+    timeline_.volume_seconds += cost_model_.kernel_volume_seconds(counters);
+    timeline_.launches += 1;
+    return stats;
+  }
+
+  /// Pick a standard launch shape covering `n` work items.
+  struct LaunchShape {
+    std::uint32_t grid_dim;
+    std::uint32_t block_dim;
+  };
+  [[nodiscard]] LaunchShape shape_for(std::uint64_t items,
+                                      std::uint32_t block_dim = 256) const {
+    const std::uint64_t blocks =
+        items == 0 ? 1 : (items + block_dim - 1) / block_dim;
+    return LaunchShape{static_cast<std::uint32_t>(blocks), block_dim};
+  }
+
+ private:
+  void reserve(std::uint64_t bytes) {
+    if (allocated_ + bytes > props_.memory_bytes) {
+      throw SimulationError("device out of memory: " +
+                            std::to_string(allocated_ + bytes) + " > " +
+                            std::to_string(props_.memory_bytes) + " bytes");
+    }
+    allocated_ += bytes;
+  }
+
+  DeviceProps props_;
+  GpuCostModel cost_model_;
+  DeviceTimeline timeline_;
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace dedukt::gpusim

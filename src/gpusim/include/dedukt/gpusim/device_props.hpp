@@ -1,0 +1,40 @@
+// Device property sheets for the GPU simulator's analytic cost model.
+//
+// The defaults describe an NVIDIA V100-SXM2-16GB as installed in Summit
+// nodes (paper §V-A): 80 SMs, 16 GB HBM2, NVLink host links at 25 GB/s per
+// direction. Throughput numbers are effective (achievable) rates, not
+// datasheet peaks, so the modeled kernel times land where tuned CUDA
+// kernels land.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dedukt::gpusim {
+
+struct DeviceProps {
+  std::string name = "V100-SXM2-16GB";
+  int sms = 80;
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  std::uint64_t memory_bytes = 16ull << 30;
+
+  /// Achievable HBM2 bandwidth for streaming kernels, bytes/second.
+  double hbm_bandwidth = 830e9;
+  /// Host<->device link (NVLink on Summit), bytes/second per direction.
+  double host_link_bandwidth = 25e9;
+  /// Effective integer-op throughput across the device, ops/second.
+  /// 80 SMs x 64 INT32 lanes x 1.53 GHz, derated for dependency stalls.
+  double int_throughput = 4.0e12;
+  /// Global-memory atomic throughput under moderate contention, ops/second.
+  double atomic_throughput = 2.5e9;
+  /// Fixed cost per kernel launch, seconds.
+  double launch_overhead = 5e-6;
+  /// Fixed cost per host<->device transfer, seconds.
+  double transfer_overhead = 10e-6;
+
+  /// The Summit V100 sheet (the default).
+  [[nodiscard]] static DeviceProps v100() { return DeviceProps{}; }
+};
+
+}  // namespace dedukt::gpusim

@@ -1,0 +1,85 @@
+// Kernel launch interface of the GPU simulator.
+//
+// Kernels are C++ callables with the signature void(ThreadCtx&). They are
+// structured exactly like the paper's CUDA kernels — a grid of blocks of
+// threads, each thread processing the elements its global id maps to — and
+// execute *functionally* (results are bit-exact). Each thread reports its
+// global-memory traffic and op counts through ThreadCtx; the Device
+// aggregates them into LaunchStats and prices the launch with the analytic
+// cost model.
+#pragma once
+
+#include <cstdint>
+
+namespace dedukt::gpusim {
+
+/// Per-launch work and traffic counters (summed over all threads).
+struct LaunchCounters {
+  std::uint64_t threads = 0;
+  std::uint64_t gmem_read_bytes = 0;
+  std::uint64_t gmem_write_bytes = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t ops = 0;  ///< integer/ALU operations
+
+  void merge(const LaunchCounters& other) {
+    threads += other.threads;
+    gmem_read_bytes += other.gmem_read_bytes;
+    gmem_write_bytes += other.gmem_write_bytes;
+    atomics += other.atomics;
+    ops += other.ops;
+  }
+};
+
+/// Execution context handed to each simulated GPU thread.
+class ThreadCtx {
+ public:
+  ThreadCtx(std::uint32_t block_idx, std::uint32_t thread_idx,
+            std::uint32_t block_dim, std::uint32_t grid_dim,
+            LaunchCounters& counters)
+      : block_idx_(block_idx),
+        thread_idx_(thread_idx),
+        block_dim_(block_dim),
+        grid_dim_(grid_dim),
+        counters_(counters) {}
+
+  [[nodiscard]] std::uint32_t block_idx() const { return block_idx_; }
+  [[nodiscard]] std::uint32_t thread_idx() const { return thread_idx_; }
+  [[nodiscard]] std::uint32_t block_dim() const { return block_dim_; }
+  [[nodiscard]] std::uint32_t grid_dim() const { return grid_dim_; }
+
+  /// blockIdx.x * blockDim.x + threadIdx.x
+  [[nodiscard]] std::uint64_t global_id() const {
+    return static_cast<std::uint64_t>(block_idx_) * block_dim_ + thread_idx_;
+  }
+
+  /// Total threads in the launch.
+  [[nodiscard]] std::uint64_t global_size() const {
+    return static_cast<std::uint64_t>(grid_dim_) * block_dim_;
+  }
+
+  // --- traffic/ops accounting (prices the launch; no functional effect) ---
+  void count_gmem_read(std::uint64_t bytes) {
+    counters_.gmem_read_bytes += bytes;
+  }
+  void count_gmem_write(std::uint64_t bytes) {
+    counters_.gmem_write_bytes += bytes;
+  }
+  void count_atomic(std::uint64_t n = 1) { counters_.atomics += n; }
+  void count_ops(std::uint64_t n) { counters_.ops += n; }
+
+ private:
+  std::uint32_t block_idx_;
+  std::uint32_t thread_idx_;
+  std::uint32_t block_dim_;
+  std::uint32_t grid_dim_;
+  LaunchCounters& counters_;
+};
+
+/// Result of one kernel launch.
+struct LaunchStats {
+  LaunchCounters counters;
+  double modeled_seconds = 0.0;  ///< time on the modeled device
+  double wall_seconds = 0.0;     ///< host wall time of the simulation
+};
+
+}  // namespace dedukt::gpusim

@@ -1,0 +1,35 @@
+#include "dedukt/gpusim/cost_model.hpp"
+
+#include <algorithm>
+
+namespace dedukt::gpusim {
+
+double GpuCostModel::kernel_seconds(const LaunchCounters& counters) const {
+  return props_.launch_overhead + kernel_volume_seconds(counters);
+}
+
+double GpuCostModel::kernel_volume_seconds(
+    const LaunchCounters& counters) const {
+  const double mem_time =
+      static_cast<double>(counters.gmem_read_bytes +
+                          counters.gmem_write_bytes) /
+      props_.hbm_bandwidth;
+  const double alu_time =
+      static_cast<double>(counters.ops) / props_.int_throughput;
+  const double atomic_time =
+      static_cast<double>(counters.atomics) / props_.atomic_throughput;
+  // Memory and ALU pipelines overlap (roofline max); atomic serialization
+  // overlaps poorly with either, so it adds to the bound it exceeds.
+  return std::max({mem_time, alu_time, atomic_time});
+}
+
+double GpuCostModel::transfer_seconds(std::uint64_t bytes) const {
+  if (bytes == 0) return 0.0;
+  return props_.transfer_overhead + transfer_volume_seconds(bytes);
+}
+
+double GpuCostModel::transfer_volume_seconds(std::uint64_t bytes) const {
+  return static_cast<double>(bytes) / props_.host_link_bandwidth;
+}
+
+}  // namespace dedukt::gpusim

@@ -1,0 +1,6 @@
+// Device is header-only except for this translation unit, which exists to
+// give the library an archive member and to host any future out-of-line
+// definitions.
+#include "dedukt/gpusim/device.hpp"
+
+namespace dedukt::gpusim {}

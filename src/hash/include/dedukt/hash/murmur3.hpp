@@ -1,0 +1,59 @@
+// MurmurHash3 (Austin Appleby, public domain), the hash family the paper uses
+// to map k-mers to destination processors and to hash-table slots
+// (Algorithm 1 line 5, §III-B).
+//
+// We provide the x86_32 and x64_128 variants over byte buffers, plus a
+// specialized fixed-width path for 64-bit packed k-mers which is what the
+// pipelines use on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+namespace dedukt::hash {
+
+/// MurmurHash3_x86_32 over an arbitrary byte buffer.
+[[nodiscard]] std::uint32_t murmur3_x86_32(std::span<const std::byte> data,
+                                           std::uint32_t seed = 0);
+
+/// Convenience overload for raw memory.
+[[nodiscard]] std::uint32_t murmur3_x86_32(const void* data, std::size_t len,
+                                           std::uint32_t seed = 0);
+
+/// MurmurHash3_x64_128 over an arbitrary byte buffer; returns (h1, h2).
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> murmur3_x64_128(
+    std::span<const std::byte> data, std::uint32_t seed = 0);
+
+/// Convenience overload for raw memory.
+[[nodiscard]] std::pair<std::uint64_t, std::uint64_t> murmur3_x64_128(
+    const void* data, std::size_t len, std::uint32_t seed = 0);
+
+/// MurmurHash3's 64-bit finalizer (fmix64). A high-quality mixer for
+/// fixed-width keys; this is the hot-path hash for 2-bit packed k-mers.
+[[nodiscard]] constexpr std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hash a 64-bit packed key with an optional seed (distinct seeds give
+/// independent hash functions for destination-mapping vs table probing).
+[[nodiscard]] constexpr std::uint64_t hash_u64(std::uint64_t key,
+                                               std::uint64_t seed = 0) {
+  return fmix64(key ^ (seed * 0x9e3779b97f4a7c15ULL));
+}
+
+/// Map a 64-bit hash uniformly onto [0, parts) without modulo bias
+/// (Lemire's multiply-shift). Used to pick the destination processor.
+[[nodiscard]] constexpr std::uint32_t to_partition(std::uint64_t hash,
+                                                   std::uint32_t parts) {
+  return static_cast<std::uint32_t>(
+      (static_cast<unsigned __int128>(hash) * parts) >> 64);
+}
+
+}  // namespace dedukt::hash

@@ -1,0 +1,166 @@
+// Portable (alignment-safe, endian-explicit) MurmurHash3 implementation,
+// after Austin Appleby's public-domain reference.
+#include "dedukt/hash/murmur3.hpp"
+
+#include <cstring>
+
+namespace dedukt::hash {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint32_t load_u32(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // little-endian hosts only; asserted by the build targets
+}
+
+inline std::uint64_t load_u64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t fmix32(std::uint32_t h) {
+  h ^= h >> 16;
+  h *= 0x85ebca6bu;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35u;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace
+
+std::uint32_t murmur3_x86_32(std::span<const std::byte> data,
+                             std::uint32_t seed) {
+  const std::size_t nblocks = data.size() / 4;
+  std::uint32_t h1 = seed;
+  constexpr std::uint32_t c1 = 0xcc9e2d51u;
+  constexpr std::uint32_t c2 = 0x1b873593u;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint32_t k1 = load_u32(data.data() + i * 4);
+    k1 *= c1;
+    k1 = rotl32(k1, 15);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl32(h1, 13);
+    h1 = h1 * 5 + 0xe6546b64u;
+  }
+
+  const std::byte* tail = data.data() + nblocks * 4;
+  std::uint32_t k1 = 0;
+  switch (data.size() & 3u) {
+    case 3: k1 ^= std::to_integer<std::uint32_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= std::to_integer<std::uint32_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= std::to_integer<std::uint32_t>(tail[0]);
+      k1 *= c1;
+      k1 = rotl32(k1, 15);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<std::uint32_t>(data.size());
+  return fmix32(h1);
+}
+
+std::uint32_t murmur3_x86_32(const void* data, std::size_t len,
+                             std::uint32_t seed) {
+  return murmur3_x86_32(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), len),
+      seed);
+}
+
+std::pair<std::uint64_t, std::uint64_t> murmur3_x64_128(
+    std::span<const std::byte> data, std::uint32_t seed) {
+  const std::size_t nblocks = data.size() / 16;
+  std::uint64_t h1 = seed;
+  std::uint64_t h2 = seed;
+  constexpr std::uint64_t c1 = 0x87c37b91114253d5ULL;
+  constexpr std::uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint64_t k1 = load_u64(data.data() + i * 16);
+    std::uint64_t k2 = load_u64(data.data() + i * 16 + 8);
+
+    k1 *= c1;
+    k1 = rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729ULL;
+
+    k2 *= c2;
+    k2 = rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5ULL;
+  }
+
+  const std::byte* tail = data.data() + nblocks * 16;
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  auto byte_at = [&](std::size_t i) {
+    return std::to_integer<std::uint64_t>(tail[i]);
+  };
+  switch (data.size() & 15u) {
+    case 15: k2 ^= byte_at(14) << 48; [[fallthrough]];
+    case 14: k2 ^= byte_at(13) << 40; [[fallthrough]];
+    case 13: k2 ^= byte_at(12) << 32; [[fallthrough]];
+    case 12: k2 ^= byte_at(11) << 24; [[fallthrough]];
+    case 11: k2 ^= byte_at(10) << 16; [[fallthrough]];
+    case 10: k2 ^= byte_at(9) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= byte_at(8);
+      k2 *= c2;
+      k2 = rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= byte_at(7) << 56; [[fallthrough]];
+    case 7: k1 ^= byte_at(6) << 48; [[fallthrough]];
+    case 6: k1 ^= byte_at(5) << 40; [[fallthrough]];
+    case 5: k1 ^= byte_at(4) << 32; [[fallthrough]];
+    case 4: k1 ^= byte_at(3) << 24; [[fallthrough]];
+    case 3: k1 ^= byte_at(2) << 16; [[fallthrough]];
+    case 2: k1 ^= byte_at(1) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= byte_at(0);
+      k1 *= c1;
+      k1 = rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  h1 ^= static_cast<std::uint64_t>(data.size());
+  h2 ^= static_cast<std::uint64_t>(data.size());
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return {h1, h2};
+}
+
+std::pair<std::uint64_t, std::uint64_t> murmur3_x64_128(const void* data,
+                                                        std::size_t len,
+                                                        std::uint32_t seed) {
+  return murmur3_x64_128(
+      std::span<const std::byte>(static_cast<const std::byte*>(data), len),
+      seed);
+}
+
+}  // namespace dedukt::hash

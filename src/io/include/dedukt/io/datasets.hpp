@@ -1,0 +1,54 @@
+// Table-I dataset presets.
+//
+// The paper evaluates on six real datasets (Table I). We mirror each with a
+// synthetic preset carrying the species' approximate genome size, replicon
+// structure, GC content and the paper's coverage. Presets take a `scale`
+// divisor applied to the genome length so the same experiment shapes run on
+// laptop-class hardware (default scale 1000; scale 1 would reconstruct
+// full-size inputs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dedukt/io/sequence.hpp"
+#include "dedukt/io/synthetic.hpp"
+
+namespace dedukt::io {
+
+/// One row of the reproduced Table I.
+struct DatasetPreset {
+  std::string short_name;   ///< e.g. "E. coli 30X"
+  std::string key;          ///< CLI-friendly key, e.g. "ecoli30x"
+  std::string species;      ///< full species/strain description
+  std::uint64_t genome_size;  ///< true genome size in bases (unscaled)
+  int replicons;
+  double gc_content;
+  double coverage;
+  double mean_read_length;
+  std::uint64_t paper_fastq_bytes;  ///< the "Fastq Size" column of Table I
+};
+
+/// All six Table-I presets, in the paper's row order.
+[[nodiscard]] const std::vector<DatasetPreset>& table1_presets();
+
+/// Find a preset by key ("ecoli30x", "paeruginosa30x", "vvulnificus30x",
+/// "abaumannii30x", "celegans40x", "hsapiens54x"). Returns nullopt if absent.
+[[nodiscard]] std::optional<DatasetPreset> find_preset(const std::string& key);
+
+/// Materialize a preset at 1/scale of its true genome size (same coverage).
+/// `seed` varies the genome; the default matches the benchmarks.
+[[nodiscard]] ReadBatch make_dataset(const DatasetPreset& preset,
+                                     std::uint64_t scale = 1000,
+                                     std::uint64_t seed = 42);
+
+/// GenomeSpec / ReadSpec a preset expands to, for callers that want to tweak.
+[[nodiscard]] GenomeSpec genome_spec_for(const DatasetPreset& preset,
+                                         std::uint64_t scale,
+                                         std::uint64_t seed);
+[[nodiscard]] ReadSpec read_spec_for(const DatasetPreset& preset,
+                                     std::uint64_t seed);
+
+}  // namespace dedukt::io

@@ -1,0 +1,102 @@
+// DNA alphabet and 2-bit base encodings.
+//
+// Two encodings are used in the paper and therefore in this library:
+//  * kStandard   — A=0, C=1, G=2, T=3: the conventional alphabetical order,
+//                  used for plain lexicographic minimizer ordering.
+//  * kRandomized — A=1, C=0, T=2, G=3 (§IV-A): the paper's randomized base
+//                  order, which implicitly defines a custom minimizer
+//                  ordering that spreads out partitions (as in Squeakr).
+//
+// All packed k-mer/supermer machinery is encoding-agnostic: it packs 2-bit
+// codes, and the encoding only matters when comparing m-mers to pick
+// minimizers and when converting to/from ASCII.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+
+/// 2-bit code of one nucleotide under some encoding.
+using BaseCode = std::uint8_t;
+
+/// The base-order used to map A/C/G/T to 2-bit codes.
+enum class BaseEncoding {
+  kStandard,    ///< A=0, C=1, G=2, T=3
+  kRandomized,  ///< A=1, C=0, T=2, G=3 — the paper's §IV-A order
+};
+
+/// Number of distinct nucleotide bases.
+inline constexpr int kNumBases = 4;
+
+/// Encode one ASCII base (accepts upper/lower case). Throws ParseError on
+/// non-ACGT input; callers that must tolerate Ns should screen first with
+/// is_acgt().
+[[nodiscard]] BaseCode encode_base(char base, BaseEncoding enc);
+
+/// Decode a 2-bit code back to an upper-case ASCII base.
+[[nodiscard]] char decode_base(BaseCode code, BaseEncoding enc);
+
+/// True if `base` is one of A/C/G/T (either case).
+[[nodiscard]] constexpr bool is_acgt(char base) {
+  switch (base) {
+    case 'A': case 'C': case 'G': case 'T':
+    case 'a': case 'c': case 'g': case 't':
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Complement of a 2-bit code. Both encodings map complements to
+/// 3 - code... only the standard one does; the randomized one needs a table.
+[[nodiscard]] BaseCode complement_code(BaseCode code, BaseEncoding enc);
+
+/// Reverse-complement an ASCII sequence. Throws ParseError on non-ACGT.
+[[nodiscard]] std::string reverse_complement(std::string_view seq);
+
+/// Translate a 2-bit code between encodings.
+[[nodiscard]] BaseCode recode(BaseCode code, BaseEncoding from,
+                              BaseEncoding to);
+
+namespace detail {
+// Lookup tables, defined in dna.cpp.
+extern const std::array<std::int8_t, 256> kStandardEncodeTable;
+extern const std::array<std::int8_t, 256> kRandomizedEncodeTable;
+extern const std::array<char, 4> kStandardDecodeTable;
+extern const std::array<char, 4> kRandomizedDecodeTable;
+}  // namespace detail
+
+inline BaseCode encode_base(char base, BaseEncoding enc) {
+  const auto& table = enc == BaseEncoding::kStandard
+                          ? detail::kStandardEncodeTable
+                          : detail::kRandomizedEncodeTable;
+  const std::int8_t code = table[static_cast<unsigned char>(base)];
+  if (code < 0) {
+    throw dedukt::ParseError(std::string("non-ACGT base '") + base + "'");
+  }
+  return static_cast<BaseCode>(code);
+}
+
+/// Non-throwing encode: returns the 2-bit code, or -1 for any byte that is
+/// not A/C/G/T (including the GPU pipelines' read-separator sentinel). This
+/// is the kernel-safe hot-path form.
+[[nodiscard]] inline std::int8_t encode_base_or_invalid(char base,
+                                                        BaseEncoding enc) {
+  const auto& table = enc == BaseEncoding::kStandard
+                          ? detail::kStandardEncodeTable
+                          : detail::kRandomizedEncodeTable;
+  return table[static_cast<unsigned char>(base)];
+}
+
+inline char decode_base(BaseCode code, BaseEncoding enc) {
+  DEDUKT_REQUIRE_MSG(code < 4, "base code out of range: " << int(code));
+  return enc == BaseEncoding::kStandard ? detail::kStandardDecodeTable[code]
+                                        : detail::kRandomizedDecodeTable[code];
+}
+
+}  // namespace dedukt::io

@@ -1,0 +1,27 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dedukt/io/sequence.hpp"
+
+namespace dedukt::io {
+
+/// Parse all FASTA records from a stream. Multi-line sequences are joined;
+/// bases are upper-cased. Throws ParseError on malformed input.
+[[nodiscard]] ReadBatch read_fasta(std::istream& in);
+
+/// Parse a FASTA file from disk. Throws ParseError if the file cannot be
+/// opened.
+[[nodiscard]] ReadBatch read_fasta_file(const std::string& path);
+
+/// Write records as FASTA with the given line width (0 = single line).
+void write_fasta(std::ostream& out, const ReadBatch& batch,
+                 std::size_t line_width = 80);
+
+/// Write records as a FASTA file on disk.
+void write_fasta_file(const std::string& path, const ReadBatch& batch,
+                      std::size_t line_width = 80);
+
+}  // namespace dedukt::io

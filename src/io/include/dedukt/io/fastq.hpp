@@ -1,0 +1,29 @@
+// FASTQ reading and writing (the paper's input format; Table I sizes are
+// FASTQ bytes).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dedukt/io/sequence.hpp"
+
+namespace dedukt::io {
+
+/// Parse all FASTQ records from a stream. Bases are upper-cased. Throws
+/// ParseError on malformed records (missing '+', quality length mismatch...).
+[[nodiscard]] ReadBatch read_fastq(std::istream& in);
+
+/// Parse a FASTQ file from disk.
+[[nodiscard]] ReadBatch read_fastq_file(const std::string& path);
+
+/// Write records as FASTQ; reads without qualities get 'I' (phred 40).
+void write_fastq(std::ostream& out, const ReadBatch& batch);
+
+/// Write records as a FASTQ file on disk.
+void write_fastq_file(const std::string& path, const ReadBatch& batch);
+
+/// Size in bytes this batch would occupy as FASTQ (the "Fastq Size" metric
+/// of Table I), without writing it out.
+[[nodiscard]] std::uint64_t fastq_size_bytes(const ReadBatch& batch);
+
+}  // namespace dedukt::io

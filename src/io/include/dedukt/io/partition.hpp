@@ -1,0 +1,24 @@
+// Read partitioning across ranks — the stand-in for the paper's parallel
+// I/O, which "ensures the input of size D is partitioned roughly uniformly
+// over P parallel processors" (§IV-D).
+#pragma once
+
+#include <vector>
+
+#include "dedukt/io/sequence.hpp"
+
+namespace dedukt::io {
+
+/// Split a batch into `parts` sub-batches balanced by base count (greedy
+/// contiguous blocks, matching how parallel FASTQ readers split by byte
+/// ranges). Every read lands in exactly one part; parts may be empty if
+/// there are fewer reads than parts.
+[[nodiscard]] std::vector<ReadBatch> partition_by_bases(const ReadBatch& batch,
+                                                        int parts);
+
+/// Split round-robin by read index — a simpler, well-balanced-by-count
+/// alternative used in tests.
+[[nodiscard]] std::vector<ReadBatch> partition_round_robin(
+    const ReadBatch& batch, int parts);
+
+}  // namespace dedukt::io

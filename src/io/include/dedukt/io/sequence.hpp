@@ -1,0 +1,45 @@
+// Core sequence record types shared by the readers, generators and pipelines.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace dedukt::io {
+
+/// One sequencing read: identifier, bases, and (optionally) qualities.
+struct Read {
+  std::string id;       ///< record name, without the '@'/'>' sigil
+  std::string bases;    ///< ACGT (upper case once validated)
+  std::string quality;  ///< phred+33 string, empty for FASTA records
+};
+
+/// A batch of reads, the unit the pipelines consume.
+struct ReadBatch {
+  std::vector<Read> reads;
+
+  [[nodiscard]] std::size_t size() const { return reads.size(); }
+  [[nodiscard]] bool empty() const { return reads.empty(); }
+
+  /// Total number of bases across all reads.
+  [[nodiscard]] std::uint64_t total_bases() const {
+    std::uint64_t n = 0;
+    for (const auto& r : reads) n += r.bases.size();
+    return n;
+  }
+
+  /// Number of k-mers this batch yields for a given k
+  /// (reads shorter than k contribute none).
+  [[nodiscard]] std::uint64_t total_kmers(int k) const {
+    std::uint64_t n = 0;
+    for (const auto& r : reads) {
+      if (r.bases.size() >= static_cast<std::size_t>(k)) {
+        n += r.bases.size() - static_cast<std::size_t>(k) + 1;
+      }
+    }
+    return n;
+  }
+};
+
+}  // namespace dedukt::io

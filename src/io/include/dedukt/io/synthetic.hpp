@@ -1,0 +1,63 @@
+// Synthetic genomic dataset generation — the stand-in for the paper's real
+// sequencing inputs (Table I), per the substitution documented in DESIGN.md.
+//
+// A dataset is produced in two steps mirroring a sequencing experiment:
+//  1. generate_genome(): a seeded uniform-random reference of a given length
+//     (optionally multiple chromosomes/replicons);
+//  2. sample_reads(): draw reads from random positions/strands until the
+//     requested coverage is reached, with log-normally distributed lengths
+//     (third-generation long reads, §VI) and an optional substitution-error
+//     rate.
+//
+// Both steps are deterministic in (seed) so every test, bench and example
+// sees identical data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dedukt/io/sequence.hpp"
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::io {
+
+/// Parameters for the reference genome generator.
+struct GenomeSpec {
+  std::uint64_t length = 1'000'000;  ///< total bases across all replicons
+  int replicons = 1;                 ///< number of chromosomes/plasmids
+  std::uint64_t seed = 42;
+  /// GC content in [0,1]; 0.5 = uniform bases. Real genomes deviate from
+  /// 0.5 (e.g. P. aeruginosa ~0.66), which skews k-mer distributions.
+  double gc_content = 0.5;
+  /// Fraction of the genome covered by exact tandem repeats, emulating the
+  /// repeat-induced skew in k-mer frequency spectra. 0 disables.
+  double repeat_fraction = 0.0;
+  /// Length of each repeated unit when repeat_fraction > 0.
+  std::uint64_t repeat_unit = 5000;
+};
+
+/// Parameters for the read sampler.
+struct ReadSpec {
+  double coverage = 30.0;        ///< e.g. 30 for a "30X" dataset
+  double mean_read_length = 10'000.0;  ///< long reads (3rd-gen, log-normal)
+  double read_length_sigma = 0.35;     ///< sigma of ln(length)
+  std::uint64_t min_read_length = 500;
+  double error_rate = 0.0;       ///< per-base substitution probability
+  bool sample_both_strands = true;
+  std::uint64_t seed = 7;
+};
+
+/// Generate a reference genome according to `spec`. Each replicon becomes
+/// one Read record (with empty quality).
+[[nodiscard]] ReadBatch generate_genome(const GenomeSpec& spec);
+
+/// Sample reads from `genome` until total sampled bases >= coverage *
+/// genome size. Reads never span replicon boundaries.
+[[nodiscard]] ReadBatch sample_reads(const ReadBatch& genome,
+                                     const ReadSpec& spec);
+
+/// Convenience: generate genome + sample reads in one call.
+[[nodiscard]] ReadBatch generate_dataset(const GenomeSpec& genome_spec,
+                                         const ReadSpec& read_spec);
+
+}  // namespace dedukt::io

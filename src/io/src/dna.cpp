@@ -1,0 +1,69 @@
+#include "dedukt/io/dna.hpp"
+
+#include <algorithm>
+
+namespace dedukt::io {
+
+namespace detail {
+
+namespace {
+constexpr std::array<std::int8_t, 256> make_encode_table(std::int8_t a,
+                                                         std::int8_t c,
+                                                         std::int8_t g,
+                                                         std::int8_t t) {
+  std::array<std::int8_t, 256> table{};
+  for (auto& v : table) v = -1;
+  table['A'] = a; table['a'] = a;
+  table['C'] = c; table['c'] = c;
+  table['G'] = g; table['g'] = g;
+  table['T'] = t; table['t'] = t;
+  return table;
+}
+}  // namespace
+
+const std::array<std::int8_t, 256> kStandardEncodeTable =
+    make_encode_table(/*A=*/0, /*C=*/1, /*G=*/2, /*T=*/3);
+// Paper §IV-A: "we map A = 1, C = 0, T = 2, G = 3".
+const std::array<std::int8_t, 256> kRandomizedEncodeTable =
+    make_encode_table(/*A=*/1, /*C=*/0, /*G=*/3, /*T=*/2);
+
+const std::array<char, 4> kStandardDecodeTable = {'A', 'C', 'G', 'T'};
+const std::array<char, 4> kRandomizedDecodeTable = {'C', 'A', 'T', 'G'};
+
+}  // namespace detail
+
+BaseCode complement_code(BaseCode code, BaseEncoding enc) {
+  DEDUKT_REQUIRE(code < 4);
+  if (enc == BaseEncoding::kStandard) {
+    // A<->T, C<->G is 0<->3, 1<->2 in the standard order.
+    return static_cast<BaseCode>(3 - code);
+  }
+  // Randomized order: A=1<->T=2, C=0<->G=3.
+  static constexpr std::array<BaseCode, 4> table = {3, 2, 1, 0};
+  return table[code];
+}
+
+std::string reverse_complement(std::string_view seq) {
+  std::string out;
+  out.reserve(seq.size());
+  for (auto it = seq.rbegin(); it != seq.rend(); ++it) {
+    switch (*it) {
+      case 'A': case 'a': out.push_back('T'); break;
+      case 'C': case 'c': out.push_back('G'); break;
+      case 'G': case 'g': out.push_back('C'); break;
+      case 'T': case 't': out.push_back('A'); break;
+      default:
+        throw ParseError(std::string("non-ACGT base '") + *it +
+                         "' in reverse_complement");
+    }
+  }
+  return out;
+}
+
+BaseCode recode(BaseCode code, BaseEncoding from, BaseEncoding to) {
+  if (from == to) return code;
+  const char base = decode_base(code, from);
+  return encode_base(base, to);
+}
+
+}  // namespace dedukt::io

@@ -1,0 +1,75 @@
+#include "dedukt/io/fasta.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+
+ReadBatch read_fasta(std::istream& in) {
+  ReadBatch batch;
+  std::string line;
+  Read current;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (in_record) {
+      if (current.bases.empty()) {
+        throw ParseError("FASTA record '" + current.id + "' has no sequence");
+      }
+      batch.reads.push_back(std::move(current));
+      current = Read{};
+    }
+  };
+
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      current.id = line.substr(1);
+    } else {
+      if (!in_record) throw ParseError("FASTA sequence before first '>'");
+      for (char c : line) {
+        current.bases.push_back(
+            static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+    }
+  }
+  flush();
+  return batch;
+}
+
+ReadBatch read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const ReadBatch& batch,
+                 std::size_t line_width) {
+  for (const auto& read : batch.reads) {
+    out << '>' << read.id << '\n';
+    if (line_width == 0) {
+      out << read.bases << '\n';
+    } else {
+      for (std::size_t i = 0; i < read.bases.size(); i += line_width) {
+        out << std::string_view(read.bases).substr(i, line_width) << '\n';
+      }
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const ReadBatch& batch,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open FASTA file for writing: " + path);
+  write_fasta(out, batch, line_width);
+}
+
+}  // namespace dedukt::io

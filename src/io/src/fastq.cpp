@@ -1,0 +1,91 @@
+#include "dedukt/io/fastq.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+
+ReadBatch read_fastq(std::istream& in) {
+  ReadBatch batch;
+  std::string header, bases, plus, quality;
+
+  auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+
+  while (std::getline(in, header)) {
+    strip_cr(header);
+    if (header.empty()) continue;
+    if (header[0] != '@') {
+      throw ParseError("FASTQ record must start with '@', got: " + header);
+    }
+    if (!std::getline(in, bases)) {
+      throw ParseError("FASTQ record '" + header + "' truncated at sequence");
+    }
+    if (!std::getline(in, plus)) {
+      throw ParseError("FASTQ record '" + header + "' truncated at '+'");
+    }
+    if (!std::getline(in, quality)) {
+      throw ParseError("FASTQ record '" + header + "' truncated at quality");
+    }
+    strip_cr(bases);
+    strip_cr(plus);
+    strip_cr(quality);
+    if (plus.empty() || plus[0] != '+') {
+      throw ParseError("FASTQ record '" + header + "' missing '+' separator");
+    }
+    if (quality.size() != bases.size()) {
+      throw ParseError("FASTQ record '" + header +
+                       "' quality length does not match sequence length");
+    }
+    Read read;
+    read.id = header.substr(1);
+    read.bases.reserve(bases.size());
+    for (char c : bases) {
+      read.bases.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    read.quality = quality;
+    batch.reads.push_back(std::move(read));
+  }
+  return batch;
+}
+
+ReadBatch read_fastq_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ParseError("cannot open FASTQ file: " + path);
+  return read_fastq(in);
+}
+
+void write_fastq(std::ostream& out, const ReadBatch& batch) {
+  for (const auto& read : batch.reads) {
+    out << '@' << read.id << '\n' << read.bases << "\n+\n";
+    if (read.quality.size() == read.bases.size()) {
+      out << read.quality << '\n';
+    } else {
+      out << std::string(read.bases.size(), 'I') << '\n';
+    }
+  }
+}
+
+void write_fastq_file(const std::string& path, const ReadBatch& batch) {
+  std::ofstream out(path);
+  if (!out) throw ParseError("cannot open FASTQ file for writing: " + path);
+  write_fastq(out, batch);
+}
+
+std::uint64_t fastq_size_bytes(const ReadBatch& batch) {
+  std::uint64_t total = 0;
+  for (const auto& read : batch.reads) {
+    // '@' + id + '\n' + bases + '\n' + "+\n" + quality + '\n'
+    total += 1 + read.id.size() + 1 + read.bases.size() + 1 + 2 +
+             read.bases.size() + 1;
+  }
+  return total;
+}
+
+}  // namespace dedukt::io

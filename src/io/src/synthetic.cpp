@@ -1,0 +1,143 @@
+#include "dedukt/io/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dedukt/io/dna.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+
+namespace {
+
+/// Draw one base given GC content: P(G)=P(C)=gc/2, P(A)=P(T)=(1-gc)/2.
+char draw_base(Xoshiro256& rng, double gc_content) {
+  const double u = rng.uniform();
+  if (u < gc_content / 2) return 'G';
+  if (u < gc_content) return 'C';
+  if (u < gc_content + (1 - gc_content) / 2) return 'A';
+  return 'T';
+}
+
+char random_other_base(Xoshiro256& rng, char base) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  char c = base;
+  while (c == base) c = kBases[rng.below(4)];
+  return c;
+}
+
+}  // namespace
+
+ReadBatch generate_genome(const GenomeSpec& spec) {
+  DEDUKT_REQUIRE(spec.length > 0);
+  DEDUKT_REQUIRE(spec.replicons > 0);
+  DEDUKT_REQUIRE(spec.gc_content >= 0.0 && spec.gc_content <= 1.0);
+  DEDUKT_REQUIRE(spec.repeat_fraction >= 0.0 && spec.repeat_fraction < 1.0);
+
+  Xoshiro256 rng(spec.seed);
+  ReadBatch genome;
+  const std::uint64_t per_replicon = spec.length / spec.replicons;
+
+  for (int r = 0; r < spec.replicons; ++r) {
+    const std::uint64_t len =
+        (r == spec.replicons - 1)
+            ? spec.length - per_replicon * static_cast<std::uint64_t>(r)
+            : per_replicon;
+    Read replicon;
+    replicon.id = "replicon_" + std::to_string(r);
+    replicon.bases.reserve(len);
+    // Convert the desired repeat share of the OUTPUT into a per-iteration
+    // paste probability: each iteration emits either 1 fresh base or
+    // `repeat_unit` copied bases, so solving
+    // p*unit / (p*unit + 1-p) = fraction gives:
+    const double f = spec.repeat_fraction;
+    const double paste_probability =
+        f > 0 ? f / (static_cast<double>(spec.repeat_unit) * (1.0 - f) + f)
+              : 0.0;
+    while (replicon.bases.size() < len) {
+      if (paste_probability > 0 && rng.uniform() < paste_probability &&
+          replicon.bases.size() >= spec.repeat_unit) {
+        // Copy a tandem repeat of an earlier unit, truncated to fit.
+        const std::uint64_t unit =
+            std::min<std::uint64_t>(spec.repeat_unit,
+                                    len - replicon.bases.size());
+        const std::uint64_t src =
+            rng.below(replicon.bases.size() - unit + 1);
+        replicon.bases.append(replicon.bases, src, unit);
+      } else {
+        replicon.bases.push_back(draw_base(rng, spec.gc_content));
+      }
+    }
+    genome.reads.push_back(std::move(replicon));
+  }
+  return genome;
+}
+
+ReadBatch sample_reads(const ReadBatch& genome, const ReadSpec& spec) {
+  DEDUKT_REQUIRE(!genome.empty());
+  DEDUKT_REQUIRE(spec.coverage > 0);
+  DEDUKT_REQUIRE(spec.mean_read_length >= 1);
+
+  const std::uint64_t genome_size = genome.total_bases();
+  const auto target_bases =
+      static_cast<std::uint64_t>(spec.coverage *
+                                 static_cast<double>(genome_size));
+
+  // ln-space parameters so that E[length] == mean_read_length.
+  const double sigma = spec.read_length_sigma;
+  const double mu = std::log(spec.mean_read_length) - 0.5 * sigma * sigma;
+
+  Xoshiro256 rng(spec.seed);
+  // Independent stream for substitution errors so that enabling/adjusting
+  // error_rate never perturbs which reads get sampled.
+  Xoshiro256 error_rng = Xoshiro256::for_stream(spec.seed, 1);
+  ReadBatch reads;
+  std::uint64_t sampled = 0;
+  std::uint64_t read_index = 0;
+
+  while (sampled < target_bases) {
+    // Pick a replicon weighted by length.
+    std::uint64_t offset = rng.below(genome_size);
+    std::size_t replicon = 0;
+    while (offset >= genome.reads[replicon].bases.size()) {
+      offset -= genome.reads[replicon].bases.size();
+      ++replicon;
+    }
+    const std::string& ref = genome.reads[replicon].bases;
+
+    // Log-normal read length (Box–Muller for the normal draw).
+    const double u1 = std::max(rng.uniform(), 1e-12);
+    const double u2 = rng.uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    auto length = static_cast<std::uint64_t>(std::exp(mu + sigma * z));
+    length = std::max(length, spec.min_read_length);
+    length = std::min<std::uint64_t>(length, ref.size());
+    if (offset + length > ref.size()) offset = ref.size() - length;
+
+    Read read;
+    read.id = "read_" + std::to_string(read_index++);
+    read.bases = ref.substr(offset, length);
+    if (spec.sample_both_strands && rng.below(2) == 1) {
+      read.bases = reverse_complement(read.bases);
+    }
+    if (spec.error_rate > 0) {
+      for (char& base : read.bases) {
+        if (error_rng.uniform() < spec.error_rate) {
+          base = random_other_base(error_rng, base);
+        }
+      }
+    }
+    read.quality.assign(read.bases.size(), 'I');
+    sampled += read.bases.size();
+    reads.reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+ReadBatch generate_dataset(const GenomeSpec& genome_spec,
+                           const ReadSpec& read_spec) {
+  return sample_reads(generate_genome(genome_spec), read_spec);
+}
+
+}  // namespace dedukt::io

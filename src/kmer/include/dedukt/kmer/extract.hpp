@@ -1,0 +1,46 @@
+// k-mer extraction from ASCII reads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "dedukt/io/dna.hpp"
+#include "dedukt/kmer/kmer.hpp"
+
+namespace dedukt::kmer {
+
+/// Split a read into maximal fragments of pure A/C/G/T (sequencing 'N's and
+/// other ambiguity codes break fragments; no k-mer spans them).
+[[nodiscard]] std::vector<std::string_view> acgt_fragments(
+    std::string_view read);
+
+/// Extract all packed k-mers of one ACGT-only fragment in order, via a
+/// rolling 2-bit window. Appends to `out`; returns the number extracted.
+std::size_t extract_kmers(std::string_view fragment, int k,
+                          io::BaseEncoding enc, std::vector<KmerCode>& out);
+
+/// Extract all k-mers of a read that may contain non-ACGT characters.
+[[nodiscard]] std::vector<KmerCode> extract_kmers(std::string_view read,
+                                                  int k, io::BaseEncoding enc);
+
+/// Invoke fn(code) for each k-mer of an ACGT-only fragment without
+/// materializing a vector (hot-path form used by the pipelines).
+template <typename Fn>
+void for_each_kmer(std::string_view fragment, int k, io::BaseEncoding enc,
+                   Fn&& fn) {
+  if (fragment.size() < static_cast<std::size_t>(k)) return;
+  const KmerCode mask = code_mask(k);
+  KmerCode code = 0;
+  for (std::size_t i = 0; i < fragment.size(); ++i) {
+    code = append_base(code, io::encode_base(fragment[i], enc)) & mask;
+    if (i + 1 >= static_cast<std::size_t>(k)) fn(code);
+  }
+}
+
+/// Number of k-mers a read yields for length-k windows, respecting
+/// non-ACGT breaks.
+[[nodiscard]] std::uint64_t count_kmers(std::string_view read, int k);
+
+}  // namespace dedukt::kmer

@@ -1,0 +1,102 @@
+// Packed 2-bit k-mer codes.
+//
+// A k-mer of k <= 31 bases packs into one 64-bit word ("a k-mer can fit into
+// a 32 bit data type instead of an 11*8 = 88 bit character array", §III-B1;
+// the paper's k=17 uses one 64-bit word). Base 0 of the k-mer occupies the
+// MOST significant 2-bit group, so unsigned integer comparison of two codes
+// of equal length is exactly lexicographic comparison under the active
+// BaseEncoding — the property the minimizer orderings rely on.
+//
+// The pipelines keep codes in whichever encoding the minimizer policy uses;
+// counting only requires consistency, and unpacking restores ASCII.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dedukt/io/dna.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::kmer {
+
+/// A packed k-mer (or m-mer / supermer bases) of up to 31 bases.
+using KmerCode = std::uint64_t;
+
+/// Maximum k representable in one 64-bit code with room for an empty-slot
+/// sentinel in the device hash table (all-ones is never a valid 31-mer
+/// code's worth of payload given the high bits stay zero).
+inline constexpr int kMaxPackedK = 31;
+
+/// All-ones sentinel; never equals a packed code with k <= 31 because the
+/// top 2 bits of such codes are always zero.
+inline constexpr KmerCode kInvalidCode = ~KmerCode{0};
+
+/// Mask covering the low 2*len bits.
+[[nodiscard]] constexpr KmerCode code_mask(int len) {
+  return len >= 32 ? ~KmerCode{0} : ((KmerCode{1} << (2 * len)) - 1);
+}
+
+/// Pack `bases` (all ACGT, length <= 31) under `enc`.
+/// Throws ParseError on non-ACGT input, PreconditionError on bad length.
+[[nodiscard]] inline KmerCode pack(std::string_view bases,
+                                   io::BaseEncoding enc) {
+  DEDUKT_REQUIRE_MSG(!bases.empty() &&
+                         bases.size() <= static_cast<std::size_t>(kMaxPackedK),
+                     "pack() handles 1..31 bases, got " << bases.size());
+  KmerCode code = 0;
+  for (char c : bases) {
+    code = (code << 2) | io::encode_base(c, enc);
+  }
+  return code;
+}
+
+/// Unpack a code of `len` bases back to ASCII under `enc`.
+[[nodiscard]] inline std::string unpack(KmerCode code, int len,
+                                        io::BaseEncoding enc) {
+  DEDUKT_REQUIRE(len >= 1 && len <= kMaxPackedK);
+  std::string out(static_cast<std::size_t>(len), '?');
+  for (int i = len - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] =
+        io::decode_base(static_cast<io::BaseCode>(code & 3), enc);
+    code >>= 2;
+  }
+  return out;
+}
+
+/// Append one 2-bit base to a code of `len` bases (sliding-window step).
+/// The caller masks with code_mask(len) if a fixed width must be kept.
+[[nodiscard]] constexpr KmerCode append_base(KmerCode code,
+                                             io::BaseCode base) {
+  return (code << 2) | base;
+}
+
+/// The m-length sub-code starting at base position `pos` of a code holding
+/// `len` bases.
+[[nodiscard]] constexpr KmerCode sub_code(KmerCode code, int len, int pos,
+                                          int m) {
+  return (code >> (2 * (len - pos - m))) & code_mask(m);
+}
+
+/// Reverse complement of a packed code of `len` bases under `enc`.
+[[nodiscard]] inline KmerCode reverse_complement(KmerCode code, int len,
+                                                 io::BaseEncoding enc) {
+  KmerCode out = 0;
+  for (int i = 0; i < len; ++i) {
+    const auto base = static_cast<io::BaseCode>(code & 3);
+    out = (out << 2) | io::complement_code(base, enc);
+    code >>= 2;
+  }
+  return out;
+}
+
+/// Canonical form: the smaller of a code and its reverse complement.
+/// (The paper does not canonicalize — §IV-A figure caption — but the
+/// library supports it as an option.)
+[[nodiscard]] inline KmerCode canonical(KmerCode code, int len,
+                                        io::BaseEncoding enc) {
+  const KmerCode rc = reverse_complement(code, len, enc);
+  return rc < code ? rc : code;
+}
+
+}  // namespace dedukt::kmer

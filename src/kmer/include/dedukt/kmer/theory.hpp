@@ -1,0 +1,68 @@
+// §IV-D theoretical communication-volume model.
+//
+// Notation (as in the paper):
+//   D  total input data size (bases)
+//   L  average read length
+//   k  k-mer length
+//   s  average supermer length (bases)
+//   P  number of parallel processors
+//
+// The paper derives:
+//   K ≈ (D/L)(L - k + 1)                 total k-mer multiset size
+//   per-proc k-mer volume  O((P-1)/P * K/P * k)       [bases]
+//   S ≈ (D/L)(L - s + 1)                 total supermer count (approx.)
+//   per-proc supermer volume O((P-1)/P * S/P * s)     [bases]
+//   reduction ≈ (s - k)x                 (coarse; exact for its example is
+//                                         K*k / (S*s) = 96/33 = 2.90x)
+//
+// We expose both the paper's closed forms and the exact ratio, plus the
+// implementation-level byte costs (k-mers ship as 8-byte words; supermers
+// as 8-byte words + 1 length byte, §V-D).
+#pragma once
+
+#include <cstdint>
+
+namespace dedukt::kmer::theory {
+
+/// Model inputs.
+struct Params {
+  double total_bases = 0;    ///< D
+  double avg_read_length = 0;  ///< L
+  int k = 17;
+  int nprocs = 1;  ///< P
+};
+
+/// K ≈ (D/L)(L - k + 1).
+[[nodiscard]] double total_kmers(const Params& p);
+
+/// S ≈ (D/L)(L - s + 1) — the paper's §IV-D approximation.
+[[nodiscard]] double total_supermers_paper(const Params& p,
+                                           double avg_supermer_len);
+
+/// S = K / (s - k + 1) — exact count when every supermer of length s covers
+/// s - k + 1 k-mers.
+[[nodiscard]] double total_supermers_exact(const Params& p,
+                                           double avg_supermer_len);
+
+/// Per-processor k-mer communication volume in bases:
+/// (P-1)/P * K/P * k.
+[[nodiscard]] double kmer_volume_per_proc(const Params& p);
+
+/// Per-processor supermer communication volume in bases:
+/// (P-1)/P * S/P * s (exact S).
+[[nodiscard]] double supermer_volume_per_proc(const Params& p,
+                                              double avg_supermer_len);
+
+/// The paper's coarse reduction estimate, ≈ (s - k).
+[[nodiscard]] double reduction_paper_estimate(int k, double avg_supermer_len);
+
+/// Exact base-volume reduction: (K * k) / (S * s), with S exact.
+[[nodiscard]] double reduction_exact(const Params& p, double avg_supermer_len);
+
+/// Wire bytes for N k-mers (8-byte packed words).
+[[nodiscard]] std::uint64_t kmer_wire_bytes(std::uint64_t kmers);
+
+/// Wire bytes for N supermers (8-byte packed words + 1 length byte each).
+[[nodiscard]] std::uint64_t supermer_wire_bytes(std::uint64_t supermers);
+
+}  // namespace dedukt::kmer::theory

@@ -1,0 +1,124 @@
+// Wide k-mers: k up to 63 bases, packed 2-bit into a 128-bit code.
+//
+// The paper evaluates at k=17, which fits one machine word (§III-B1), but
+// long-read analyses routinely use larger k. This header extends the
+// packed-code machinery to two words while preserving the core property —
+// unsigned integer comparison of equal-length codes is lexicographic
+// comparison under the active encoding — so the minimizer orderings work
+// unchanged (minimizers themselves stay <= 31 bases and use the narrow
+// KmerCode type).
+//
+// The wire/table representation is WideKey (two explicit u64s), trivially
+// copyable for the exchange and hashable with a 128->64 mix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dedukt/hash/murmur3.hpp"
+#include "dedukt/io/dna.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/kmer/minimizer.hpp"
+
+namespace dedukt::kmer {
+
+/// 128-bit packed code; base 0 in the most significant occupied 2-bit
+/// group, exactly like KmerCode.
+using WideCode = unsigned __int128;
+
+/// Maximum k for wide codes (one 2-bit group spare for the table
+/// sentinel).
+inline constexpr int kMaxWideK = 63;
+
+/// Wire/table representation of a WideCode.
+struct WideKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const WideKey&, const WideKey&) = default;
+  friend auto operator<=>(const WideKey&, const WideKey&) = default;
+};
+static_assert(sizeof(WideKey) == 16);
+
+[[nodiscard]] constexpr WideKey to_key(WideCode code) {
+  return WideKey{static_cast<std::uint64_t>(code >> 64),
+                 static_cast<std::uint64_t>(code)};
+}
+
+[[nodiscard]] constexpr WideCode from_key(const WideKey& key) {
+  return (static_cast<WideCode>(key.hi) << 64) | key.lo;
+}
+
+/// Sentinel for open-addressing tables; unreachable because k <= 63 codes
+/// always leave the top 2 bits clear.
+inline constexpr WideKey kInvalidWideKey{~std::uint64_t{0},
+                                         ~std::uint64_t{0}};
+
+/// Mix a wide key to a 64-bit hash (murmur-style two-word finalize).
+[[nodiscard]] constexpr std::uint64_t hash_wide(const WideKey& key,
+                                                std::uint64_t seed = 0) {
+  std::uint64_t h = hash::fmix64(key.hi ^ (seed * 0x9e3779b97f4a7c15ULL));
+  h = hash::fmix64(h ^ key.lo);
+  return h;
+}
+
+[[nodiscard]] constexpr WideCode wide_mask(int len) {
+  return len >= 64 ? ~WideCode{0}
+                   : ((WideCode{1} << (2 * len)) - 1);
+}
+
+[[nodiscard]] constexpr WideCode wide_append(WideCode code,
+                                             io::BaseCode base) {
+  return (code << 2) | base;
+}
+
+/// Pack up to 63 bases.
+[[nodiscard]] WideCode wide_pack(std::string_view bases,
+                                 io::BaseEncoding enc);
+
+/// Unpack a wide code of `len` bases to ASCII.
+[[nodiscard]] std::string wide_unpack(WideCode code, int len,
+                                      io::BaseEncoding enc);
+
+/// The m-length narrow sub-code at base position `pos` of a wide code
+/// holding `len` bases (m <= 31, as minimizers are).
+[[nodiscard]] constexpr KmerCode wide_sub(WideCode code, int len, int pos,
+                                          int m) {
+  return static_cast<KmerCode>((code >> (2 * (len - pos - m))) &
+                               wide_mask(m));
+}
+
+/// Reverse complement of a wide code.
+[[nodiscard]] WideCode wide_reverse_complement(WideCode code, int len,
+                                               io::BaseEncoding enc);
+
+/// Canonical form (min of code and reverse complement).
+[[nodiscard]] WideCode wide_canonical(WideCode code, int len,
+                                      io::BaseEncoding enc);
+
+/// Rolling extraction over an ACGT-only fragment.
+template <typename Fn>
+void for_each_wide_kmer(std::string_view fragment, int k,
+                        io::BaseEncoding enc, Fn&& fn) {
+  if (fragment.size() < static_cast<std::size_t>(k)) return;
+  const WideCode mask = wide_mask(k);
+  WideCode code = 0;
+  for (std::size_t i = 0; i < fragment.size(); ++i) {
+    code = wide_append(code, io::encode_base(fragment[i], enc)) & mask;
+    if (i + 1 >= static_cast<std::size_t>(k)) fn(code);
+  }
+}
+
+/// Minimizer of a wide k-mer under a (narrow) minimizer policy.
+[[nodiscard]] KmerCode wide_minimizer_of(WideCode code, int k,
+                                         const MinimizerPolicy& policy);
+
+/// Destination partition of a wide k-mer (Algorithm 1 line 5 for k > 31).
+[[nodiscard]] inline std::uint32_t wide_kmer_partition(WideCode code,
+                                                       std::uint32_t parts) {
+  return hash::to_partition(hash_wide(to_key(code), kDestinationHashSeed),
+                            parts);
+}
+
+}  // namespace dedukt::kmer

@@ -1,0 +1,47 @@
+#include "dedukt/kmer/extract.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::kmer {
+
+std::vector<std::string_view> acgt_fragments(std::string_view read) {
+  std::vector<std::string_view> fragments;
+  std::size_t start = 0;
+  while (start < read.size()) {
+    while (start < read.size() && !io::is_acgt(read[start])) ++start;
+    std::size_t end = start;
+    while (end < read.size() && io::is_acgt(read[end])) ++end;
+    if (end > start) fragments.push_back(read.substr(start, end - start));
+    start = end;
+  }
+  return fragments;
+}
+
+std::size_t extract_kmers(std::string_view fragment, int k,
+                          io::BaseEncoding enc, std::vector<KmerCode>& out) {
+  DEDUKT_REQUIRE(k >= 1 && k <= kMaxPackedK);
+  const std::size_t before = out.size();
+  for_each_kmer(fragment, k, enc, [&](KmerCode code) { out.push_back(code); });
+  return out.size() - before;
+}
+
+std::vector<KmerCode> extract_kmers(std::string_view read, int k,
+                                    io::BaseEncoding enc) {
+  std::vector<KmerCode> out;
+  for (std::string_view fragment : acgt_fragments(read)) {
+    extract_kmers(fragment, k, enc, out);
+  }
+  return out;
+}
+
+std::uint64_t count_kmers(std::string_view read, int k) {
+  std::uint64_t n = 0;
+  for (std::string_view fragment : acgt_fragments(read)) {
+    if (fragment.size() >= static_cast<std::size_t>(k)) {
+      n += fragment.size() - static_cast<std::size_t>(k) + 1;
+    }
+  }
+  return n;
+}
+
+}  // namespace dedukt::kmer

@@ -1,0 +1,43 @@
+#include "dedukt/kmer/minimizer.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::kmer {
+
+std::string to_string(MinimizerOrder order) {
+  switch (order) {
+    case MinimizerOrder::kLexicographic: return "lexicographic";
+    case MinimizerOrder::kKmc2: return "kmc2";
+    case MinimizerOrder::kRandomized: return "randomized";
+  }
+  return "?";
+}
+
+MinimizerPolicy::MinimizerPolicy(MinimizerOrder order, int m)
+    : order_(order), m_(m) {
+  DEDUKT_REQUIRE_MSG(m >= 1 && m <= kMaxPackedK,
+                     "minimizer length m out of range: " << m);
+  DEDUKT_REQUIRE_MSG(order != MinimizerOrder::kKmc2 || m >= 3,
+                     "KMC2 ordering needs m >= 3");
+  // score() shifts by 2*m for the KMC2 penalty; keep it in-word.
+  DEDUKT_REQUIRE_MSG(order != MinimizerOrder::kKmc2 || m <= 30,
+                     "KMC2 ordering needs m <= 30");
+}
+
+KmerCode minimizer_of(KmerCode code, int k, const MinimizerPolicy& policy) {
+  const int m = policy.m();
+  DEDUKT_REQUIRE_MSG(m < k, "minimizer length must be < k");
+  KmerCode best_mmer = sub_code(code, k, 0, m);
+  std::uint64_t best_score = policy.score(best_mmer);
+  for (int pos = 1; pos <= k - m; ++pos) {
+    const KmerCode mmer = sub_code(code, k, pos, m);
+    const std::uint64_t score = policy.score(mmer);
+    if (score < best_score) {  // strict: leftmost wins ties
+      best_score = score;
+      best_mmer = mmer;
+    }
+  }
+  return best_mmer;
+}
+
+}  // namespace dedukt::kmer

@@ -1,0 +1,67 @@
+#include "dedukt/kmer/theory.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::kmer::theory {
+
+namespace {
+void check(const Params& p) {
+  DEDUKT_REQUIRE(p.total_bases > 0);
+  DEDUKT_REQUIRE(p.avg_read_length >= p.k);
+  DEDUKT_REQUIRE(p.k >= 2);
+  DEDUKT_REQUIRE(p.nprocs >= 1);
+}
+}  // namespace
+
+double total_kmers(const Params& p) {
+  check(p);
+  return p.total_bases / p.avg_read_length *
+         (p.avg_read_length - p.k + 1);
+}
+
+double total_supermers_paper(const Params& p, double avg_supermer_len) {
+  check(p);
+  DEDUKT_REQUIRE(avg_supermer_len >= p.k);
+  return p.total_bases / p.avg_read_length *
+         (p.avg_read_length - avg_supermer_len + 1);
+}
+
+double total_supermers_exact(const Params& p, double avg_supermer_len) {
+  check(p);
+  DEDUKT_REQUIRE(avg_supermer_len >= p.k);
+  return total_kmers(p) / (avg_supermer_len - p.k + 1);
+}
+
+double kmer_volume_per_proc(const Params& p) {
+  check(p);
+  const double P = p.nprocs;
+  return (P - 1) / P * total_kmers(p) / P * p.k;
+}
+
+double supermer_volume_per_proc(const Params& p, double avg_supermer_len) {
+  check(p);
+  const double P = p.nprocs;
+  return (P - 1) / P * total_supermers_exact(p, avg_supermer_len) / P *
+         avg_supermer_len;
+}
+
+double reduction_paper_estimate(int k, double avg_supermer_len) {
+  DEDUKT_REQUIRE(avg_supermer_len >= k);
+  return avg_supermer_len - k;
+}
+
+double reduction_exact(const Params& p, double avg_supermer_len) {
+  check(p);
+  const double kmer_bases = total_kmers(p) * p.k;
+  const double smer_bases =
+      total_supermers_exact(p, avg_supermer_len) * avg_supermer_len;
+  return kmer_bases / smer_bases;
+}
+
+std::uint64_t kmer_wire_bytes(std::uint64_t kmers) { return kmers * 8; }
+
+std::uint64_t supermer_wire_bytes(std::uint64_t supermers) {
+  return supermers * (8 + 1);
+}
+
+}  // namespace dedukt::kmer::theory

@@ -1,0 +1,62 @@
+#include "dedukt/kmer/wide.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::kmer {
+
+WideCode wide_pack(std::string_view bases, io::BaseEncoding enc) {
+  DEDUKT_REQUIRE_MSG(!bases.empty() &&
+                         bases.size() <= static_cast<std::size_t>(kMaxWideK),
+                     "wide_pack() handles 1..63 bases, got " << bases.size());
+  WideCode code = 0;
+  for (char c : bases) {
+    code = wide_append(code, io::encode_base(c, enc));
+  }
+  return code;
+}
+
+std::string wide_unpack(WideCode code, int len, io::BaseEncoding enc) {
+  DEDUKT_REQUIRE(len >= 1 && len <= kMaxWideK);
+  std::string out(static_cast<std::size_t>(len), '?');
+  for (int i = len - 1; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] =
+        io::decode_base(static_cast<io::BaseCode>(code & 3), enc);
+    code >>= 2;
+  }
+  return out;
+}
+
+WideCode wide_reverse_complement(WideCode code, int len,
+                                 io::BaseEncoding enc) {
+  WideCode out = 0;
+  for (int i = 0; i < len; ++i) {
+    const auto base = static_cast<io::BaseCode>(code & 3);
+    out = (out << 2) | io::complement_code(base, enc);
+    code >>= 2;
+  }
+  return out;
+}
+
+WideCode wide_canonical(WideCode code, int len, io::BaseEncoding enc) {
+  const WideCode rc = wide_reverse_complement(code, len, enc);
+  return rc < code ? rc : code;
+}
+
+KmerCode wide_minimizer_of(WideCode code, int k,
+                           const MinimizerPolicy& policy) {
+  const int m = policy.m();
+  DEDUKT_REQUIRE_MSG(m < k, "minimizer length must be < k");
+  KmerCode best_mmer = wide_sub(code, k, 0, m);
+  std::uint64_t best_score = policy.score(best_mmer);
+  for (int pos = 1; pos <= k - m; ++pos) {
+    const KmerCode mmer = wide_sub(code, k, pos, m);
+    const std::uint64_t score = policy.score(mmer);
+    if (score < best_score) {  // strict: leftmost wins ties
+      best_score = score;
+      best_mmer = mmer;
+    }
+  }
+  return best_mmer;
+}
+
+}  // namespace dedukt::kmer

@@ -1,0 +1,38 @@
+// An abortable cyclic barrier.
+//
+// std::barrier cannot be interrupted: if one simulated rank throws, every
+// other rank would block forever at its next synchronization point. This
+// barrier adds an abort() that wakes all waiters with a SimulationError, so
+// a failure on any rank propagates as an exception on every rank and the
+// Runtime can join all threads and rethrow the original error.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dedukt::mpisim {
+
+class Barrier {
+ public:
+  explicit Barrier(int participants);
+
+  /// Block until all participants arrive. Throws SimulationError if abort()
+  /// was (or is) called while waiting.
+  void arrive_and_wait();
+
+  /// Wake all waiters with an error; subsequent arrivals also throw.
+  void abort();
+
+  [[nodiscard]] bool aborted() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  const int participants_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace dedukt::mpisim

@@ -1,0 +1,345 @@
+// Comm — the per-rank communicator handle of the message-passing substrate.
+//
+// Semantics mirror the MPI routines the paper's pipeline uses
+// (MPI_Alltoall/MPI_Alltoallv, plus barrier/allreduce/gather/bcast used by
+// the driver): collectives are matched calls across all ranks of a Runtime,
+// data is copied between per-rank address spaces, and receive buffers carry
+// per-source counts exactly like MPI recvcounts.
+//
+// Every collective also feeds two ledgers:
+//  * CommStats — exact off-rank byte counts per rank, and
+//  * the NetworkModel — which converts the busiest rank's bytes into the
+//    modeled time of the same exchange on the target machine (Summit by
+//    default). This is how the benchmarks obtain cluster-scale exchange
+//    times from a single-host simulation.
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <span>
+#include <typeinfo>
+#include <vector>
+
+#include "dedukt/mpisim/barrier.hpp"
+#include "dedukt/mpisim/network_model.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::mpisim {
+
+/// Reduction operators for allreduce/reduce.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// Exact communication accounting for one rank.
+struct CommStats {
+  std::uint64_t bytes_sent = 0;      ///< off-rank payload bytes sent
+  std::uint64_t bytes_received = 0;  ///< off-rank payload bytes received
+  std::uint64_t alltoallv_calls = 0;
+  std::uint64_t collective_calls = 0;  ///< barriers, reductions, gathers...
+  /// Modeled wall time of all communication on the target network. Identical
+  /// across ranks for a bulk-synchronous program (it is built from per-round
+  /// maxima).
+  double modeled_seconds = 0.0;
+  /// The volume-proportional (bandwidth) share of modeled_seconds. The
+  /// remainder is per-message latency, which stays constant when a
+  /// down-scaled run is projected to a full-size input.
+  double modeled_volume_seconds = 0.0;
+
+  void merge(const CommStats& other) {
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    alltoallv_calls += other.alltoallv_calls;
+    collective_calls += other.collective_calls;
+    modeled_seconds += other.modeled_seconds;
+    modeled_volume_seconds += other.modeled_volume_seconds;
+  }
+};
+
+/// Result of an alltoallv: data concatenated in source-rank order plus the
+/// per-source element counts (MPI recvbuf + recvcounts).
+template <typename T>
+struct AlltoallvResult {
+  std::vector<T> data;
+  std::vector<std::uint64_t> counts;  ///< counts[src] elements came from src
+
+  /// View of the elements received from `src`.
+  [[nodiscard]] std::span<const T> from(int src) const {
+    std::size_t offset = 0;
+    for (int r = 0; r < src; ++r) offset += counts[static_cast<std::size_t>(r)];
+    return std::span<const T>(data).subspan(
+        offset, counts[static_cast<std::size_t>(src)]);
+  }
+};
+
+namespace detail {
+
+/// Shared blackboard all ranks use to exchange pointers and byte counts.
+struct CollectiveBoard {
+  explicit CollectiveBoard(int nranks)
+      : barrier(nranks),
+        ptrs(static_cast<std::size_t>(nranks), nullptr),
+        bytes(static_cast<std::size_t>(nranks), 0),
+        tags(static_cast<std::size_t>(nranks), 0) {}
+
+  Barrier barrier;
+  std::vector<const void*> ptrs;
+  std::vector<std::uint64_t> bytes;
+  std::vector<std::size_t> tags;  ///< op+type consistency tags
+};
+
+}  // namespace detail
+
+class Comm {
+ public:
+  Comm(int rank, int nranks, detail::CollectiveBoard& board,
+       const NetworkModel& network, CommStats& stats)
+      : rank_(rank),
+        nranks_(nranks),
+        board_(board),
+        network_(network),
+        stats_(stats) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return nranks_; }
+  [[nodiscard]] CommStats& stats() { return stats_; }
+  [[nodiscard]] const NetworkModel& network() const { return network_; }
+
+  /// Synchronize all ranks.
+  void barrier() {
+    publish(nullptr, op_tag(0x1, typeid(void)));
+    board_.barrier.arrive_and_wait();  // phase B (no data)
+    board_.barrier.arrive_and_wait();  // phase C
+    stats_.collective_calls += 1;
+    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+  }
+
+  /// Personalized all-to-all with variable counts: send[dst] goes to rank
+  /// dst. Equivalent to MPI_Alltoallv preceded by the count exchange
+  /// (MPI_Alltoall) the paper's pipeline performs.
+  template <typename T>
+  [[nodiscard]] AlltoallvResult<T> alltoallv(
+      const std::vector<std::vector<T>>& send) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "alltoallv payload must be trivially copyable");
+    DEDUKT_REQUIRE_MSG(send.size() == static_cast<std::size_t>(nranks_),
+                       "alltoallv needs one send buffer per rank");
+
+    publish(&send, op_tag(0x2, typeid(T)));
+
+    // Read every source's slice destined to this rank.
+    AlltoallvResult<T> result;
+    result.counts.resize(static_cast<std::size_t>(nranks_));
+    std::uint64_t in_bytes = 0;
+    std::size_t total = 0;
+    for (int src = 0; src < nranks_; ++src) {
+      const auto* srcbufs =
+          static_cast<const std::vector<std::vector<T>>*>(board_.ptrs[src]);
+      total += (*srcbufs)[static_cast<std::size_t>(rank_)].size();
+    }
+    result.data.reserve(total);
+    for (int src = 0; src < nranks_; ++src) {
+      const auto* srcbufs =
+          static_cast<const std::vector<std::vector<T>>*>(board_.ptrs[src]);
+      const auto& slice = (*srcbufs)[static_cast<std::size_t>(rank_)];
+      result.counts[static_cast<std::size_t>(src)] = slice.size();
+      result.data.insert(result.data.end(), slice.begin(), slice.end());
+      if (src != rank_) in_bytes += slice.size() * sizeof(T);
+    }
+
+    std::uint64_t out_bytes = 0;
+    for (int dst = 0; dst < nranks_; ++dst) {
+      if (dst != rank_) {
+        out_bytes += send[static_cast<std::size_t>(dst)].size() * sizeof(T);
+      }
+    }
+    finish_with_bytes(std::max(in_bytes, out_bytes));
+
+    stats_.alltoallv_calls += 1;
+    stats_.bytes_sent += out_bytes;
+    stats_.bytes_received += in_bytes;
+    stats_.modeled_seconds +=
+        network_.alltoallv_seconds(last_round_max_bytes_, nranks_);
+    stats_.modeled_volume_seconds +=
+        network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    return result;
+  }
+
+  /// Fixed-count all-to-all: element i of `send` goes to rank i
+  /// (MPI_Alltoall with one element per peer).
+  template <typename T>
+  [[nodiscard]] std::vector<T> alltoall(const std::vector<T>& send) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEDUKT_REQUIRE(send.size() == static_cast<std::size_t>(nranks_));
+    std::vector<std::vector<T>> wrapped(static_cast<std::size_t>(nranks_));
+    for (int dst = 0; dst < nranks_; ++dst) {
+      wrapped[static_cast<std::size_t>(dst)] = {
+          send[static_cast<std::size_t>(dst)]};
+    }
+    auto result = alltoallv<T>(wrapped);
+    return std::move(result.data);
+  }
+
+  /// Reduce a value across all ranks; every rank receives the result.
+  template <typename T>
+  [[nodiscard]] T allreduce(const T& value, ReduceOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(&value, op_tag(0x3, typeid(T)));
+    T acc = *static_cast<const T*>(board_.ptrs[0]);
+    for (int src = 1; src < nranks_; ++src) {
+      const T& v = *static_cast<const T*>(board_.ptrs[src]);
+      acc = apply(acc, v, op);
+    }
+    finish_with_bytes(sizeof(T));
+    stats_.collective_calls += 1;
+    stats_.bytes_sent += sizeof(T) * static_cast<std::uint64_t>(nranks_ - 1);
+    stats_.bytes_received += sizeof(T) *
+                             static_cast<std::uint64_t>(nranks_ - 1);
+    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    return acc;
+  }
+
+  /// Gather one value per rank; every rank receives the full array
+  /// (MPI_Allgather).
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    publish(&value, op_tag(0x4, typeid(T)));
+    std::vector<T> out;
+    out.reserve(static_cast<std::size_t>(nranks_));
+    for (int src = 0; src < nranks_; ++src) {
+      out.push_back(*static_cast<const T*>(board_.ptrs[src]));
+    }
+    finish_with_bytes(sizeof(T) * static_cast<std::uint64_t>(nranks_));
+    stats_.collective_calls += 1;
+    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    return out;
+  }
+
+  /// Gather variable-length vectors to `root`. Non-root ranks receive an
+  /// empty result (MPI_Gatherv).
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gatherv(const std::vector<T>& send,
+                                                    int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEDUKT_REQUIRE(root >= 0 && root < nranks_);
+    publish(&send, op_tag(0x5, typeid(T)));
+    std::vector<std::vector<T>> out;
+    std::uint64_t in_bytes = 0;
+    if (rank_ == root) {
+      out.resize(static_cast<std::size_t>(nranks_));
+      for (int src = 0; src < nranks_; ++src) {
+        const auto& v =
+            *static_cast<const std::vector<T>*>(board_.ptrs[src]);
+        out[static_cast<std::size_t>(src)] = v;
+        if (src != root) in_bytes += v.size() * sizeof(T);
+      }
+    }
+    const std::uint64_t out_bytes =
+        rank_ == root ? 0 : send.size() * sizeof(T);
+    finish_with_bytes(std::max(in_bytes, out_bytes));
+    stats_.collective_calls += 1;
+    stats_.bytes_sent += out_bytes;
+    stats_.bytes_received += in_bytes;
+    stats_.modeled_seconds += network_.alltoallv_seconds(
+        last_round_max_bytes_, nranks_);
+    stats_.modeled_volume_seconds += network_.alltoallv_volume_seconds(
+        last_round_max_bytes_, nranks_);
+    return out;
+  }
+
+  /// Broadcast a vector from `root` to all ranks (MPI_Bcast of a buffer
+  /// preceded by its length). Non-root ranks may pass any vector; they
+  /// receive the root's contents.
+  template <typename T>
+  [[nodiscard]] std::vector<T> bcast_vector(const std::vector<T>& value,
+                                            int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEDUKT_REQUIRE(root >= 0 && root < nranks_);
+    publish(&value, op_tag(0x7, typeid(T)));
+    const auto& src =
+        *static_cast<const std::vector<T>*>(board_.ptrs[root]);
+    std::vector<T> result = src;
+    const std::uint64_t bytes =
+        rank_ == root ? 0 : result.size() * sizeof(T);
+    finish_with_bytes(bytes);
+    stats_.collective_calls += 1;
+    if (rank_ != root) stats_.bytes_received += bytes;
+    stats_.modeled_seconds +=
+        network_.collective_latency_seconds(nranks_) +
+        network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    stats_.modeled_volume_seconds +=
+        network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    return result;
+  }
+
+  /// Broadcast `value` from `root` to all ranks.
+  template <typename T>
+  [[nodiscard]] T bcast(const T& value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DEDUKT_REQUIRE(root >= 0 && root < nranks_);
+    publish(&value, op_tag(0x6, typeid(T)));
+    const T result = *static_cast<const T*>(board_.ptrs[root]);
+    finish_with_bytes(sizeof(T));
+    stats_.collective_calls += 1;
+    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    return result;
+  }
+
+ private:
+  /// Phase A: publish this rank's buffer pointer and the op/type tag, then
+  /// wait for all ranks. After this returns, board_.ptrs is consistent and
+  /// the tags are validated.
+  void publish(const void* ptr, std::size_t tag) {
+    board_.ptrs[static_cast<std::size_t>(rank_)] = ptr;
+    board_.tags[static_cast<std::size_t>(rank_)] = tag;
+    board_.barrier.arrive_and_wait();
+    for (int r = 0; r < nranks_; ++r) {
+      if (board_.tags[static_cast<std::size_t>(r)] != tag) {
+        board_.barrier.abort();
+        throw SimulationError(
+            "mismatched collective: ranks called different operations or "
+            "element types");
+      }
+    }
+  }
+
+  /// Phases B+C: record this rank's traffic, synchronize so that all byte
+  /// counts are visible, compute the round maximum (for the network model),
+  /// and synchronize again so buffers can be reused.
+  void finish_with_bytes(std::uint64_t my_max_bytes) {
+    board_.bytes[static_cast<std::size_t>(rank_)] = my_max_bytes;
+    board_.barrier.arrive_and_wait();
+    std::uint64_t round_max = 0;
+    for (int r = 0; r < nranks_; ++r) {
+      round_max = std::max(round_max,
+                           board_.bytes[static_cast<std::size_t>(r)]);
+    }
+    last_round_max_bytes_ = round_max;
+    board_.barrier.arrive_and_wait();
+  }
+
+  static std::size_t op_tag(std::size_t op, const std::type_info& type) {
+    return op * 0x9e3779b97f4a7c15ULL ^ type.hash_code();
+  }
+
+  template <typename T>
+  static T apply(const T& a, const T& b, ReduceOp op) {
+    switch (op) {
+      case ReduceOp::kSum: return a + b;
+      case ReduceOp::kMin: return b < a ? b : a;
+      case ReduceOp::kMax: return a < b ? b : a;
+    }
+    throw SimulationError("unknown ReduceOp");
+  }
+
+  const int rank_;
+  const int nranks_;
+  detail::CollectiveBoard& board_;
+  const NetworkModel& network_;
+  CommStats& stats_;
+  std::uint64_t last_round_max_bytes_ = 0;
+};
+
+}  // namespace dedukt::mpisim

@@ -1,0 +1,45 @@
+// Runtime — owns the simulated ranks.
+//
+// run(f) spawns one OS thread per rank, each with its own Comm bound to the
+// shared collective board, and joins them all. An exception on any rank
+// aborts all barriers (so no rank deadlocks) and is rethrown from run() on
+// the caller's thread.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "dedukt/mpisim/comm.hpp"
+#include "dedukt/mpisim/network_model.hpp"
+
+namespace dedukt::mpisim {
+
+class Runtime {
+ public:
+  /// Create a runtime with `nranks` ranks over the given network model.
+  explicit Runtime(int nranks, NetworkModel network = NetworkModel::local());
+
+  /// Execute `f(comm)` on every rank concurrently; blocks until all ranks
+  /// return. Rethrows the first rank failure. May be called repeatedly; the
+  /// communication stats accumulate across calls.
+  void run(const std::function<void(Comm&)>& f);
+
+  [[nodiscard]] int nranks() const { return nranks_; }
+
+  /// Per-rank communication ledgers (valid after run()).
+  [[nodiscard]] const std::vector<CommStats>& stats() const { return stats_; }
+
+  /// Aggregate of all ranks' ledgers; modeled_seconds is the max across
+  /// ranks (they agree for bulk-synchronous programs).
+  [[nodiscard]] CommStats total_stats() const;
+
+  /// Reset all per-rank ledgers to zero.
+  void reset_stats();
+
+ private:
+  int nranks_;
+  NetworkModel network_;
+  std::vector<CommStats> stats_;
+};
+
+}  // namespace dedukt::mpisim

@@ -1,0 +1,38 @@
+#include "dedukt/mpisim/barrier.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::mpisim {
+
+Barrier::Barrier(int participants) : participants_(participants) {
+  DEDUKT_REQUIRE(participants > 0);
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (aborted_) throw SimulationError("barrier aborted (a rank failed)");
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == participants_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+  if (aborted_ && generation_ == my_generation) {
+    throw SimulationError("barrier aborted (a rank failed)");
+  }
+}
+
+void Barrier::abort() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  aborted_ = true;
+  cv_.notify_all();
+}
+
+bool Barrier::aborted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return aborted_;
+}
+
+}  // namespace dedukt::mpisim

@@ -1,0 +1,62 @@
+#include "dedukt/mpisim/runtime.hpp"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::mpisim {
+
+Runtime::Runtime(int nranks, NetworkModel network)
+    : nranks_(nranks),
+      network_(network),
+      stats_(static_cast<std::size_t>(nranks)) {
+  DEDUKT_REQUIRE_MSG(nranks > 0, "Runtime needs at least one rank");
+}
+
+void Runtime::run(const std::function<void(Comm&)>& f) {
+  detail::CollectiveBoard board(nranks_);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(r, nranks_, board, network_,
+                stats_[static_cast<std::size_t>(r)]);
+      try {
+        f(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        board.barrier.abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+CommStats Runtime::total_stats() const {
+  CommStats total;
+  double max_modeled = 0;
+  for (const auto& s : stats_) {
+    total.bytes_sent += s.bytes_sent;
+    total.bytes_received += s.bytes_received;
+    total.alltoallv_calls += s.alltoallv_calls;
+    total.collective_calls += s.collective_calls;
+    max_modeled = std::max(max_modeled, s.modeled_seconds);
+  }
+  total.modeled_seconds = max_modeled;
+  return total;
+}
+
+void Runtime::reset_stats() {
+  for (auto& s : stats_) s = CommStats{};
+}
+
+}  // namespace dedukt::mpisim

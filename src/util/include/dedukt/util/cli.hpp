@@ -1,0 +1,49 @@
+// A small command-line flag parser used by the examples and benchmark
+// drivers. Supports --name=value, --name value, and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dedukt {
+
+/// Parses flags of the form --name=value / --name value / --flag.
+/// Positional arguments are collected in order. Unknown flags are kept and
+/// can be rejected by the caller via unknown_flags().
+class CliParser {
+ public:
+  CliParser(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// String value of --name, or `fallback` if absent.
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback = "") const;
+
+  /// Integer value of --name; throws ParseError on malformed input.
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback) const;
+
+  /// Double value of --name; throws ParseError on malformed input.
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+
+  /// Boolean: present without value, or =true/=1/=yes → true; =false/=0/=no → false.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dedukt

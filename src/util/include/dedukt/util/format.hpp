@@ -1,0 +1,25 @@
+// Human-readable formatting helpers for benchmark and example output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dedukt {
+
+/// "1.23 GB"-style formatting of a byte count (powers of 1024).
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// "4.7B" / "412M" / "12.3K"-style formatting of a count (powers of 1000),
+/// matching the unit style of the paper's Table II.
+[[nodiscard]] std::string format_count(std::uint64_t count);
+
+/// "12.34 s" / "56.7 ms" / "890 us"-style duration formatting.
+[[nodiscard]] std::string format_seconds(double seconds);
+
+/// Fixed-precision double, e.g. format_fixed(3.14159, 2) == "3.14".
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// "1.50x"-style speedup factor.
+[[nodiscard]] std::string format_speedup(double factor);
+
+}  // namespace dedukt

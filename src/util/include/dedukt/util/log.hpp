@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr. Thread-safe line-at-a-time output so
+// interleaved messages from simulated ranks stay readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dedukt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emit one log line (appends '\n'); thread-safe.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace dedukt
+
+#define DEDUKT_LOG_DEBUG ::dedukt::detail::LogLine(::dedukt::LogLevel::kDebug)
+#define DEDUKT_LOG_INFO ::dedukt::detail::LogLine(::dedukt::LogLevel::kInfo)
+#define DEDUKT_LOG_WARN ::dedukt::detail::LogLine(::dedukt::LogLevel::kWarn)
+#define DEDUKT_LOG_ERROR ::dedukt::detail::LogLine(::dedukt::LogLevel::kError)

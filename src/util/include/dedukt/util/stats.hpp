@@ -1,0 +1,78 @@
+// Small statistics helpers shared by the driver, benchmarks and tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stdev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0, m2_ = 0, sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Load imbalance as defined in the paper (Table III): max load / average load.
+/// Returns 1.0 for an empty or perfectly balanced distribution.
+template <typename T>
+[[nodiscard]] double load_imbalance(std::span<const T> loads) {
+  if (loads.empty()) return 1.0;
+  long double sum = 0;
+  T maxv = loads[0];
+  for (const T& v : loads) {
+    sum += static_cast<long double>(v);
+    maxv = std::max(maxv, v);
+  }
+  if (sum <= 0) return 1.0;
+  const long double avg = sum / static_cast<long double>(loads.size());
+  return static_cast<double>(static_cast<long double>(maxv) / avg);
+}
+
+template <typename T>
+[[nodiscard]] double load_imbalance(const std::vector<T>& loads) {
+  return load_imbalance(std::span<const T>(loads));
+}
+
+/// Percentile of a sample (linear interpolation); p in [0, 100].
+[[nodiscard]] inline double percentile(std::vector<double> xs, double p) {
+  DEDUKT_REQUIRE(!xs.empty());
+  DEDUKT_REQUIRE(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace dedukt

@@ -1,0 +1,35 @@
+// ASCII table printer used by the benchmark harness to emit the same
+// rows/columns as the paper's tables and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dedukt {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  /// Set the header row (clears any previous header).
+  void set_header(std::vector<std::string> header);
+
+  /// Append one data row. Rows may have differing widths; short rows are
+  /// padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with box-drawing separators and right-aligned numeric-looking
+  /// cells.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dedukt

@@ -1,0 +1,90 @@
+// Wall-clock timing utilities used by the pipeline drivers and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace dedukt {
+
+/// Monotonic wall-clock stopwatch with second-resolution double output.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates named phase durations (e.g. "parse", "exchange", "count").
+/// Used to build the per-phase runtime breakdowns of Figures 3 and 7.
+class PhaseTimes {
+ public:
+  /// Add `seconds` to the named phase.
+  void add(const std::string& phase, double seconds) {
+    phases_[phase] += seconds;
+  }
+
+  /// Total seconds recorded for `phase` (0 if never recorded).
+  [[nodiscard]] double get(const std::string& phase) const {
+    auto it = phases_.find(phase);
+    return it == phases_.end() ? 0.0 : it->second;
+  }
+
+  /// Sum over all phases.
+  [[nodiscard]] double total() const {
+    double t = 0;
+    for (const auto& [_, v] : phases_) t += v;
+    return t;
+  }
+
+  /// Merge another breakdown into this one (phase-wise sum).
+  void merge(const PhaseTimes& other) {
+    for (const auto& [k, v] : other.phases_) phases_[k] += v;
+  }
+
+  /// Phase-wise maximum — the bulk-synchronous critical path across ranks.
+  void max_merge(const PhaseTimes& other) {
+    for (const auto& [k, v] : other.phases_) {
+      auto& slot = phases_[k];
+      if (v > slot) slot = v;
+    }
+  }
+
+  [[nodiscard]] const std::map<std::string, double>& phases() const {
+    return phases_;
+  }
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+/// RAII helper: times a scope and adds the duration to a PhaseTimes entry.
+class ScopedPhase {
+ public:
+  ScopedPhase(PhaseTimes& sink, std::string phase)
+      : sink_(sink), phase_(std::move(phase)) {}
+  ~ScopedPhase() { sink_.add(phase_, timer_.seconds()); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimes& sink_;
+  std::string phase_;
+  Timer timer_;
+};
+
+}  // namespace dedukt

@@ -1,0 +1,68 @@
+#include "dedukt/util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace dedukt {
+
+namespace {
+
+std::string with_unit(double value, const char* unit, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f %s", decimals, value, unit);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 6> units = {"B",  "KiB", "MiB",
+                                                       "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  return with_unit(v, units[u], u == 0 ? 0 : 2);
+}
+
+std::string format_count(std::uint64_t count) {
+  static constexpr std::array<const char*, 5> units = {"", "K", "M", "B", "T"};
+  double v = static_cast<double>(count);
+  std::size_t u = 0;
+  while (v >= 1000.0 && u + 1 < units.size()) {
+    v /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(count));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f%s", v < 10 ? 1 : 0, v, units[u]);
+  }
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  if (seconds >= 1.0) return with_unit(seconds, "s", 2);
+  if (seconds >= 1e-3) return with_unit(seconds * 1e3, "ms", 2);
+  if (seconds >= 1e-6) return with_unit(seconds * 1e6, "us", 1);
+  return with_unit(seconds * 1e9, "ns", 1);
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_speedup(double factor) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2fx", factor);
+  return buf;
+}
+
+}  // namespace dedukt

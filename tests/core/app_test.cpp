@@ -1,0 +1,210 @@
+#include "dedukt/core/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dedukt/io/fastq.hpp"
+#include "dedukt/io/synthetic.hpp"
+
+namespace dedukt::core {
+namespace {
+
+struct AppResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+AppResult run(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"dedukt"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out, err;
+  const int code =
+      run_app(static_cast<int>(argv.size()), argv.data(), out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(AppTest, NoArgsPrintsUsageAndFails) {
+  const AppResult result = run({});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(AppTest, HelpSucceeds) {
+  const AppResult result = run({"help"});
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("count"), std::string::npos);
+  EXPECT_NE(result.out.find("compare"), std::string::npos);
+}
+
+TEST(AppTest, UnknownCommandFails) {
+  const AppResult result = run({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(AppTest, CountSyntheticWritesBinary) {
+  const std::string path = temp_path("app_counts.bin");
+  const AppResult result = run({"count", "--synthetic=ecoli30x",
+                                "--scale=4000", "--ranks=4",
+                                "--output=" + path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("wrote"), std::string::npos);
+
+  const AppResult info = run({"info", "--counts=" + path});
+  ASSERT_EQ(info.exit_code, 0) << info.err;
+  EXPECT_NE(info.out.find("k                    : 17"), std::string::npos);
+}
+
+TEST(AppTest, CountFromFastqFile) {
+  // Write a small FASTQ and count it with the CPU pipeline.
+  io::GenomeSpec gspec;
+  gspec.length = 3'000;
+  io::ReadSpec rspec;
+  rspec.coverage = 2.0;
+  rspec.mean_read_length = 300;
+  rspec.min_read_length = 60;
+  const io::ReadBatch reads = io::generate_dataset(gspec, rspec);
+  const std::string fastq = temp_path("app_reads.fastq");
+  io::write_fastq_file(fastq, reads);
+
+  const std::string counts = temp_path("app_fastq_counts.bin");
+  const AppResult result =
+      run({"count", "--input=" + fastq, "--pipeline=cpu", "--ranks=3",
+           "--k=11", "--output=" + counts});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+
+  const AppResult info = run({"info", "--counts=" + counts});
+  EXPECT_NE(info.out.find("k                    : 11"), std::string::npos);
+}
+
+TEST(AppTest, CountRequiresInputOrSynthetic) {
+  const AppResult result = run({"count"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--input or --synthetic"), std::string::npos);
+}
+
+TEST(AppTest, CountRejectsBadPipeline) {
+  const AppResult result =
+      run({"count", "--synthetic=ecoli30x", "--pipeline=quantum"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--pipeline"), std::string::npos);
+}
+
+TEST(AppTest, HistoAnalyzesCounts) {
+  const std::string path = temp_path("app_histo.bin");
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=4000",
+                 "--ranks=4", "--output=" + path})
+                .exit_code,
+            0);
+  const AppResult histo = run({"histo", "--counts=" + path});
+  ASSERT_EQ(histo.exit_code, 0) << histo.err;
+  EXPECT_NE(histo.out.find("coverage peak"), std::string::npos);
+  EXPECT_NE(histo.out.find("genome size estimate"), std::string::npos);
+}
+
+TEST(AppTest, DumpProducesTsvRows) {
+  const std::string path = temp_path("app_dump.bin");
+  ASSERT_EQ(run({"count", "--synthetic=abaumannii30x", "--scale=8000",
+                 "--ranks=3", "--output=" + path})
+                .exit_code,
+            0);
+  const AppResult dump = run({"dump", "--counts=" + path});
+  ASSERT_EQ(dump.exit_code, 0) << dump.err;
+  // Every row is "<17 ACGT chars>\t<count>".
+  std::istringstream rows(dump.out);
+  std::string line;
+  int checked = 0;
+  while (std::getline(rows, line) && checked < 50) {
+    ASSERT_EQ(line.find('\t'), 17u) << line;
+    ++checked;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST(AppTest, GraphReportsUnitigs) {
+  const std::string path = temp_path("app_graph.bin");
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=8000",
+                 "--ranks=3", "--output=" + path})
+                .exit_code,
+            0);
+  const AppResult graph = run({"graph", "--counts=" + path});
+  ASSERT_EQ(graph.exit_code, 0) << graph.err;
+  EXPECT_NE(graph.out.find("unitig N50"), std::string::npos);
+  EXPECT_NE(graph.out.find("nodes"), std::string::npos);
+}
+
+TEST(AppTest, GraphMinCountFilters) {
+  const std::string path = temp_path("app_graph_filter.bin");
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=8000",
+                 "--ranks=3", "--output=" + path})
+                .exit_code,
+            0);
+  const AppResult all = run({"graph", "--counts=" + path});
+  const AppResult filtered =
+      run({"graph", "--counts=" + path, "--min-count=1000000"});
+  ASSERT_EQ(all.exit_code, 0);
+  ASSERT_EQ(filtered.exit_code, 0);
+  EXPECT_NE(filtered.out.find("nodes                : 0"),
+            std::string::npos);  // everything filtered away
+}
+
+TEST(AppTest, CompareIdenticalFilesIsJaccardOne) {
+  const std::string path = temp_path("app_cmp.bin");
+  ASSERT_EQ(run({"count", "--synthetic=vvulnificus30x", "--scale=8000",
+                 "--ranks=3", "--output=" + path})
+                .exit_code,
+            0);
+  const AppResult cmp =
+      run({"compare", "--a=" + path, "--b=" + path});
+  ASSERT_EQ(cmp.exit_code, 0) << cmp.err;
+  EXPECT_NE(cmp.out.find("jaccard              : 1.0000"),
+            std::string::npos);
+  EXPECT_NE(cmp.out.find("bray-curtis          : 0.0000"),
+            std::string::npos);
+}
+
+TEST(AppTest, CompareRejectsMismatchedK) {
+  const std::string a = temp_path("app_cmp_a.bin");
+  const std::string b = temp_path("app_cmp_b.bin");
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=8000",
+                 "--ranks=2", "--k=17", "--output=" + a})
+                .exit_code,
+            0);
+  // k=21 needs a smaller window to stay within single-word packing.
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=8000",
+                 "--ranks=2", "--k=21", "--window=11", "--output=" + b})
+                .exit_code,
+            0);
+  const AppResult cmp = run({"compare", "--a=" + a, "--b=" + b});
+  EXPECT_EQ(cmp.exit_code, 1);
+  EXPECT_NE(cmp.err.find("different k"), std::string::npos);
+}
+
+TEST(AppTest, MissingCountsFileIsRuntimeFailure) {
+  const AppResult result =
+      run({"info", "--counts=/nonexistent/file.bin"});
+  EXPECT_EQ(result.exit_code, 2);
+  EXPECT_NE(result.err.find("error:"), std::string::npos);
+}
+
+TEST(AppTest, CountWithExtensionsEnabled) {
+  const std::string path = temp_path("app_ext.bin");
+  const AppResult result =
+      run({"count", "--synthetic=ecoli30x", "--scale=8000", "--ranks=4",
+           "--filter-singletons", "--freq-balanced", "--output=" + path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  const AppResult info = run({"info", "--counts=" + path});
+  EXPECT_EQ(info.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -1,0 +1,129 @@
+#include "dedukt/core/counts_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+namespace {
+
+CountsFile sample_file() {
+  CountsFile file;
+  file.k = 5;
+  file.encoding = io::BaseEncoding::kStandard;
+  file.counts = {{kmer::pack("AACGT", file.encoding), 3},
+                 {kmer::pack("CCCCC", file.encoding), 1},
+                 {kmer::pack("TGCAT", file.encoding), 42}};
+  return file;
+}
+
+TEST(CountsBinaryTest, RoundTrip) {
+  const CountsFile original = sample_file();
+  std::stringstream buffer;
+  write_counts_binary(buffer, original);
+  const CountsFile loaded = read_counts_binary(buffer);
+  EXPECT_EQ(loaded.k, original.k);
+  EXPECT_EQ(loaded.encoding, original.encoding);
+  EXPECT_EQ(loaded.counts, original.counts);
+}
+
+TEST(CountsBinaryTest, RandomizedEncodingPreserved) {
+  CountsFile file;
+  file.k = 4;
+  file.encoding = io::BaseEncoding::kRandomized;
+  file.counts = {{kmer::pack("ACGT", file.encoding), 7}};
+  std::stringstream buffer;
+  write_counts_binary(buffer, file);
+  const CountsFile loaded = read_counts_binary(buffer);
+  EXPECT_EQ(loaded.encoding, io::BaseEncoding::kRandomized);
+  EXPECT_EQ(kmer::unpack(loaded.counts[0].first, 4, loaded.encoding),
+            "ACGT");
+}
+
+TEST(CountsBinaryTest, BadMagicRejected) {
+  std::stringstream buffer("NOPExxxxxxxxxxxxxxxx");
+  EXPECT_THROW(read_counts_binary(buffer), ParseError);
+}
+
+TEST(CountsBinaryTest, TruncationRejected) {
+  const CountsFile original = sample_file();
+  std::stringstream buffer;
+  write_counts_binary(buffer, original);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() - 5);
+  std::stringstream truncated(bytes);
+  EXPECT_THROW(read_counts_binary(truncated), ParseError);
+}
+
+TEST(CountsBinaryTest, BadKRejected) {
+  CountsFile file = sample_file();
+  file.k = 99;
+  std::stringstream buffer;
+  EXPECT_THROW(write_counts_binary(buffer, file), PreconditionError);
+}
+
+TEST(CountsTsvTest, RoundTrip) {
+  const CountsFile original = sample_file();
+  std::stringstream buffer;
+  write_counts_tsv(buffer, original);
+  const CountsFile loaded = read_counts_tsv(buffer, original.encoding);
+  EXPECT_EQ(loaded.k, original.k);
+  EXPECT_EQ(loaded.counts, original.counts);
+}
+
+TEST(CountsTsvTest, HumanReadableRows) {
+  std::stringstream buffer;
+  write_counts_tsv(buffer, sample_file());
+  EXPECT_NE(buffer.str().find("AACGT\t3"), std::string::npos);
+  EXPECT_NE(buffer.str().find("TGCAT\t42"), std::string::npos);
+}
+
+TEST(CountsTsvTest, MixedLengthsRejected) {
+  std::stringstream buffer("ACG\t1\nACGT\t2\n");
+  EXPECT_THROW(read_counts_tsv(buffer, io::BaseEncoding::kStandard),
+               ParseError);
+}
+
+TEST(CountsTsvTest, MissingTabRejected) {
+  std::stringstream buffer("ACGT 7\n");
+  EXPECT_THROW(read_counts_tsv(buffer, io::BaseEncoding::kStandard),
+               ParseError);
+}
+
+TEST(CountsIoTest, PipelineResultRoundTripsThroughDisk) {
+  io::GenomeSpec gspec;
+  gspec.length = 5'000;
+  gspec.seed = 13;
+  io::ReadSpec rspec;
+  rspec.coverage = 3.0;
+  rspec.mean_read_length = 400;
+  rspec.min_read_length = 80;
+  const io::ReadBatch reads = io::generate_dataset(gspec, rspec);
+
+  DriverOptions options;
+  options.nranks = 4;
+  const CountResult result = run_distributed_count(reads, options);
+
+  CountsFile file;
+  file.k = options.pipeline.k;
+  file.encoding = options.pipeline.encoding();
+  file.counts = result.global_counts;
+
+  const std::string path = testing::TempDir() + "/dedukt_counts.bin";
+  write_counts_binary_file(path, file);
+  const CountsFile loaded = read_counts_binary_file(path);
+  EXPECT_EQ(loaded.counts, result.global_counts);
+  EXPECT_EQ(loaded.k, 17);
+}
+
+TEST(CountsIoTest, MissingFileThrows) {
+  EXPECT_THROW(read_counts_binary_file("/nonexistent/counts.bin"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -1,0 +1,193 @@
+#include "dedukt/core/debruijn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/kmer/extract.hpp"
+
+namespace dedukt::core {
+namespace {
+
+using io::BaseEncoding;
+
+/// Graph over the k-mers of one or more sequences (unit multiplicities
+/// unless repeated).
+DeBruijnGraph graph_of(const std::vector<std::string>& sequences, int k) {
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (const auto& sequence : sequences) {
+    for (const auto code :
+         kmer::extract_kmers(sequence, k, BaseEncoding::kStandard)) {
+      ++counts[code];
+    }
+  }
+  return DeBruijnGraph({counts.begin(), counts.end()}, k,
+                       BaseEncoding::kStandard);
+}
+
+TEST(DeBruijnTest, LinearSequenceIsOneUnitig) {
+  const std::string sequence = "ACGTTGCAAGGCTTAC";
+  const DeBruijnGraph graph = graph_of({sequence}, 5);
+  const auto unitigs = graph.unitigs();
+  ASSERT_EQ(unitigs.size(), 1u);
+  EXPECT_EQ(unitigs[0].bases, sequence.size());
+  EXPECT_EQ(unitigs[0].kmers, sequence.size() - 5 + 1);
+  EXPECT_DOUBLE_EQ(unitigs[0].mean_coverage, 1.0);
+
+  const GraphStats stats = graph.stats();
+  EXPECT_EQ(stats.nodes, sequence.size() - 5 + 1);
+  EXPECT_EQ(stats.edges, stats.nodes - 1);
+  EXPECT_EQ(stats.unitigs, 1u);
+  EXPECT_EQ(stats.tips, 2u);       // the two chain ends
+  EXPECT_EQ(stats.junctions, 0u);
+  EXPECT_EQ(stats.n50_bases, sequence.size());
+}
+
+TEST(DeBruijnTest, UnitigSequenceReconstructsTheInput) {
+  const std::string sequence = "ACGTTGCAAGGCTTAC";
+  const DeBruijnGraph graph = graph_of({sequence}, 5);
+  const auto unitigs = graph.unitigs();
+  ASSERT_EQ(unitigs.size(), 1u);
+  EXPECT_EQ(graph.unitig_sequence(unitigs[0].first), sequence);
+}
+
+TEST(DeBruijnTest, SuccessorsAndPredecessors) {
+  const DeBruijnGraph graph = graph_of({"ACGTA"}, 3);
+  const auto acg = kmer::pack("ACG", BaseEncoding::kStandard);
+  const auto cgt = kmer::pack("CGT", BaseEncoding::kStandard);
+  const auto gta = kmer::pack("GTA", BaseEncoding::kStandard);
+  EXPECT_EQ(graph.successors(acg), std::vector<kmer::KmerCode>{cgt});
+  EXPECT_EQ(graph.successors(cgt), std::vector<kmer::KmerCode>{gta});
+  EXPECT_TRUE(graph.successors(gta).empty());
+  EXPECT_EQ(graph.predecessors(cgt), std::vector<kmer::KmerCode>{acg});
+  EXPECT_TRUE(graph.predecessors(acg).empty());
+  EXPECT_EQ(graph.in_degree(gta), 1);
+  EXPECT_EQ(graph.out_degree(acg), 1);
+}
+
+TEST(DeBruijnTest, BranchSplitsUnitigs) {
+  // Two sequences sharing a prefix: ...AB then B->C and B->D diverge.
+  // ACGTA and ACGTC share ACG, CGT; then GTA vs GTC.
+  const DeBruijnGraph graph = graph_of({"ACGTA", "ACGTC"}, 3);
+  const GraphStats stats = graph.stats();
+  EXPECT_EQ(stats.nodes, 4u);  // ACG CGT GTA GTC
+  EXPECT_EQ(stats.junctions, 1u);  // CGT has out-degree 2
+  // Unitigs: [ACG, CGT] then [GTA], [GTC].
+  EXPECT_EQ(stats.unitigs, 3u);
+}
+
+TEST(DeBruijnTest, CoverageIsCountWeighted) {
+  const DeBruijnGraph graph = graph_of({"ACGTA", "ACGTA", "ACGTA"}, 4);
+  EXPECT_EQ(graph.coverage(kmer::pack("ACGT", BaseEncoding::kStandard)),
+            3u);
+  const auto unitigs = graph.unitigs();
+  ASSERT_EQ(unitigs.size(), 1u);
+  EXPECT_DOUBLE_EQ(unitigs[0].mean_coverage, 3.0);
+}
+
+TEST(DeBruijnTest, PureCycleIsOneUnitig) {
+  // A circular sequence: every k-mer linear, no start node.
+  // "ACGTACGT..." with k=4 cycles through 4 distinct k-mers:
+  // ACGT -> CGTA -> GTAC -> TACG -> ACGT.
+  const DeBruijnGraph graph = graph_of({"ACGTACGTACG"}, 4);
+  const GraphStats stats = graph.stats();
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.tips, 0u);
+  const auto unitigs = graph.unitigs();
+  ASSERT_EQ(unitigs.size(), 1u);
+  EXPECT_EQ(unitigs[0].kmers, 4u);
+}
+
+TEST(DeBruijnTest, EveryNodeInExactlyOneUnitig) {
+  io::GenomeSpec gspec;
+  gspec.length = 4'000;
+  gspec.seed = 23;
+  gspec.repeat_fraction = 0.15;
+  gspec.repeat_unit = 300;
+  const io::ReadBatch genome = io::generate_genome(gspec);
+  const DeBruijnGraph graph = graph_of({genome.reads[0].bases}, 15);
+
+  std::uint64_t unitig_kmers = 0;
+  for (const auto& unitig : graph.unitigs()) {
+    unitig_kmers += unitig.kmers;
+  }
+  EXPECT_EQ(unitig_kmers, graph.nodes());
+}
+
+TEST(DeBruijnTest, CleanGenomeAssemblesToFewLongUnitigs) {
+  // A repeat-free genome's graph is one long path (up to rare random
+  // k-mer collisions): N50 should approach the genome length.
+  io::GenomeSpec gspec;
+  gspec.length = 5'000;
+  gspec.seed = 29;
+  gspec.repeat_fraction = 0.0;
+  const io::ReadBatch genome = io::generate_genome(gspec);
+  const DeBruijnGraph graph = graph_of({genome.reads[0].bases}, 21);
+  const GraphStats stats = graph.stats();
+  EXPECT_LE(stats.unitigs, 5u);
+  EXPECT_GT(stats.n50_bases, 2'000u);
+}
+
+TEST(DeBruijnTest, RepeatsFragmentTheGraph) {
+  io::GenomeSpec clean, repetitive;
+  clean.length = repetitive.length = 20'000;
+  clean.seed = repetitive.seed = 31;
+  repetitive.repeat_fraction = 0.4;
+  repetitive.repeat_unit = 400;
+  const auto g_clean =
+      graph_of({io::generate_genome(clean).reads[0].bases}, 17);
+  const auto g_rep =
+      graph_of({io::generate_genome(repetitive).reads[0].bases}, 17);
+  EXPECT_GT(g_rep.stats().junctions, g_clean.stats().junctions);
+  EXPECT_LT(g_rep.stats().n50_bases, g_clean.stats().n50_bases);
+}
+
+TEST(DeBruijnTest, BuildsFromPipelineOutput) {
+  // End to end: count with the distributed GPU pipeline, build the graph
+  // from the global table — the workflow the paper's introduction
+  // motivates.
+  io::GenomeSpec gspec;
+  gspec.length = 3'000;
+  gspec.seed = 37;
+  io::ReadSpec rspec;
+  rspec.coverage = 6.0;
+  rspec.mean_read_length = 400;
+  rspec.min_read_length = 100;
+  rspec.sample_both_strands = false;  // single-strand: graph stays simple
+  const io::ReadBatch reads = io::generate_dataset(gspec, rspec);
+
+  DriverOptions options;
+  options.nranks = 4;
+  const CountResult result = run_distributed_count(reads, options);
+
+  const DeBruijnGraph graph(result.global_counts, options.pipeline.k,
+                            options.pipeline.encoding());
+  EXPECT_EQ(graph.nodes(), result.total_unique());
+  const GraphStats stats = graph.stats();
+  EXPECT_GT(stats.n50_bases, 500u);  // coverage should stitch long paths
+  // Mean unitig coverage reflects the sequencing depth.
+  double covered = 0;
+  std::uint64_t kmers = 0;
+  for (const auto& unitig : graph.unitigs()) {
+    covered += unitig.mean_coverage * static_cast<double>(unitig.kmers);
+    kmers += unitig.kmers;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(kmers), 6.0, 2.5);
+}
+
+TEST(DeBruijnTest, RejectsBadInput) {
+  EXPECT_THROW(DeBruijnGraph({{0, 0}}, 5, BaseEncoding::kStandard),
+               PreconditionError);
+  EXPECT_THROW(DeBruijnGraph({}, 1, BaseEncoding::kStandard),
+               PreconditionError);
+  const DeBruijnGraph graph = graph_of({"ACGTA"}, 3);
+  EXPECT_THROW(graph.unitig_sequence(
+                   kmer::pack("TTT", BaseEncoding::kStandard)),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -1,0 +1,169 @@
+#include "dedukt/core/device_hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "dedukt/kmer/supermer.hpp"
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::core {
+namespace {
+
+TEST(DeviceHashTableTest, CountsKmersExactly) {
+  gpusim::Device device;
+  std::vector<std::uint64_t> kmers = {5, 5, 9, 5, 12, 9};
+  auto d_kmers = device.alloc<std::uint64_t>(kmers.size());
+  device.copy_to_device<std::uint64_t>(kmers, d_kmers);
+
+  DeviceHashTable table(device, kmers.size());
+  table.count_kmers(d_kmers, kmers.size());
+
+  EXPECT_EQ(table.unique(), 3u);
+  EXPECT_EQ(table.total(), 6u);
+  std::map<std::uint64_t, std::uint32_t> entries;
+  for (const auto& [key, count] : table.to_host()) entries[key] = count;
+  EXPECT_EQ(entries[5], 3u);
+  EXPECT_EQ(entries[9], 2u);
+  EXPECT_EQ(entries[12], 1u);
+}
+
+TEST(DeviceHashTableTest, MatchesOracleUnderRandomWorkload) {
+  gpusim::Device device;
+  Xoshiro256 rng(66);
+  std::vector<std::uint64_t> kmers;
+  std::unordered_map<std::uint64_t, std::uint32_t> oracle;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t key = rng.below(3'000);
+    kmers.push_back(key);
+    ++oracle[key];
+  }
+  auto d_kmers = device.alloc<std::uint64_t>(kmers.size());
+  device.copy_to_device<std::uint64_t>(kmers, d_kmers);
+
+  DeviceHashTable table(device, oracle.size());
+  table.count_kmers(d_kmers, kmers.size());
+
+  EXPECT_EQ(table.unique(), oracle.size());
+  for (const auto& [key, count] : table.to_host()) {
+    ASSERT_EQ(count, oracle.at(key));
+  }
+}
+
+TEST(DeviceHashTableTest, CountsFromSupermers) {
+  gpusim::Device device;
+  // Supermer "ACGTA" with k=3 carries ACG, CGT, GTA.
+  const kmer::KmerCode bases =
+      kmer::pack("ACGTA", io::BaseEncoding::kStandard);
+  std::vector<std::uint64_t> words = {bases, bases};
+  std::vector<std::uint8_t> lens = {5, 5};
+  auto d_words = device.alloc<std::uint64_t>(2);
+  auto d_lens = device.alloc<std::uint8_t>(2);
+  device.copy_to_device<std::uint64_t>(words, d_words);
+  device.copy_to_device<std::uint8_t>(lens, d_lens);
+
+  DeviceHashTable table(device, 6);
+  table.count_supermers(d_words, d_lens, 2, /*k=*/3);
+
+  EXPECT_EQ(table.unique(), 3u);
+  EXPECT_EQ(table.total(), 6u);
+  std::map<std::uint64_t, std::uint32_t> entries;
+  for (const auto& [key, count] : table.to_host()) entries[key] = count;
+  EXPECT_EQ(entries[kmer::pack("ACG", io::BaseEncoding::kStandard)], 2u);
+  EXPECT_EQ(entries[kmer::pack("CGT", io::BaseEncoding::kStandard)], 2u);
+  EXPECT_EQ(entries[kmer::pack("GTA", io::BaseEncoding::kStandard)], 2u);
+}
+
+TEST(DeviceHashTableTest, SupermerAndKmerPathsAgree) {
+  gpusim::Device device;
+  Xoshiro256 rng(67);
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  constexpr int kK = 7;
+
+  std::vector<std::uint64_t> words;
+  std::vector<std::uint8_t> lens;
+  std::vector<std::uint64_t> flat_kmers;
+  for (int i = 0; i < 500; ++i) {
+    const int len = kK + static_cast<int>(rng.below(10));
+    std::string seq;
+    for (int j = 0; j < len; ++j) seq.push_back(kBases[rng.below(4)]);
+    words.push_back(kmer::pack(seq, io::BaseEncoding::kStandard));
+    lens.push_back(static_cast<std::uint8_t>(len));
+    for (const auto code :
+         kmer::extract_kmers(seq, kK, io::BaseEncoding::kStandard)) {
+      flat_kmers.push_back(code);
+    }
+  }
+
+  auto d_words = device.alloc<std::uint64_t>(words.size());
+  auto d_lens = device.alloc<std::uint8_t>(lens.size());
+  auto d_kmers = device.alloc<std::uint64_t>(flat_kmers.size());
+  device.copy_to_device<std::uint64_t>(words, d_words);
+  device.copy_to_device<std::uint8_t>(lens, d_lens);
+  device.copy_to_device<std::uint64_t>(flat_kmers, d_kmers);
+
+  DeviceHashTable by_supermer(device, flat_kmers.size());
+  by_supermer.count_supermers(d_words, d_lens, words.size(), kK);
+  DeviceHashTable by_kmer(device, flat_kmers.size());
+  by_kmer.count_kmers(d_kmers, flat_kmers.size());
+
+  std::map<std::uint64_t, std::uint32_t> a, b;
+  for (const auto& [key, count] : by_supermer.to_host()) a[key] = count;
+  for (const auto& [key, count] : by_kmer.to_host()) b[key] = count;
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeviceHashTableTest, CapacityIsPowerOfTwoWithHeadroom) {
+  gpusim::Device device;
+  DeviceHashTable table(device, 1000, 2.0);
+  EXPECT_GE(table.capacity(), 2000u);
+  EXPECT_EQ(table.capacity() & (table.capacity() - 1), 0u);
+}
+
+TEST(DeviceHashTableTest, HighLoadFactorStillCorrect) {
+  // Headroom 1.0 allows the table to run essentially full.
+  gpusim::Device device;
+  std::vector<std::uint64_t> kmers;
+  for (std::uint64_t i = 0; i < 4096; ++i) kmers.push_back(i);
+  auto d_kmers = device.alloc<std::uint64_t>(kmers.size());
+  device.copy_to_device<std::uint64_t>(kmers, d_kmers);
+  DeviceHashTable table(device, 4096, 1.0);
+  table.count_kmers(d_kmers, kmers.size());
+  EXPECT_EQ(table.unique(), 4096u);
+}
+
+TEST(DeviceHashTableTest, OverfullTableThrows) {
+  gpusim::Device device;
+  std::vector<std::uint64_t> kmers;
+  for (std::uint64_t i = 0; i < 100; ++i) kmers.push_back(i);
+  auto d_kmers = device.alloc<std::uint64_t>(kmers.size());
+  device.copy_to_device<std::uint64_t>(kmers, d_kmers);
+  DeviceHashTable table(device, 8, 1.0);  // capacity 16 < 100 keys
+  EXPECT_THROW(table.count_kmers(d_kmers, kmers.size()), SimulationError);
+}
+
+TEST(DeviceHashTableTest, InsertionCountsAtomics) {
+  gpusim::Device device;
+  std::vector<std::uint64_t> kmers(1000, 7);
+  auto d_kmers = device.alloc<std::uint64_t>(kmers.size());
+  device.copy_to_device<std::uint64_t>(kmers, d_kmers);
+  DeviceHashTable table(device, 10);
+  const auto stats = table.count_kmers(d_kmers, kmers.size());
+  // Each insert does a CAS + an atomic add.
+  EXPECT_EQ(stats.counters.atomics, 2000u);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+TEST(DeviceHashTableTest, EmptyInputIsFine) {
+  gpusim::Device device;
+  auto d_kmers = device.alloc<std::uint64_t>(1);
+  DeviceHashTable table(device, 0);
+  table.count_kmers(d_kmers, 0);
+  EXPECT_EQ(table.unique(), 0u);
+  EXPECT_EQ(table.total(), 0u);
+  EXPECT_TRUE(table.to_host().empty());
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -1,0 +1,75 @@
+// Golden regression tests: exact counting results for small fixed inputs,
+// pinned by hand. If one of these fails after a change, the change altered
+// observable counting semantics (encodings, extraction, routing), not just
+// internals — bump them only on purpose.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dedukt/core/driver.hpp"
+
+namespace dedukt::core {
+namespace {
+
+io::ReadBatch fixed_reads() {
+  io::ReadBatch reads;
+  reads.reads.push_back({"r1", "GATTACAGATTACACAT", ""});
+  reads.reads.push_back({"r2", "ACGTACGTACGT", ""});
+  reads.reads.push_back({"r3", "GATTACA", ""});
+  return reads;
+}
+
+TEST(GoldenTest, FixedInputCountsPinned) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.pipeline.k = 7;
+  options.pipeline.m = 3;
+  options.pipeline.window = 9;
+  options.nranks = 3;
+  const CountResult result = run_distributed_count(fixed_reads(), options);
+
+  // r1 (17 bases) has 11 7-mers, r2 (12) has 6, r3 (7) has 1: 18 total.
+  EXPECT_EQ(result.totals().counted_kmers, 18u);
+
+  // Decode the counts back to ASCII and pin the interesting entries.
+  std::map<std::string, std::uint64_t> by_string;
+  const io::BaseEncoding enc = options.pipeline.encoding();
+  for (const auto& [code, count] : result.global_counts) {
+    by_string[kmer::unpack(code, 7, enc)] = count;
+  }
+  // GATTACA occurs at r1[0], r1[7] and r3[0].
+  EXPECT_EQ(by_string.at("GATTACA"), 3u);
+  // ACGTACG occurs twice in r2.
+  EXPECT_EQ(by_string.at("ACGTACG"), 2u);
+  EXPECT_EQ(by_string.at("CGTACGT"), 2u);
+  EXPECT_EQ(by_string.at("ATTACAC"), 1u);
+  EXPECT_EQ(by_string.at("TTACACA"), 1u);
+  // 11 distinct from r1 (GATTACA repeated) + 2 extra distinct from r2:
+  // r1 7-mers: GATTACA ATTACAG TTACAGA TACAGAT ACAGATT CAGATTA AGATTAC
+  //            GATTACA ATTACAC TTACACA TACACAT -> 10 distinct
+  // r2 adds ACGTACG, CGTACGT, GTACGTA, TACGTAC (6 kmers, 4 distinct).
+  EXPECT_EQ(result.total_unique(), 14u);
+}
+
+TEST(GoldenTest, RandomizedEncodingPinnedCodes) {
+  // §IV-A: A=1, C=0, T=2, G=3. "GAT" = 3,1,2 = 0b110110 = 54.
+  EXPECT_EQ(kmer::pack("GAT", io::BaseEncoding::kRandomized), 54u);
+  // Standard: "GAT" = 2,0,3 = 0b100011 = 35.
+  EXPECT_EQ(kmer::pack("GAT", io::BaseEncoding::kStandard), 35u);
+}
+
+TEST(GoldenTest, MinimizerOfGattacaPinned) {
+  // k=7, m=3, randomized order (C<A<T<G by code 0<1<2<3).
+  // 3-mers of GATTACA: GAT ATT TTA TAC ACA CA? -> GAT,ATT,TTA,TAC,ACA.
+  // Randomized codes: GAT=54, ATT=0b011010=26(1,2,2)=0b01'10'10=26,
+  // TTA=0b10'10'01=41, TAC=0b10'01'00=36, ACA=0b01'00'01=17.
+  // Minimum is ACA (17).
+  const kmer::MinimizerPolicy policy(kmer::MinimizerOrder::kRandomized, 3);
+  const auto code = kmer::pack("GATTACA", policy.encoding());
+  EXPECT_EQ(kmer::unpack(kmer::minimizer_of(code, 7, policy), 3,
+                         policy.encoding()),
+            "ACA");
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -1,0 +1,112 @@
+#include "dedukt/core/host_hash_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::core {
+namespace {
+
+TEST(HostHashTableTest, InsertAndIncrement) {
+  HostHashTable table;
+  table.add(42);
+  table.add(42);
+  table.add(7);
+  EXPECT_EQ(table.count(42), 2u);
+  EXPECT_EQ(table.count(7), 1u);
+  EXPECT_EQ(table.count(99), 0u);
+  EXPECT_EQ(table.unique(), 2u);
+  EXPECT_EQ(table.total(), 3u);
+}
+
+TEST(HostHashTableTest, AddWithExplicitCount) {
+  HostHashTable table;
+  table.add(5, 10);
+  table.add(5, 3);
+  EXPECT_EQ(table.count(5), 13u);
+  EXPECT_EQ(table.total(), 13u);
+}
+
+TEST(HostHashTableTest, GrowsBeyondInitialCapacity) {
+  HostHashTable table(4);
+  const std::size_t initial_capacity = table.capacity();
+  for (std::uint64_t key = 0; key < 10'000; ++key) table.add(key);
+  EXPECT_GT(table.capacity(), initial_capacity);
+  EXPECT_EQ(table.unique(), 10'000u);
+  for (std::uint64_t key = 0; key < 10'000; ++key) {
+    ASSERT_EQ(table.count(key), 1u);
+  }
+}
+
+TEST(HostHashTableTest, MatchesUnorderedMapUnderRandomWorkload) {
+  Xoshiro256 rng(55);
+  HostHashTable table;
+  std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+  for (int op = 0; op < 50'000; ++op) {
+    const std::uint64_t key = rng.below(5'000);  // force collisions
+    table.add(key);
+    ++oracle[key];
+  }
+  EXPECT_EQ(table.unique(), oracle.size());
+  for (const auto& [key, count] : oracle) {
+    ASSERT_EQ(table.count(key), count);
+  }
+}
+
+TEST(HostHashTableTest, RejectsSentinelKey) {
+  HostHashTable table;
+  EXPECT_THROW(table.add(kmer::kInvalidCode), PreconditionError);
+}
+
+TEST(HostHashTableTest, EntriesSortedIsSortedAndComplete) {
+  HostHashTable table;
+  for (std::uint64_t key : {9ull, 1ull, 5ull, 1ull}) table.add(key);
+  const auto entries = table.entries_sorted();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0], (std::pair<std::uint64_t, std::uint64_t>{1, 2}));
+  EXPECT_EQ(entries[1], (std::pair<std::uint64_t, std::uint64_t>{5, 1}));
+  EXPECT_EQ(entries[2], (std::pair<std::uint64_t, std::uint64_t>{9, 1}));
+}
+
+TEST(HostHashTableTest, MergeCombinesCounts) {
+  HostHashTable a, b;
+  a.add(1, 2);
+  a.add(2, 1);
+  b.add(2, 5);
+  b.add(3, 7);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(2), 6u);
+  EXPECT_EQ(a.count(3), 7u);
+  EXPECT_EQ(a.total(), 15u);
+}
+
+TEST(HostHashTableTest, ForEachVisitsEveryEntryOnce) {
+  HostHashTable table;
+  for (std::uint64_t key = 100; key < 200; ++key) table.add(key, key);
+  std::uint64_t visits = 0, sum = 0;
+  table.for_each([&](std::uint64_t key, std::uint64_t count) {
+    ++visits;
+    EXPECT_EQ(key, count);
+    sum += count;
+  });
+  EXPECT_EQ(visits, 100u);
+  EXPECT_EQ(sum, (100 + 199) * 100 / 2);
+}
+
+TEST(HostHashTableTest, AdversarialKeysCollidingModCapacity) {
+  // Keys spaced by the capacity would all share a slot under a bare modulo;
+  // MurmurHash3 probing must keep them distinct and countable.
+  HostHashTable table(16);
+  const std::size_t cap = table.capacity();
+  for (std::uint64_t i = 0; i < 100; ++i) table.add(i * cap);
+  EXPECT_EQ(table.unique(), 100u);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(table.count(i * cap), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -1,0 +1,89 @@
+#include "dedukt/core/result.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt::core {
+namespace {
+
+CountResult two_rank_result() {
+  CountResult result;
+  result.nranks = 2;
+  RankMetrics a, b;
+  a.kmers_parsed = 100;
+  a.counted_kmers = 80;
+  a.unique_kmers = 40;
+  a.bytes_sent = 800;
+  a.bytes_received = 700;
+  a.supermers_built = 10;
+  a.modeled.add(kPhaseParse, 1.0);
+  a.modeled.add(kPhaseExchange, 5.0);
+  a.modeled.add(kPhaseCount, 2.0);
+  b.kmers_parsed = 60;
+  b.counted_kmers = 80;
+  b.unique_kmers = 30;
+  b.bytes_sent = 700;
+  b.bytes_received = 800;
+  b.supermers_built = 5;
+  b.modeled.add(kPhaseParse, 2.0);
+  b.modeled.add(kPhaseExchange, 4.0);
+  b.modeled.add(kPhaseCount, 1.0);
+  result.ranks = {a, b};
+  return result;
+}
+
+TEST(ResultTest, TotalsSumAcrossRanks) {
+  const CountResult result = two_rank_result();
+  const RankMetrics totals = result.totals();
+  EXPECT_EQ(totals.kmers_parsed, 160u);
+  EXPECT_EQ(totals.counted_kmers, 160u);
+  EXPECT_EQ(totals.unique_kmers, 70u);
+  EXPECT_EQ(totals.bytes_sent, 1500u);
+  EXPECT_EQ(totals.supermers_built, 15u);
+  EXPECT_DOUBLE_EQ(totals.modeled.get(kPhaseParse), 3.0);
+}
+
+TEST(ResultTest, ModeledBreakdownTakesPerPhaseMax) {
+  const CountResult result = two_rank_result();
+  const PhaseTimes breakdown = result.modeled_breakdown();
+  EXPECT_DOUBLE_EQ(breakdown.get(kPhaseParse), 2.0);
+  EXPECT_DOUBLE_EQ(breakdown.get(kPhaseExchange), 5.0);
+  EXPECT_DOUBLE_EQ(breakdown.get(kPhaseCount), 2.0);
+  EXPECT_DOUBLE_EQ(result.modeled_total_seconds(), 9.0);
+}
+
+TEST(ResultTest, LoadImbalanceOfEqualLoadsIsOne) {
+  const CountResult result = two_rank_result();
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 1.0);  // 80 and 80
+}
+
+TEST(ResultTest, MinMaxLoad) {
+  CountResult result = two_rank_result();
+  result.ranks[0].counted_kmers = 30;
+  result.ranks[1].counted_kmers = 90;
+  const auto [lo, hi] = result.min_max_load();
+  EXPECT_EQ(lo, 30u);
+  EXPECT_EQ(hi, 90u);
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 90.0 / 60.0);
+}
+
+TEST(ResultTest, SpectrumFromGlobalCounts) {
+  CountResult result;
+  result.global_counts = {{1, 1}, {2, 1}, {3, 5}, {4, 5}, {5, 2}};
+  const auto spectrum = result.spectrum();
+  EXPECT_EQ(spectrum.at(1), 2u);
+  EXPECT_EQ(spectrum.at(5), 2u);
+  EXPECT_EQ(spectrum.at(2), 1u);
+  EXPECT_EQ(spectrum.size(), 3u);
+}
+
+TEST(ResultTest, EmptyResultIsSane) {
+  CountResult result;
+  EXPECT_EQ(result.totals().kmers_parsed, 0u);
+  EXPECT_DOUBLE_EQ(result.modeled_total_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(result.load_imbalance(), 1.0);
+  EXPECT_TRUE(result.spectrum().empty());
+  EXPECT_EQ(result.min_max_load().first, 0u);
+}
+
+}  // namespace
+}  // namespace dedukt::core

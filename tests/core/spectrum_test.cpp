@@ -1,0 +1,116 @@
+#include "dedukt/core/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/io/datasets.hpp"
+
+namespace dedukt::core {
+namespace {
+
+TEST(SpectrumAnalysisTest, EmptySpectrum) {
+  const SpectrumAnalysis a = analyze_spectrum({});
+  EXPECT_EQ(a.coverage_peak, 0u);
+  EXPECT_EQ(a.genome_size_estimate, 0u);
+  EXPECT_EQ(a.distinct_kmers, 0u);
+}
+
+TEST(SpectrumAnalysisTest, CleanUnimodalSpectrum) {
+  // Ideal 30x dataset: everything at multiplicity 30.
+  Spectrum spectrum = {{30, 1000}};
+  const SpectrumAnalysis a = analyze_spectrum(spectrum);
+  EXPECT_EQ(a.coverage_peak, 30u);
+  EXPECT_EQ(a.valley, 0u);  // unimodal
+  EXPECT_EQ(a.error_kmers, 0u);
+  EXPECT_EQ(a.genome_size_estimate, 1000u);
+  EXPECT_EQ(a.distinct_kmers, 1000u);
+  EXPECT_EQ(a.total_instances, 30'000u);
+}
+
+TEST(SpectrumAnalysisTest, BimodalWithErrorSpike) {
+  // Error spike at 1-2x, valley at 5, coverage peak at 30.
+  Spectrum spectrum = {{1, 5000}, {2, 800}, {5, 10},
+                       {28, 300}, {30, 900}, {32, 280}};
+  const SpectrumAnalysis a = analyze_spectrum(spectrum);
+  EXPECT_EQ(a.coverage_peak, 30u);
+  EXPECT_EQ(a.valley, 5u);
+  EXPECT_EQ(a.error_kmers, 5000u + 800u + 10u);
+  // Genome estimate excludes the error mass.
+  const std::uint64_t signal =
+      28 * 300 + 30 * 900 + 32 * 280;
+  EXPECT_EQ(a.genome_size_estimate, signal / 30);
+}
+
+TEST(SpectrumAnalysisTest, PeakGuardSkipsErrorSpike) {
+  // Without the guard the spike at 1 would win.
+  Spectrum spectrum = {{1, 100'000}, {20, 5'000}};
+  const SpectrumAnalysis a = analyze_spectrum(spectrum, 3);
+  EXPECT_EQ(a.coverage_peak, 20u);
+}
+
+TEST(SpectrumAnalysisTest, EndToEndOnSyntheticDataset) {
+  // A 30x-coverage preset, counted canonically so the two strands fold
+  // together: the spectrum peak should land near the sequencing coverage
+  // and the genome estimate near the scaled genome size.
+  const auto preset = *io::find_preset("paeruginosa30x");
+  const std::uint64_t scale = 400;
+  const io::ReadBatch reads = io::make_dataset(preset, scale);
+
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kCpu;
+  options.pipeline.canonical = true;
+  options.nranks = 4;
+  const CountResult result = run_distributed_count(reads, options);
+  const SpectrumAnalysis a = analyze_spectrum(result.spectrum());
+
+  EXPECT_GT(a.coverage_peak, 22u);
+  EXPECT_LT(a.coverage_peak, 40u);
+  const double true_genome =
+      static_cast<double>(preset.genome_size) / static_cast<double>(scale);
+  EXPECT_NEAR(static_cast<double>(a.genome_size_estimate), true_genome,
+              true_genome * 0.25);
+}
+
+TEST(SpectrumAnalysisTest, NonCanonicalCountsSplitStrands) {
+  // Without canonicalization (the paper's setting) each strand of a
+  // two-strand-sampled dataset accumulates roughly half the coverage, so
+  // the peak halves and distinct k-mers roughly double.
+  const auto preset = *io::find_preset("paeruginosa30x");
+  const io::ReadBatch reads = io::make_dataset(preset, 400);
+
+  DriverOptions canonical;
+  canonical.pipeline.kind = PipelineKind::kCpu;
+  canonical.pipeline.canonical = true;
+  canonical.nranks = 4;
+  DriverOptions plain;
+  plain.nranks = 4;
+
+  const SpectrumAnalysis c =
+      analyze_spectrum(run_distributed_count(reads, canonical).spectrum());
+  const SpectrumAnalysis p =
+      analyze_spectrum(run_distributed_count(reads, plain).spectrum());
+  EXPECT_LT(p.coverage_peak, c.coverage_peak);
+  EXPECT_GT(p.distinct_kmers, c.distinct_kmers);
+}
+
+TEST(RenderSpectrumTest, RowsAndClamping) {
+  Spectrum spectrum;
+  for (std::uint64_t m = 1; m <= 40; ++m) spectrum[m] = m * 10;
+  const auto rows = render_spectrum(spectrum, /*max_rows=*/10);
+  ASSERT_EQ(rows.size(), 11u);  // 10 rows + ellipsis
+  EXPECT_NE(rows.back().find("more rows"), std::string::npos);
+}
+
+TEST(RenderSpectrumTest, BarsScaleWithCounts) {
+  Spectrum spectrum = {{1, 100}, {2, 50}};
+  const auto rows = render_spectrum(spectrum, 10, 40);
+  const auto hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(hashes(rows[0]), 40);
+  EXPECT_EQ(hashes(rows[1]), 20);
+}
+
+}  // namespace
+}  // namespace dedukt::core

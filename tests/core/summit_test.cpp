@@ -1,0 +1,51 @@
+#include "dedukt/core/summit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core::summit {
+namespace {
+
+TEST(SummitTest, NodeShapeMatchesPaper) {
+  // §V-A: 6 V100s and 42 usable POWER9 cores per node.
+  EXPECT_EQ(kGpusPerNode, 6);
+  EXPECT_EQ(kCoresPerNode, 42);
+}
+
+TEST(SummitTest, NetworkUsesPaperInjectionBandwidth) {
+  const auto net = network(kGpusPerNode);
+  EXPECT_DOUBLE_EQ(net.node_injection_bw, 23e9);  // §V-A: 23 GB/s per node
+  EXPECT_EQ(net.ranks_per_node, 6);
+}
+
+TEST(SummitTest, NetworkRejectsBadRanksPerNode) {
+  EXPECT_THROW(network(0), PreconditionError);
+}
+
+TEST(SummitTest, DeviceIsV100) {
+  const auto props = device();
+  EXPECT_EQ(props.sms, 80);
+  EXPECT_EQ(props.memory_bytes, 16ull << 30);
+}
+
+TEST(SummitTest, CalibratedRatesImplyPaperScaleSpeedups) {
+  // A Summit node's GPU compute rate vs its CPU compute rate must sit in
+  // the regime the paper reports ("an impressive GPU code acceleration of
+  // 100x compared to the CPU baseline", §III-C): the effective per-node
+  // counting rates differ by two orders of magnitude.
+  const double gpu_node_rate = kGpusPerNode * kGpuCountKmersPerSec;
+  const double cpu_node_rate = kCoresPerNode * kCpuCountKmersPerSec;
+  const double ratio = gpu_node_rate / cpu_node_rate;
+  EXPECT_GT(ratio, 50.0);
+  EXPECT_LT(ratio, 2000.0);
+}
+
+TEST(SummitTest, SupermerOverheadsMatchPaperPercentages) {
+  // §V-C: supermer parse costs ~33% more, supermer counting ~27% more.
+  EXPECT_NEAR(kSupermerParseOverhead, 1.33, 1e-9);
+  EXPECT_NEAR(kSupermerCountOverhead, 1.27, 1e-9);
+}
+
+}  // namespace
+}  // namespace dedukt::core::summit

@@ -1,0 +1,75 @@
+#include "dedukt/gpusim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt::gpusim {
+namespace {
+
+DeviceProps test_props() {
+  DeviceProps props;
+  props.hbm_bandwidth = 100e9;
+  props.int_throughput = 1e12;
+  props.atomic_throughput = 1e9;
+  props.launch_overhead = 1e-6;
+  props.host_link_bandwidth = 10e9;
+  props.transfer_overhead = 2e-6;
+  return props;
+}
+
+TEST(GpuCostModelTest, MemoryBoundKernel) {
+  GpuCostModel model(test_props());
+  LaunchCounters c;
+  c.gmem_read_bytes = 100'000'000'000ull;  // 1 s at 100 GB/s
+  EXPECT_NEAR(model.kernel_seconds(c), 1.0 + 1e-6, 1e-9);
+}
+
+TEST(GpuCostModelTest, ComputeBoundKernel) {
+  GpuCostModel model(test_props());
+  LaunchCounters c;
+  c.ops = 2'000'000'000'000ull;  // 2 s at 1 Tops
+  c.gmem_read_bytes = 1000;     // negligible
+  EXPECT_NEAR(model.kernel_seconds(c), 2.0 + 1e-6, 1e-9);
+}
+
+TEST(GpuCostModelTest, AtomicBoundKernel) {
+  GpuCostModel model(test_props());
+  LaunchCounters c;
+  c.atomics = 3'000'000'000ull;  // 3 s at 1 G atomics/s
+  EXPECT_NEAR(model.kernel_seconds(c), 3.0 + 1e-6, 1e-9);
+}
+
+TEST(GpuCostModelTest, RooflineTakesTheMax) {
+  GpuCostModel model(test_props());
+  LaunchCounters c;
+  c.gmem_read_bytes = 50'000'000'000ull;  // 0.5 s
+  c.ops = 700'000'000'000ull;             // 0.7 s  <- dominates
+  c.atomics = 100'000'000ull;             // 0.1 s
+  EXPECT_NEAR(model.kernel_seconds(c), 0.7 + 1e-6, 1e-9);
+}
+
+TEST(GpuCostModelTest, EmptyKernelCostsLaunchOverhead) {
+  GpuCostModel model(test_props());
+  EXPECT_DOUBLE_EQ(model.kernel_seconds(LaunchCounters{}), 1e-6);
+}
+
+TEST(GpuCostModelTest, TransferPricedAtHostLink) {
+  GpuCostModel model(test_props());
+  EXPECT_NEAR(model.transfer_seconds(10'000'000'000ull), 1.0 + 2e-6, 1e-9);
+}
+
+TEST(GpuCostModelTest, ZeroByteTransferIsFree) {
+  GpuCostModel model(test_props());
+  EXPECT_DOUBLE_EQ(model.transfer_seconds(0), 0.0);
+}
+
+TEST(GpuCostModelTest, ReadsAndWritesBothCount) {
+  GpuCostModel model(test_props());
+  LaunchCounters reads, writes;
+  reads.gmem_read_bytes = 1'000'000;
+  writes.gmem_write_bytes = 1'000'000;
+  EXPECT_DOUBLE_EQ(model.kernel_seconds(reads),
+                   model.kernel_seconds(writes));
+}
+
+}  // namespace
+}  // namespace dedukt::gpusim

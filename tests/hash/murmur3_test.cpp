@@ -1,0 +1,113 @@
+#include "dedukt/hash/murmur3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+namespace dedukt::hash {
+namespace {
+
+std::uint32_t h32(const std::string& s, std::uint32_t seed = 0) {
+  return murmur3_x86_32(s.data(), s.size(), seed);
+}
+
+// Reference vectors from Austin Appleby's reference implementation.
+TEST(Murmur3x86_32Test, ReferenceVectors) {
+  EXPECT_EQ(h32("", 0), 0u);
+  EXPECT_EQ(h32("", 1), 0x514E28B7u);
+  EXPECT_EQ(h32("", 0xffffffffu), 0x81F16F39u);
+  EXPECT_EQ(h32("test", 0), 0xba6bd213u);
+  EXPECT_EQ(h32("Hello, world!", 0), 0xc0363e43u);
+}
+
+TEST(Murmur3x86_32Test, AllTailLengthsDiffer) {
+  // Exercises every switch case of the tail handling.
+  const std::string base = "abcdefghijklmnopqrstuvwxyz";
+  std::set<std::uint32_t> seen;
+  for (std::size_t len = 0; len <= 17; ++len) {
+    seen.insert(h32(base.substr(0, len)));
+  }
+  EXPECT_EQ(seen.size(), 18u);
+}
+
+TEST(Murmur3x86_32Test, SeedChangesHash) {
+  EXPECT_NE(h32("genomics", 0), h32("genomics", 1));
+}
+
+TEST(Murmur3x86_32Test, AlignmentIndependent) {
+  // Hash must not depend on buffer alignment (portable loads).
+  alignas(8) char buf[32];
+  const char* msg = "ACGTACGTACGTACG";
+  std::memcpy(buf + 1, msg, 15);
+  EXPECT_EQ(murmur3_x86_32(buf + 1, 15, 7),
+            murmur3_x86_32(msg, 15, 7));
+}
+
+TEST(Murmur3x64_128Test, EmptyWithZeroSeedIsZero) {
+  const auto [h1, h2] = murmur3_x64_128("", 0, 0);
+  EXPECT_EQ(h1, 0u);
+  EXPECT_EQ(h2, 0u);
+}
+
+TEST(Murmur3x64_128Test, Deterministic) {
+  const std::string s = "The quick brown fox jumps over the lazy dog";
+  const auto a = murmur3_x64_128(s.data(), s.size(), 3);
+  const auto b = murmur3_x64_128(s.data(), s.size(), 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Murmur3x64_128Test, AllTailLengthsDiffer) {
+  const std::string base = "abcdefghijklmnopqrstuvwxyzABCDEF";
+  std::set<std::uint64_t> seen;
+  for (std::size_t len = 0; len <= 33; ++len) {
+    seen.insert(murmur3_x64_128(base.data(), len, 0).first);
+  }
+  EXPECT_EQ(seen.size(), 34u);
+}
+
+TEST(Fmix64Test, ZeroMapsToZero) { EXPECT_EQ(fmix64(0), 0u); }
+
+TEST(Fmix64Test, IsBijectiveOnSample) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t x = 0; x < 4096; ++x) outputs.insert(fmix64(x));
+  EXPECT_EQ(outputs.size(), 4096u);
+}
+
+TEST(HashU64Test, SeedSeparatesFunctions) {
+  int collisions = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (hash_u64(x, 1) == hash_u64(x, 2)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST(ToPartitionTest, StaysInRange) {
+  for (std::uint32_t parts : {1u, 2u, 3u, 7u, 384u}) {
+    for (std::uint64_t x = 0; x < 1000; ++x) {
+      EXPECT_LT(to_partition(hash_u64(x), parts), parts);
+    }
+  }
+}
+
+TEST(ToPartitionTest, RoughlyUniform) {
+  constexpr std::uint32_t kParts = 16;
+  constexpr int kKeys = 64000;
+  std::vector<int> buckets(kParts, 0);
+  for (std::uint64_t x = 0; x < kKeys; ++x) {
+    ++buckets[to_partition(hash_u64(x), kParts)];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kKeys / kParts, kKeys / kParts / 5);
+  }
+}
+
+TEST(ToPartitionTest, SinglePartitionAlwaysZero) {
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(to_partition(hash_u64(x * 1234567), 1), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dedukt::hash

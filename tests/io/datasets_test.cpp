@@ -1,0 +1,101 @@
+#include "dedukt/io/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace dedukt::io {
+namespace {
+
+TEST(DatasetsTest, HasAllSixTable1Rows) {
+  const auto& presets = table1_presets();
+  ASSERT_EQ(presets.size(), 6u);
+  EXPECT_EQ(presets[0].short_name, "E. coli 30X");
+  EXPECT_EQ(presets[5].short_name, "H. sapien 54X");
+}
+
+TEST(DatasetsTest, RowOrderMatchesPaper) {
+  const auto& presets = table1_presets();
+  EXPECT_EQ(presets[1].key, "paeruginosa30x");
+  EXPECT_EQ(presets[2].key, "vvulnificus30x");
+  EXPECT_EQ(presets[3].key, "abaumannii30x");
+  EXPECT_EQ(presets[4].key, "celegans40x");
+}
+
+TEST(DatasetsTest, FindPresetByKey) {
+  const auto preset = find_preset("ecoli30x");
+  ASSERT_TRUE(preset.has_value());
+  EXPECT_EQ(preset->species, "Escherichia coli MG1655 strain");
+  EXPECT_DOUBLE_EQ(preset->coverage, 85.0);  // data-implied, see datasets.cpp
+}
+
+TEST(DatasetsTest, UnknownKeyReturnsNullopt) {
+  EXPECT_FALSE(find_preset("nosuchdataset").has_value());
+}
+
+TEST(DatasetsTest, CoveragesMatchPaperDataVolumes) {
+  // Coverages are chosen so genome_size * coverage reproduces the paper's
+  // FASTQ volumes and Table II k-mer counts. E. coli is nominally "30X"
+  // but its file size and k-mer count imply ~85x (see datasets.cpp).
+  EXPECT_DOUBLE_EQ(find_preset("ecoli30x")->coverage, 85.0);
+  for (const std::string key :
+       {"paeruginosa30x", "vvulnificus30x", "abaumannii30x"}) {
+    EXPECT_DOUBLE_EQ(find_preset(key)->coverage, 30.0);
+  }
+  EXPECT_DOUBLE_EQ(find_preset("celegans40x")->coverage, 40.0);
+  EXPECT_DOUBLE_EQ(find_preset("hsapiens54x")->coverage, 54.0);
+}
+
+TEST(DatasetsTest, ImpliedKmerCountsMatchTable2Magnitudes) {
+  // Paper Table II k-mer totals vs genome_size * coverage (= bases ≈
+  // k-mers for long reads). Each should agree within 25%.
+  const std::map<std::string, double> paper_kmers = {
+      {"ecoli30x", 412e6},      {"paeruginosa30x", 187e6},
+      {"vvulnificus30x", 154e6}, {"abaumannii30x", 129e6},
+      {"celegans40x", 4.7e9},   {"hsapiens54x", 167e9}};
+  for (const auto& [key, expected] : paper_kmers) {
+    const auto preset = *find_preset(key);
+    const double implied =
+        static_cast<double>(preset.genome_size) * preset.coverage;
+    EXPECT_NEAR(implied / expected, 1.0, 0.25) << key;
+  }
+}
+
+TEST(DatasetsTest, MakeDatasetScalesGenome) {
+  const auto preset = *find_preset("ecoli30x");
+  const ReadBatch reads = make_dataset(preset, /*scale=*/100, /*seed=*/1);
+  // 4.64 Mb / 100 at 30x coverage ≈ 1.39 Mbases of reads.
+  const double expected =
+      static_cast<double>(preset.genome_size) / 100.0 * preset.coverage;
+  EXPECT_NEAR(static_cast<double>(reads.total_bases()), expected,
+              expected * 0.05);
+}
+
+TEST(DatasetsTest, DatasetIsDeterministic) {
+  const auto preset = *find_preset("vvulnificus30x");
+  const ReadBatch a = make_dataset(preset, 200, 7);
+  const ReadBatch b = make_dataset(preset, 200, 7);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.reads[0].bases, b.reads[0].bases);
+}
+
+TEST(DatasetsTest, ExtremeScaleClampsToMinimumGenome) {
+  const auto preset = *find_preset("abaumannii30x");
+  const GenomeSpec spec = genome_spec_for(preset, 1'000'000'000, 1);
+  EXPECT_GE(spec.length, 10'000u);
+}
+
+TEST(DatasetsTest, GenomeSpecCarriesGcContent) {
+  const auto preset = *find_preset("paeruginosa30x");
+  const GenomeSpec spec = genome_spec_for(preset, 1000, 1);
+  EXPECT_DOUBLE_EQ(spec.gc_content, 0.665);
+}
+
+TEST(DatasetsTest, PaperFastqSizesRecorded) {
+  EXPECT_EQ(find_preset("ecoli30x")->paper_fastq_bytes, 792ull << 20);
+  EXPECT_EQ(find_preset("hsapiens54x")->paper_fastq_bytes, 317ull << 30);
+}
+
+}  // namespace
+}  // namespace dedukt::io

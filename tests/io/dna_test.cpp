@@ -1,0 +1,119 @@
+#include "dedukt/io/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt::io {
+namespace {
+
+TEST(DnaTest, StandardEncodingOrder) {
+  EXPECT_EQ(encode_base('A', BaseEncoding::kStandard), 0);
+  EXPECT_EQ(encode_base('C', BaseEncoding::kStandard), 1);
+  EXPECT_EQ(encode_base('G', BaseEncoding::kStandard), 2);
+  EXPECT_EQ(encode_base('T', BaseEncoding::kStandard), 3);
+}
+
+TEST(DnaTest, RandomizedEncodingMatchesPaper) {
+  // §IV-A: "we map A = 1, C = 0, T = 2, G = 3".
+  EXPECT_EQ(encode_base('A', BaseEncoding::kRandomized), 1);
+  EXPECT_EQ(encode_base('C', BaseEncoding::kRandomized), 0);
+  EXPECT_EQ(encode_base('T', BaseEncoding::kRandomized), 2);
+  EXPECT_EQ(encode_base('G', BaseEncoding::kRandomized), 3);
+}
+
+TEST(DnaTest, LowerCaseAccepted) {
+  EXPECT_EQ(encode_base('a', BaseEncoding::kStandard),
+            encode_base('A', BaseEncoding::kStandard));
+  EXPECT_EQ(encode_base('g', BaseEncoding::kRandomized),
+            encode_base('G', BaseEncoding::kRandomized));
+}
+
+TEST(DnaTest, NonAcgtThrows) {
+  EXPECT_THROW(encode_base('N', BaseEncoding::kStandard), ParseError);
+  EXPECT_THROW(encode_base('X', BaseEncoding::kRandomized), ParseError);
+  EXPECT_THROW(encode_base('\xFF', BaseEncoding::kStandard), ParseError);
+}
+
+TEST(DnaTest, EncodeOrInvalidReturnsNegativeForJunk) {
+  EXPECT_LT(encode_base_or_invalid('N', BaseEncoding::kStandard), 0);
+  EXPECT_LT(encode_base_or_invalid('\xFF', BaseEncoding::kStandard), 0);
+  EXPECT_GE(encode_base_or_invalid('T', BaseEncoding::kStandard), 0);
+}
+
+class EncodingRoundTrip : public ::testing::TestWithParam<BaseEncoding> {};
+
+TEST_P(EncodingRoundTrip, DecodeInvertsEncode) {
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    EXPECT_EQ(decode_base(encode_base(base, GetParam()), GetParam()), base);
+  }
+}
+
+TEST_P(EncodingRoundTrip, CodesAreAPermutation) {
+  bool seen[4] = {false, false, false, false};
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    seen[encode_base(base, GetParam())] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST_P(EncodingRoundTrip, ComplementIsAnInvolution) {
+  for (BaseCode code = 0; code < 4; ++code) {
+    EXPECT_EQ(complement_code(complement_code(code, GetParam()), GetParam()),
+              code);
+  }
+}
+
+TEST_P(EncodingRoundTrip, ComplementMatchesBiology) {
+  auto comp = [&](char base) {
+    return decode_base(complement_code(encode_base(base, GetParam()),
+                                       GetParam()),
+                       GetParam());
+  };
+  EXPECT_EQ(comp('A'), 'T');
+  EXPECT_EQ(comp('T'), 'A');
+  EXPECT_EQ(comp('C'), 'G');
+  EXPECT_EQ(comp('G'), 'C');
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, EncodingRoundTrip,
+                         ::testing::Values(BaseEncoding::kStandard,
+                                           BaseEncoding::kRandomized));
+
+TEST(DnaTest, ReverseComplement) {
+  EXPECT_EQ(reverse_complement("ACGT"), "ACGT");
+  EXPECT_EQ(reverse_complement("AAAA"), "TTTT");
+  EXPECT_EQ(reverse_complement("GATTACA"), "TGTAATC");
+  EXPECT_EQ(reverse_complement(""), "");
+}
+
+TEST(DnaTest, ReverseComplementIsInvolution) {
+  const std::string s = "ACGTTGCAACGTAGCTAGCTA";
+  EXPECT_EQ(reverse_complement(reverse_complement(s)), s);
+}
+
+TEST(DnaTest, ReverseComplementRejectsJunk) {
+  EXPECT_THROW(reverse_complement("ACNGT"), ParseError);
+}
+
+TEST(DnaTest, RecodeTranslatesBetweenEncodings) {
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    const BaseCode std_code = encode_base(base, BaseEncoding::kStandard);
+    const BaseCode rnd_code = encode_base(base, BaseEncoding::kRandomized);
+    EXPECT_EQ(recode(std_code, BaseEncoding::kStandard,
+                     BaseEncoding::kRandomized),
+              rnd_code);
+    EXPECT_EQ(recode(rnd_code, BaseEncoding::kRandomized,
+                     BaseEncoding::kStandard),
+              std_code);
+  }
+}
+
+TEST(DnaTest, IsAcgt) {
+  EXPECT_TRUE(is_acgt('A'));
+  EXPECT_TRUE(is_acgt('t'));
+  EXPECT_FALSE(is_acgt('N'));
+  EXPECT_FALSE(is_acgt(' '));
+  EXPECT_FALSE(is_acgt('\0'));
+}
+
+}  // namespace
+}  // namespace dedukt::io

@@ -1,0 +1,95 @@
+#include "dedukt/io/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+namespace {
+
+TEST(FastaTest, ParsesSingleRecord) {
+  std::istringstream in(">seq1 description\nACGT\n");
+  const ReadBatch batch = read_fasta(in);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.reads[0].id, "seq1 description");
+  EXPECT_EQ(batch.reads[0].bases, "ACGT");
+  EXPECT_TRUE(batch.reads[0].quality.empty());
+}
+
+TEST(FastaTest, JoinsMultiLineSequences) {
+  std::istringstream in(">s\nACGT\nTTAA\nGG\n");
+  const ReadBatch batch = read_fasta(in);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.reads[0].bases, "ACGTTTAAGG");
+}
+
+TEST(FastaTest, ParsesMultipleRecords) {
+  std::istringstream in(">a\nAC\n>b\nGT\n>c\nTT\n");
+  const ReadBatch batch = read_fasta(in);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch.reads[1].id, "b");
+  EXPECT_EQ(batch.reads[2].bases, "TT");
+}
+
+TEST(FastaTest, UpperCasesBases) {
+  std::istringstream in(">s\nacgt\n");
+  EXPECT_EQ(read_fasta(in).reads[0].bases, "ACGT");
+}
+
+TEST(FastaTest, HandlesCrLf) {
+  std::istringstream in(">s\r\nACGT\r\n");
+  const ReadBatch batch = read_fasta(in);
+  EXPECT_EQ(batch.reads[0].id, "s");
+  EXPECT_EQ(batch.reads[0].bases, "ACGT");
+}
+
+TEST(FastaTest, SkipsBlankLines) {
+  std::istringstream in("\n>s\n\nAC\n\nGT\n");
+  EXPECT_EQ(read_fasta(in).reads[0].bases, "ACGT");
+}
+
+TEST(FastaTest, SequenceBeforeHeaderThrows) {
+  std::istringstream in("ACGT\n>s\nAC\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(FastaTest, EmptyRecordThrows) {
+  std::istringstream in(">only-header\n");
+  EXPECT_THROW(read_fasta(in), ParseError);
+}
+
+TEST(FastaTest, EmptyInputGivesEmptyBatch) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fasta(in).empty());
+}
+
+TEST(FastaTest, RoundTripThroughWriter) {
+  ReadBatch batch;
+  batch.reads.push_back({"alpha", "ACGTACGTACGT", ""});
+  batch.reads.push_back({"beta", "TTTT", ""});
+  std::ostringstream out;
+  write_fasta(out, batch, /*line_width=*/5);
+  std::istringstream in(out.str());
+  const ReadBatch parsed = read_fasta(in);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.reads[0].id, "alpha");
+  EXPECT_EQ(parsed.reads[0].bases, "ACGTACGTACGT");
+  EXPECT_EQ(parsed.reads[1].bases, "TTTT");
+}
+
+TEST(FastaTest, WriterZeroWidthSingleLine) {
+  ReadBatch batch;
+  batch.reads.push_back({"x", "ACGTACGT", ""});
+  std::ostringstream out;
+  write_fasta(out, batch, 0);
+  EXPECT_EQ(out.str(), ">x\nACGTACGT\n");
+}
+
+TEST(FastaTest, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), ParseError);
+}
+
+}  // namespace
+}  // namespace dedukt::io

@@ -1,0 +1,100 @@
+#include "dedukt/io/fastq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+namespace {
+
+TEST(FastqTest, ParsesSingleRecord) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n");
+  const ReadBatch batch = read_fastq(in);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.reads[0].id, "r1");
+  EXPECT_EQ(batch.reads[0].bases, "ACGT");
+  EXPECT_EQ(batch.reads[0].quality, "IIII");
+}
+
+TEST(FastqTest, ParsesMultipleRecords) {
+  std::istringstream in("@a\nAC\n+\n!!\n@b\nGTT\n+anything\n##$\n");
+  const ReadBatch batch = read_fastq(in);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.reads[1].bases, "GTT");
+  EXPECT_EQ(batch.reads[1].quality, "##$");
+}
+
+TEST(FastqTest, UpperCasesBases) {
+  std::istringstream in("@r\nacgt\n+\nIIII\n");
+  EXPECT_EQ(read_fastq(in).reads[0].bases, "ACGT");
+}
+
+TEST(FastqTest, MissingAtSignThrows) {
+  std::istringstream in("r1\nACGT\n+\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(FastqTest, MissingPlusThrows) {
+  std::istringstream in("@r1\nACGT\nIIII\nIIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(FastqTest, TruncatedRecordThrows) {
+  std::istringstream in("@r1\nACGT\n+\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(FastqTest, QualityLengthMismatchThrows) {
+  std::istringstream in("@r1\nACGT\n+\nIII\n");
+  EXPECT_THROW(read_fastq(in), ParseError);
+}
+
+TEST(FastqTest, HandlesCrLf) {
+  std::istringstream in("@r\r\nAC\r\n+\r\nII\r\n");
+  const ReadBatch batch = read_fastq(in);
+  EXPECT_EQ(batch.reads[0].bases, "AC");
+  EXPECT_EQ(batch.reads[0].quality, "II");
+}
+
+TEST(FastqTest, RoundTripThroughWriter) {
+  ReadBatch batch;
+  batch.reads.push_back({"alpha", "ACGT", "!#%I"});
+  std::ostringstream out;
+  write_fastq(out, batch);
+  std::istringstream in(out.str());
+  const ReadBatch parsed = read_fastq(in);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed.reads[0].bases, "ACGT");
+  EXPECT_EQ(parsed.reads[0].quality, "!#%I");
+}
+
+TEST(FastqTest, WriterSynthesizesMissingQuality) {
+  ReadBatch batch;
+  batch.reads.push_back({"x", "ACG", ""});
+  std::ostringstream out;
+  write_fastq(out, batch);
+  EXPECT_EQ(out.str(), "@x\nACG\n+\nIII\n");
+}
+
+TEST(FastqTest, SizeBytesMatchesWrittenOutput) {
+  ReadBatch batch;
+  batch.reads.push_back({"read_one", "ACGTACGT", "IIIIIIII"});
+  batch.reads.push_back({"r2", "TT", "II"});
+  std::ostringstream out;
+  write_fastq(out, batch);
+  EXPECT_EQ(fastq_size_bytes(batch), out.str().size());
+}
+
+TEST(FastqTest, EmptyInputGivesEmptyBatch) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_fastq(in).empty());
+}
+
+TEST(FastqTest, MissingFileThrows) {
+  EXPECT_THROW(read_fastq_file("/nonexistent/path.fq"), ParseError);
+}
+
+}  // namespace
+}  // namespace dedukt::io

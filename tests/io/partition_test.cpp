@@ -1,0 +1,101 @@
+#include "dedukt/io/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/util/error.hpp"
+#include "dedukt/util/stats.hpp"
+
+namespace dedukt::io {
+namespace {
+
+ReadBatch sample_batch() {
+  GenomeSpec gspec;
+  gspec.length = 50'000;
+  ReadSpec rspec;
+  rspec.coverage = 4.0;
+  rspec.mean_read_length = 900;
+  rspec.min_read_length = 100;
+  return generate_dataset(gspec, rspec);
+}
+
+TEST(PartitionTest, EveryReadLandsExactlyOnce) {
+  const ReadBatch batch = sample_batch();
+  const auto parts = partition_by_bases(batch, 7);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  EXPECT_EQ(total, batch.size());
+}
+
+TEST(PartitionTest, PreservesReadOrderWithinConcatenation) {
+  const ReadBatch batch = sample_batch();
+  const auto parts = partition_by_bases(batch, 5);
+  std::vector<std::string> ids;
+  for (const auto& part : parts) {
+    for (const auto& read : part.reads) ids.push_back(read.id);
+  }
+  ASSERT_EQ(ids.size(), batch.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], batch.reads[i].id);
+  }
+}
+
+TEST(PartitionTest, BaseBalancedWithinOneReadLength) {
+  const ReadBatch batch = sample_batch();
+  const int nparts = 8;
+  const auto parts = partition_by_bases(batch, nparts);
+  std::vector<std::uint64_t> loads;
+  for (const auto& part : parts) loads.push_back(part.total_bases());
+  // §IV-D assumes roughly uniform partitioning; allow modest slack since
+  // blocks are read-granular.
+  EXPECT_LT(load_imbalance(loads), 1.5);
+}
+
+TEST(PartitionTest, SinglePartIsIdentity) {
+  const ReadBatch batch = sample_batch();
+  const auto parts = partition_by_bases(batch, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), batch.size());
+}
+
+TEST(PartitionTest, MorePartsThanReads) {
+  ReadBatch batch;
+  batch.reads.push_back({"a", "ACGT", ""});
+  batch.reads.push_back({"b", "ACGT", ""});
+  const auto parts = partition_by_bases(batch, 10);
+  ASSERT_EQ(parts.size(), 10u);
+  std::size_t total = 0, nonempty = 0;
+  for (const auto& part : parts) {
+    total += part.size();
+    if (!part.empty()) ++nonempty;
+  }
+  EXPECT_EQ(total, 2u);
+  EXPECT_LE(nonempty, 2u);
+}
+
+TEST(PartitionTest, RejectsNonPositiveParts) {
+  ReadBatch batch;
+  EXPECT_THROW(partition_by_bases(batch, 0), PreconditionError);
+  EXPECT_THROW(partition_round_robin(batch, -1), PreconditionError);
+}
+
+TEST(RoundRobinTest, DistributesByIndex) {
+  ReadBatch batch;
+  for (int i = 0; i < 10; ++i) {
+    batch.reads.push_back({"r" + std::to_string(i), "ACGT", ""});
+  }
+  const auto parts = partition_round_robin(batch, 3);
+  EXPECT_EQ(parts[0].size(), 4u);  // 0,3,6,9
+  EXPECT_EQ(parts[1].size(), 3u);  // 1,4,7
+  EXPECT_EQ(parts[2].size(), 3u);  // 2,5,8
+  EXPECT_EQ(parts[0].reads[1].id, "r3");
+}
+
+TEST(RoundRobinTest, EmptyBatch) {
+  ReadBatch batch;
+  const auto parts = partition_round_robin(batch, 4);
+  for (const auto& part : parts) EXPECT_TRUE(part.empty());
+}
+
+}  // namespace
+}  // namespace dedukt::io

@@ -1,0 +1,231 @@
+#include "dedukt/io/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dedukt/io/dna.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+namespace {
+
+TEST(GenomeTest, HasRequestedLength) {
+  GenomeSpec spec;
+  spec.length = 10'000;
+  const ReadBatch genome = generate_genome(spec);
+  EXPECT_EQ(genome.total_bases(), 10'000u);
+}
+
+TEST(GenomeTest, RepliconsSplitTheLength) {
+  GenomeSpec spec;
+  spec.length = 10'000;
+  spec.replicons = 3;
+  const ReadBatch genome = generate_genome(spec);
+  ASSERT_EQ(genome.size(), 3u);
+  EXPECT_EQ(genome.total_bases(), 10'000u);
+}
+
+TEST(GenomeTest, DeterministicForSeed) {
+  GenomeSpec spec;
+  spec.length = 5'000;
+  spec.seed = 99;
+  const ReadBatch a = generate_genome(spec);
+  const ReadBatch b = generate_genome(spec);
+  EXPECT_EQ(a.reads[0].bases, b.reads[0].bases);
+}
+
+TEST(GenomeTest, DifferentSeedsDiffer) {
+  GenomeSpec a_spec, b_spec;
+  a_spec.length = b_spec.length = 5'000;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  EXPECT_NE(generate_genome(a_spec).reads[0].bases,
+            generate_genome(b_spec).reads[0].bases);
+}
+
+TEST(GenomeTest, GcContentIsRespected) {
+  GenomeSpec spec;
+  spec.length = 200'000;
+  spec.gc_content = 0.66;  // P. aeruginosa-like
+  const ReadBatch genome = generate_genome(spec);
+  std::size_t gc = 0;
+  for (char c : genome.reads[0].bases) {
+    if (c == 'G' || c == 'C') ++gc;
+  }
+  EXPECT_NEAR(static_cast<double>(gc) / 200'000.0, 0.66, 0.01);
+}
+
+TEST(GenomeTest, OnlyAcgtBases) {
+  GenomeSpec spec;
+  spec.length = 20'000;
+  spec.repeat_fraction = 0.05;
+  for (const auto& read : generate_genome(spec).reads) {
+    for (char c : read.bases) {
+      ASSERT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T');
+    }
+  }
+}
+
+TEST(GenomeTest, RepeatFractionControlsDuplicatedShare) {
+  // With repeat fraction f, roughly a share f of the genome is copied
+  // content, so the distinct 21-mer count drops to about (1-f) * length.
+  GenomeSpec base;
+  base.length = 300'000;
+  base.seed = 31;
+  base.repeat_unit = 1000;
+  auto distinct_ratio = [&](double fraction) {
+    GenomeSpec spec = base;
+    spec.repeat_fraction = fraction;
+    const ReadBatch genome = generate_genome(spec);
+    std::set<std::uint64_t> distinct;
+    std::uint64_t code = 0;
+    const std::uint64_t mask = (1ull << 42) - 1;  // 21 bases
+    const std::string& bases = genome.reads[0].bases;
+    for (std::size_t i = 0; i < bases.size(); ++i) {
+      code = ((code << 2) |
+              static_cast<std::uint64_t>(
+                  encode_base(bases[i], BaseEncoding::kStandard))) &
+             mask;
+      if (i >= 20) distinct.insert(code);
+    }
+    return static_cast<double>(distinct.size()) /
+           static_cast<double>(bases.size());
+  };
+  EXPECT_GT(distinct_ratio(0.0), 0.99);
+  EXPECT_NEAR(distinct_ratio(0.3), 0.7, 0.06);
+}
+
+TEST(GenomeTest, RejectsBadSpecs) {
+  GenomeSpec spec;
+  spec.length = 0;
+  EXPECT_THROW(generate_genome(spec), PreconditionError);
+  spec.length = 100;
+  spec.gc_content = 1.5;
+  EXPECT_THROW(generate_genome(spec), PreconditionError);
+}
+
+class ReadSamplerTest : public ::testing::Test {
+ protected:
+  ReadBatch make_genome(std::uint64_t length = 100'000) {
+    GenomeSpec spec;
+    spec.length = length;
+    spec.seed = 5;
+    return generate_genome(spec);
+  }
+};
+
+TEST_F(ReadSamplerTest, ReachesRequestedCoverage) {
+  const ReadBatch genome = make_genome();
+  ReadSpec spec;
+  spec.coverage = 12.0;
+  spec.mean_read_length = 2'000;
+  spec.min_read_length = 200;
+  const ReadBatch reads = sample_reads(genome, spec);
+  const double coverage =
+      static_cast<double>(reads.total_bases()) / 100'000.0;
+  EXPECT_GE(coverage, 12.0);
+  EXPECT_LT(coverage, 12.5);  // overshoot bounded by one read
+}
+
+TEST_F(ReadSamplerTest, ReadsAreSubstringsOfGenomeOrItsReverseComplement) {
+  const ReadBatch genome = make_genome(20'000);
+  ReadSpec spec;
+  spec.coverage = 2.0;
+  spec.mean_read_length = 500;
+  spec.min_read_length = 100;
+  spec.error_rate = 0.0;
+  const ReadBatch reads = sample_reads(genome, spec);
+  const std::string& ref = genome.reads[0].bases;
+  for (const auto& read : reads.reads) {
+    const bool fwd = ref.find(read.bases) != std::string::npos;
+    const bool rev =
+        ref.find(reverse_complement(read.bases)) != std::string::npos;
+    ASSERT_TRUE(fwd || rev) << "read " << read.id << " not found in genome";
+  }
+}
+
+TEST_F(ReadSamplerTest, ForwardOnlyWhenStrandSamplingDisabled) {
+  const ReadBatch genome = make_genome(20'000);
+  ReadSpec spec;
+  spec.coverage = 1.0;
+  spec.mean_read_length = 400;
+  spec.min_read_length = 100;
+  spec.sample_both_strands = false;
+  const ReadBatch reads = sample_reads(genome, spec);
+  const std::string& ref = genome.reads[0].bases;
+  for (const auto& read : reads.reads) {
+    ASSERT_NE(ref.find(read.bases), std::string::npos);
+  }
+}
+
+TEST_F(ReadSamplerTest, RespectsMinReadLength) {
+  const ReadBatch genome = make_genome();
+  ReadSpec spec;
+  spec.coverage = 3.0;
+  spec.mean_read_length = 800;
+  spec.min_read_length = 700;
+  for (const auto& read : sample_reads(genome, spec).reads) {
+    EXPECT_GE(read.bases.size(), 700u);
+  }
+}
+
+TEST_F(ReadSamplerTest, ErrorRatePerturbsBases) {
+  const ReadBatch genome = make_genome(20'000);
+  ReadSpec clean, noisy;
+  clean.coverage = noisy.coverage = 1.0;
+  clean.mean_read_length = noisy.mean_read_length = 1'000;
+  clean.min_read_length = noisy.min_read_length = 500;
+  clean.sample_both_strands = noisy.sample_both_strands = false;
+  clean.seed = noisy.seed = 17;
+  noisy.error_rate = 0.1;
+  const ReadBatch a = sample_reads(genome, clean);
+  const ReadBatch b = sample_reads(genome, noisy);
+  ASSERT_EQ(a.size(), b.size());
+  std::uint64_t diffs = 0, bases = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.reads[i].bases.size(), b.reads[i].bases.size());
+    for (std::size_t j = 0; j < a.reads[i].bases.size(); ++j) {
+      if (a.reads[i].bases[j] != b.reads[i].bases[j]) ++diffs;
+    }
+    bases += a.reads[i].bases.size();
+  }
+  const double rate = static_cast<double>(diffs) / static_cast<double>(bases);
+  EXPECT_NEAR(rate, 0.1, 0.02);
+}
+
+TEST_F(ReadSamplerTest, Deterministic) {
+  const ReadBatch genome = make_genome(30'000);
+  ReadSpec spec;
+  spec.coverage = 2.0;
+  spec.mean_read_length = 600;
+  spec.min_read_length = 100;
+  const ReadBatch a = sample_reads(genome, spec);
+  const ReadBatch b = sample_reads(genome, spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.reads[i].bases, b.reads[i].bases);
+  }
+}
+
+TEST_F(ReadSamplerTest, QualityStringsMatchLengths) {
+  const ReadBatch genome = make_genome(10'000);
+  ReadSpec spec;
+  spec.coverage = 1.0;
+  spec.mean_read_length = 300;
+  spec.min_read_length = 100;
+  for (const auto& read : sample_reads(genome, spec).reads) {
+    EXPECT_EQ(read.quality.size(), read.bases.size());
+  }
+}
+
+TEST(ReadBatchTest, TotalKmersCountsPerRead) {
+  ReadBatch batch;
+  batch.reads.push_back({"a", "ACGTACGT", ""});  // 8 bases
+  batch.reads.push_back({"b", "AC", ""});        // too short for k=3
+  EXPECT_EQ(batch.total_kmers(3), 6u);
+  EXPECT_EQ(batch.total_bases(), 10u);
+}
+
+}  // namespace
+}  // namespace dedukt::io

@@ -1,0 +1,100 @@
+#include "dedukt/kmer/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::kmer {
+namespace {
+
+using io::BaseEncoding;
+
+TEST(FragmentsTest, PureAcgtIsOneFragment) {
+  const auto frags = acgt_fragments("ACGTACGT");
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0], "ACGTACGT");
+}
+
+TEST(FragmentsTest, SplitsOnN) {
+  const auto frags = acgt_fragments("ACGTNNGGTTNA");
+  ASSERT_EQ(frags.size(), 3u);
+  EXPECT_EQ(frags[0], "ACGT");
+  EXPECT_EQ(frags[1], "GGTT");
+  EXPECT_EQ(frags[2], "A");
+}
+
+TEST(FragmentsTest, LeadingTrailingJunk) {
+  const auto frags = acgt_fragments("NNACGTNN");
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_EQ(frags[0], "ACGT");
+}
+
+TEST(FragmentsTest, EmptyAndAllJunk) {
+  EXPECT_TRUE(acgt_fragments("").empty());
+  EXPECT_TRUE(acgt_fragments("NNNXX").empty());
+}
+
+TEST(ExtractTest, AllKmersInOrder) {
+  const auto kmers = extract_kmers("ACGTA", 3, BaseEncoding::kStandard);
+  ASSERT_EQ(kmers.size(), 3u);
+  EXPECT_EQ(kmers[0], pack("ACG", BaseEncoding::kStandard));
+  EXPECT_EQ(kmers[1], pack("CGT", BaseEncoding::kStandard));
+  EXPECT_EQ(kmers[2], pack("GTA", BaseEncoding::kStandard));
+}
+
+TEST(ExtractTest, RollingMatchesNaivePacking) {
+  Xoshiro256 rng(11);
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string read;
+  for (int i = 0; i < 500; ++i) read.push_back(kBases[rng.below(4)]);
+
+  for (int k : {2, 5, 17, 31}) {
+    const auto rolled = extract_kmers(read, k, BaseEncoding::kRandomized);
+    ASSERT_EQ(rolled.size(), read.size() - static_cast<std::size_t>(k) + 1);
+    for (std::size_t i = 0; i < rolled.size(); ++i) {
+      EXPECT_EQ(rolled[i],
+                pack(std::string_view(read).substr(i,
+                                                   static_cast<std::size_t>(k)),
+                     BaseEncoding::kRandomized));
+    }
+  }
+}
+
+TEST(ExtractTest, NoKmersSpanN) {
+  const auto kmers = extract_kmers("ACGNACG", 3, BaseEncoding::kStandard);
+  // Two fragments of 3 bases each -> one 3-mer from each.
+  ASSERT_EQ(kmers.size(), 2u);
+  EXPECT_EQ(kmers[0], pack("ACG", BaseEncoding::kStandard));
+  EXPECT_EQ(kmers[1], pack("ACG", BaseEncoding::kStandard));
+}
+
+TEST(ExtractTest, ShortReadYieldsNothing) {
+  EXPECT_TRUE(extract_kmers("ACG", 4, BaseEncoding::kStandard).empty());
+  EXPECT_TRUE(extract_kmers("", 4, BaseEncoding::kStandard).empty());
+}
+
+TEST(ExtractTest, RejectsBadK) {
+  std::vector<KmerCode> out;
+  EXPECT_THROW(extract_kmers("ACGT", 0, BaseEncoding::kStandard, out),
+               PreconditionError);
+  EXPECT_THROW(extract_kmers("ACGT", 32, BaseEncoding::kStandard, out),
+               PreconditionError);
+}
+
+TEST(CountKmersTest, MatchesExtraction) {
+  const std::string read = "ACGTNACGTACGTNNAC";
+  for (int k : {2, 3, 4, 5}) {
+    EXPECT_EQ(count_kmers(read, k),
+              extract_kmers(read, k, BaseEncoding::kStandard).size());
+  }
+}
+
+TEST(ForEachKmerTest, StopsBeforeKOnShortFragment) {
+  int calls = 0;
+  for_each_kmer("ACG", 5, BaseEncoding::kStandard,
+                [&](KmerCode) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace dedukt::kmer

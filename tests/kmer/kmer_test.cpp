@@ -1,0 +1,171 @@
+#include "dedukt/kmer/kmer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::kmer {
+namespace {
+
+using io::BaseEncoding;
+
+std::string random_seq(Xoshiro256& rng, int len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+TEST(KmerPackTest, KnownStandardCodes) {
+  // A=00 C=01 G=10 T=11, first base most significant.
+  EXPECT_EQ(pack("A", BaseEncoding::kStandard), 0b00u);
+  EXPECT_EQ(pack("T", BaseEncoding::kStandard), 0b11u);
+  EXPECT_EQ(pack("ACGT", BaseEncoding::kStandard), 0b00011011u);
+  EXPECT_EQ(pack("GTC", BaseEncoding::kStandard), 0b101101u);
+}
+
+TEST(KmerPackTest, KnownRandomizedCodes) {
+  // §IV-A order: A=1, C=0, T=2, G=3.
+  EXPECT_EQ(pack("A", BaseEncoding::kRandomized), 1u);
+  EXPECT_EQ(pack("C", BaseEncoding::kRandomized), 0u);
+  EXPECT_EQ(pack("T", BaseEncoding::kRandomized), 2u);
+  EXPECT_EQ(pack("G", BaseEncoding::kRandomized), 3u);
+  EXPECT_EQ(pack("AC", BaseEncoding::kRandomized), (1u << 2) | 0u);
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<BaseEncoding> {};
+
+TEST_P(PackRoundTrip, UnpackInvertsPackAcrossLengths) {
+  Xoshiro256 rng(3);
+  for (int len = 1; len <= kMaxPackedK; ++len) {
+    const std::string s = random_seq(rng, len);
+    EXPECT_EQ(unpack(pack(s, GetParam()), len, GetParam()), s);
+  }
+}
+
+TEST_P(PackRoundTrip, IntegerOrderIsLexicographicOrder) {
+  // The property the minimizer orderings rely on: for equal-length codes,
+  // unsigned comparison == lexicographic comparison under the encoding.
+  Xoshiro256 rng(4);
+  const BaseEncoding enc = GetParam();
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = random_seq(rng, 9);
+    const std::string b = random_seq(rng, 9);
+    // Compare base-by-base in encoding order.
+    bool lex_less = false;
+    for (int i = 0; i < 9; ++i) {
+      const auto ca = io::encode_base(a[i], enc);
+      const auto cb = io::encode_base(b[i], enc);
+      if (ca != cb) {
+        lex_less = ca < cb;
+        break;
+      }
+    }
+    if (a != b) {
+      EXPECT_EQ(pack(a, enc) < pack(b, enc), lex_less)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, PackRoundTrip,
+                         ::testing::Values(BaseEncoding::kStandard,
+                                           BaseEncoding::kRandomized));
+
+TEST(KmerPackTest, TopBitsStayZeroSoSentinelIsSafe) {
+  // k <= 31 codes always have the top 2 bits clear, so kInvalidCode can
+  // never collide with a real k-mer.
+  const std::string all_t(kMaxPackedK, 'T');
+  const KmerCode max_code = pack(all_t, BaseEncoding::kStandard);
+  EXPECT_LT(max_code, kInvalidCode);
+  EXPECT_EQ(max_code >> 62, 0u);
+}
+
+TEST(KmerPackTest, RejectsBadLengths) {
+  EXPECT_THROW(pack("", BaseEncoding::kStandard), PreconditionError);
+  EXPECT_THROW(pack(std::string(32, 'A'), BaseEncoding::kStandard),
+               PreconditionError);
+}
+
+TEST(KmerPackTest, RejectsNonAcgt) {
+  EXPECT_THROW(pack("ACNGT", BaseEncoding::kStandard), ParseError);
+}
+
+TEST(CodeMaskTest, MasksExpectedBits) {
+  EXPECT_EQ(code_mask(1), 0b11u);
+  EXPECT_EQ(code_mask(4), 0xFFu);
+  EXPECT_EQ(code_mask(31), (KmerCode{1} << 62) - 1);
+  EXPECT_EQ(code_mask(32), ~KmerCode{0});
+}
+
+TEST(SubCodeTest, ExtractsMmers) {
+  const KmerCode code = pack("ACGTACG", BaseEncoding::kStandard);
+  EXPECT_EQ(sub_code(code, 7, 0, 3), pack("ACG", BaseEncoding::kStandard));
+  EXPECT_EQ(sub_code(code, 7, 2, 3), pack("GTA", BaseEncoding::kStandard));
+  EXPECT_EQ(sub_code(code, 7, 4, 3), pack("ACG", BaseEncoding::kStandard));
+  EXPECT_EQ(sub_code(code, 7, 0, 7), code);
+}
+
+TEST(AppendBaseTest, SlidesWindow) {
+  const KmerCode acg = pack("ACG", BaseEncoding::kStandard);
+  const KmerCode cgt =
+      append_base(acg, io::encode_base('T', BaseEncoding::kStandard)) &
+      code_mask(3);
+  EXPECT_EQ(cgt, pack("CGT", BaseEncoding::kStandard));
+}
+
+class RevCompTest : public ::testing::TestWithParam<BaseEncoding> {};
+
+TEST_P(RevCompTest, MatchesStringReverseComplement) {
+  Xoshiro256 rng(5);
+  for (int len : {1, 2, 8, 17, 31}) {
+    const std::string s = random_seq(rng, len);
+    const KmerCode code = pack(s, GetParam());
+    EXPECT_EQ(unpack(reverse_complement(code, len, GetParam()), len,
+                     GetParam()),
+              io::reverse_complement(s));
+  }
+}
+
+TEST_P(RevCompTest, IsInvolution) {
+  Xoshiro256 rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string s = random_seq(rng, 17);
+    const KmerCode code = pack(s, GetParam());
+    EXPECT_EQ(reverse_complement(
+                  reverse_complement(code, 17, GetParam()), 17, GetParam()),
+              code);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEncodings, RevCompTest,
+                         ::testing::Values(BaseEncoding::kStandard,
+                                           BaseEncoding::kRandomized));
+
+TEST(CanonicalTest, PicksTheSmaller) {
+  const KmerCode fwd = pack("TTTT", BaseEncoding::kStandard);
+  const KmerCode rc = pack("AAAA", BaseEncoding::kStandard);
+  EXPECT_EQ(canonical(fwd, 4, BaseEncoding::kStandard), rc);
+  EXPECT_EQ(canonical(rc, 4, BaseEncoding::kStandard), rc);
+}
+
+TEST(CanonicalTest, StrandInvariant) {
+  Xoshiro256 rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+    std::string s;
+    for (int i = 0; i < 17; ++i) s.push_back(kBases[rng.below(4)]);
+    const KmerCode a = pack(s, BaseEncoding::kStandard);
+    const KmerCode b =
+        pack(io::reverse_complement(s), BaseEncoding::kStandard);
+    EXPECT_EQ(canonical(a, 17, BaseEncoding::kStandard),
+              canonical(b, 17, BaseEncoding::kStandard));
+  }
+}
+
+}  // namespace
+}  // namespace dedukt::kmer

@@ -1,0 +1,220 @@
+#include "dedukt/kmer/minimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::kmer {
+namespace {
+
+using io::BaseEncoding;
+
+std::string random_seq(Xoshiro256& rng, int len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+/// Reference minimizer: enumerate all m-mers as strings and pick the best
+/// by the policy's score. Ties break leftmost.
+KmerCode reference_minimizer(const std::string& kmer,
+                             const MinimizerPolicy& policy) {
+  const int m = policy.m();
+  KmerCode best = 0;
+  std::uint64_t best_score = ~std::uint64_t{0};
+  for (std::size_t pos = 0; pos + static_cast<std::size_t>(m) <= kmer.size();
+       ++pos) {
+    const KmerCode mmer =
+        pack(kmer.substr(pos, static_cast<std::size_t>(m)),
+             policy.encoding());
+    const std::uint64_t score = policy.score(mmer);
+    if (score < best_score) {
+      best_score = score;
+      best = mmer;
+    }
+  }
+  return best;
+}
+
+TEST(MinimizerTest, LexicographicPicksSmallestSubstring) {
+  // For lexicographic ordering the minimizer is the smallest m-length
+  // substring in plain string order.
+  MinimizerPolicy policy(MinimizerOrder::kLexicographic, 3);
+  const std::string kmer = "GTCAAGTC";
+  std::vector<std::string> mmers;
+  for (std::size_t i = 0; i + 3 <= kmer.size(); ++i) {
+    mmers.push_back(kmer.substr(i, 3));
+  }
+  const std::string smallest = *std::min_element(mmers.begin(), mmers.end());
+  const KmerCode code = pack(kmer, policy.encoding());
+  EXPECT_EQ(unpack(minimizer_of(code, 8, policy), 3, policy.encoding()),
+            smallest);
+}
+
+class OrderSweep : public ::testing::TestWithParam<MinimizerOrder> {};
+
+TEST_P(OrderSweep, MatchesReferenceOnRandomKmers) {
+  Xoshiro256 rng(21);
+  for (int m : {3, 4, 7, 9}) {
+    MinimizerPolicy policy(GetParam(), m);
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::string kmer = random_seq(rng, 17);
+      const KmerCode code = pack(kmer, policy.encoding());
+      EXPECT_EQ(minimizer_of(code, 17, policy),
+                reference_minimizer(kmer, policy))
+          << "kmer=" << kmer << " m=" << m;
+    }
+  }
+}
+
+TEST_P(OrderSweep, MinimizerIsASubstringOfTheKmer) {
+  Xoshiro256 rng(22);
+  MinimizerPolicy policy(GetParam(), 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string kmer = random_seq(rng, 17);
+    const KmerCode code = pack(kmer, policy.encoding());
+    const std::string minimizer =
+        unpack(minimizer_of(code, 17, policy), 5, policy.encoding());
+    EXPECT_NE(kmer.find(minimizer), std::string::npos);
+  }
+}
+
+TEST_P(OrderSweep, DeterministicAcrossCalls) {
+  MinimizerPolicy policy(GetParam(), 7);
+  const KmerCode code =
+      pack("ACGTACGTACGTACGTA", policy.encoding());
+  EXPECT_EQ(minimizer_of(code, 17, policy), minimizer_of(code, 17, policy));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, OrderSweep,
+                         ::testing::Values(MinimizerOrder::kLexicographic,
+                                           MinimizerOrder::kKmc2,
+                                           MinimizerOrder::kRandomized));
+
+TEST(Kmc2Test, PenalizesAaaPrefix) {
+  // KMC2: m-mers starting with AAA get lower priority (§II-B). For a k-mer
+  // offering both AAAT and CCCT, plain lex picks AAAT but KMC2 picks the
+  // other.
+  MinimizerPolicy lex(MinimizerOrder::kLexicographic, 4);
+  MinimizerPolicy kmc2(MinimizerOrder::kKmc2, 4);
+  const std::string kmer = "AAATCCCT";
+  const KmerCode code = pack(kmer, BaseEncoding::kStandard);
+  EXPECT_EQ(unpack(minimizer_of(code, 8, lex), 4, BaseEncoding::kStandard),
+            "AAAT");
+  const std::string kmc2_min =
+      unpack(minimizer_of(code, 8, kmc2), 4, BaseEncoding::kStandard);
+  EXPECT_NE(kmc2_min.substr(0, 3), "AAA");
+}
+
+TEST(Kmc2Test, PenalizesAcaPrefix) {
+  MinimizerPolicy kmc2(MinimizerOrder::kKmc2, 4);
+  const std::string kmer = "ACATCGGT";
+  const KmerCode code = pack(kmer, BaseEncoding::kStandard);
+  const std::string minimizer =
+      unpack(minimizer_of(code, 8, kmc2), 4, BaseEncoding::kStandard);
+  EXPECT_NE(minimizer.substr(0, 3), "ACA");
+}
+
+TEST(Kmc2Test, FallsBackWhenOnlyPenalizedAvailable) {
+  // All m-mers start with AAA; the penalty is uniform, so the smallest
+  // penalized m-mer still wins.
+  MinimizerPolicy kmc2(MinimizerOrder::kKmc2, 4);
+  const KmerCode code = pack("AAAAAAA", BaseEncoding::kStandard);
+  EXPECT_EQ(unpack(minimizer_of(code, 7, kmc2), 4, BaseEncoding::kStandard),
+            "AAAA");
+}
+
+TEST(RandomizedTest, SingleBaseOrderIsCATG) {
+  // With A=1,C=0,T=2,G=3 the randomized order of 1-mers is C < A < T < G.
+  MinimizerPolicy policy(MinimizerOrder::kRandomized, 1);
+  auto min1 = [&](const std::string& kmer) {
+    return unpack(minimizer_of(pack(kmer, policy.encoding()),
+                               static_cast<int>(kmer.size()), policy),
+                  1, policy.encoding());
+  };
+  EXPECT_EQ(min1("AC"), "C");
+  EXPECT_EQ(min1("AT"), "A");
+  EXPECT_EQ(min1("TG"), "T");
+  EXPECT_EQ(min1("GA"), "A");
+}
+
+TEST(RandomizedTest, SpreadsPartitionsBetterThanLexOnSkewedData) {
+  // Lexicographic minimizers concentrate AAAA... minimizers; the paper's
+  // randomized encoding breaks that up (§IV-A). Compare partition skew on
+  // A-rich sequences.
+  Xoshiro256 rng(23);
+  constexpr std::uint32_t kParts = 8;
+  std::vector<std::uint64_t> lex_loads(kParts, 0), rnd_loads(kParts, 0);
+  MinimizerPolicy lex(MinimizerOrder::kLexicographic, 5);
+  MinimizerPolicy rnd(MinimizerOrder::kRandomized, 5);
+  for (int trial = 0; trial < 3000; ++trial) {
+    // A-rich 17-mers: 60% A.
+    std::string kmer;
+    for (int i = 0; i < 17; ++i) {
+      const auto u = rng.uniform();
+      kmer.push_back(u < 0.6 ? 'A' : (u < 0.74 ? 'C' : (u < 0.87 ? 'G' : 'T')));
+    }
+    const KmerCode lex_min =
+        minimizer_of(pack(kmer, lex.encoding()), 17, lex);
+    const KmerCode rnd_min =
+        minimizer_of(pack(kmer, rnd.encoding()), 17, rnd);
+    ++lex_loads[minimizer_partition(lex_min, kParts)];
+    ++rnd_loads[minimizer_partition(rnd_min, kParts)];
+  }
+  auto imbalance = [](const std::vector<std::uint64_t>& loads) {
+    std::uint64_t maxv = 0, sum = 0;
+    for (auto v : loads) {
+      maxv = std::max(maxv, v);
+      sum += v;
+    }
+    return static_cast<double>(maxv) * loads.size() /
+           static_cast<double>(sum);
+  };
+  // Minimizer-hash partitioning hides some skew, but fewer distinct lex
+  // minimizers means lumpier buckets.
+  EXPECT_LE(imbalance(rnd_loads), imbalance(lex_loads) * 1.10);
+}
+
+TEST(PartitionTest, StableAndInRange) {
+  Xoshiro256 rng(24);
+  for (int trial = 0; trial < 200; ++trial) {
+    const KmerCode minimizer = rng.below(1u << 18);
+    for (std::uint32_t parts : {1u, 2u, 384u}) {
+      const auto p = minimizer_partition(minimizer, parts);
+      EXPECT_LT(p, parts);
+      EXPECT_EQ(p, minimizer_partition(minimizer, parts));
+    }
+  }
+}
+
+TEST(PolicyTest, EncodingFollowsOrder) {
+  EXPECT_EQ(MinimizerPolicy(MinimizerOrder::kLexicographic, 5).encoding(),
+            BaseEncoding::kStandard);
+  EXPECT_EQ(MinimizerPolicy(MinimizerOrder::kKmc2, 5).encoding(),
+            BaseEncoding::kStandard);
+  EXPECT_EQ(MinimizerPolicy(MinimizerOrder::kRandomized, 5).encoding(),
+            BaseEncoding::kRandomized);
+}
+
+TEST(PolicyTest, RejectsBadParameters) {
+  EXPECT_THROW(MinimizerPolicy(MinimizerOrder::kLexicographic, 0),
+               PreconditionError);
+  EXPECT_THROW(MinimizerPolicy(MinimizerOrder::kKmc2, 2), PreconditionError);
+  MinimizerPolicy ok(MinimizerOrder::kRandomized, 7);
+  EXPECT_THROW(minimizer_of(0, 7, ok), PreconditionError);  // m must be < k
+}
+
+TEST(ToStringTest, Names) {
+  EXPECT_EQ(to_string(MinimizerOrder::kLexicographic), "lexicographic");
+  EXPECT_EQ(to_string(MinimizerOrder::kKmc2), "kmc2");
+  EXPECT_EQ(to_string(MinimizerOrder::kRandomized), "randomized");
+}
+
+}  // namespace
+}  // namespace dedukt::kmer

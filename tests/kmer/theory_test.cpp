@@ -1,0 +1,105 @@
+#include "dedukt/kmer/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::kmer::theory {
+namespace {
+
+Params base_params() {
+  Params p;
+  p.total_bases = 1e9;   // D
+  p.avg_read_length = 10'000;  // L
+  p.k = 17;
+  p.nprocs = 384;
+  return p;
+}
+
+TEST(TheoryTest, TotalKmersFormula) {
+  // K = D/L * (L - k + 1)
+  const Params p = base_params();
+  EXPECT_DOUBLE_EQ(total_kmers(p), 1e9 / 1e4 * (1e4 - 17 + 1));
+}
+
+TEST(TheoryTest, KmerVolumePerProc) {
+  const Params p = base_params();
+  const double K = total_kmers(p);
+  const double P = 384;
+  EXPECT_DOUBLE_EQ(kmer_volume_per_proc(p), (P - 1) / P * K / P * 17);
+}
+
+TEST(TheoryTest, SupermerCountsExactVsPaperApproximation) {
+  const Params p = base_params();
+  const double s = 25.0;
+  // Exact: each length-s supermer covers s-k+1 k-mers.
+  EXPECT_DOUBLE_EQ(total_supermers_exact(p, s), total_kmers(p) / (s - 17 + 1));
+  // Paper's §IV-D closed form.
+  EXPECT_DOUBLE_EQ(total_supermers_paper(p, s),
+                   1e9 / 1e4 * (1e4 - 25 + 1));
+  // They approximate each other for reads >> supermers only in order of
+  // magnitude; both must be positive and finite.
+  EXPECT_GT(total_supermers_exact(p, s), 0);
+  EXPECT_GT(total_supermers_paper(p, s), 0);
+}
+
+TEST(TheoryTest, SupermerVolumeSmallerThanKmerVolume) {
+  const Params p = base_params();
+  for (double s : {20.0, 25.0, 31.0}) {
+    EXPECT_LT(supermer_volume_per_proc(p, s), kmer_volume_per_proc(p));
+  }
+}
+
+TEST(TheoryTest, ReductionGrowsWithSupermerLength) {
+  const Params p = base_params();
+  EXPECT_LT(reduction_exact(p, 20.0), reduction_exact(p, 30.0));
+}
+
+TEST(TheoryTest, ReductionExactFormula) {
+  const Params p = base_params();
+  const double s = 25.0;
+  // (K*k) / (S*s) with S = K/(s-k+1) -> k*(s-k+1)/s.
+  EXPECT_NEAR(reduction_exact(p, s), 17.0 * (25 - 17 + 1) / 25.0, 1e-12);
+}
+
+TEST(TheoryTest, PaperEstimateIsSMinusK) {
+  EXPECT_DOUBLE_EQ(reduction_paper_estimate(17, 21.5), 4.5);
+}
+
+TEST(TheoryTest, WireBytesMatchImplementationLayout) {
+  // k-mers ship as one 8-byte word; supermers as word + length byte (§V-D
+  // "this approach requires an extra byte of communication").
+  EXPECT_EQ(kmer_wire_bytes(1000), 8000u);
+  EXPECT_EQ(supermer_wire_bytes(1000), 9000u);
+}
+
+TEST(TheoryTest, WindowFifteenReachesPaperReduction) {
+  // §V-D: "a significant communication reduction of 4x using a window
+  // length of 15". With k=17, w=15 the best case is s = 31:
+  // wire ratio = (K*8) / (S*9) = 8*(s-k+1)/9 = 8*15/9 ≈ 13x at the limit;
+  // in practice s ≈ 21-24, giving ≈ 4-6x. Check the formula at s=21.5.
+  const Params p = base_params();
+  const double K = total_kmers(p);
+  const double s = 21.5;
+  const double S = total_supermers_exact(p, s);
+  const double wire_reduction =
+      static_cast<double>(kmer_wire_bytes(static_cast<std::uint64_t>(K))) /
+      static_cast<double>(
+          supermer_wire_bytes(static_cast<std::uint64_t>(S)));
+  EXPECT_GT(wire_reduction, 3.5);
+  EXPECT_LT(wire_reduction, 6.0);
+}
+
+TEST(TheoryTest, RejectsInvalidParams) {
+  Params p = base_params();
+  p.total_bases = 0;
+  EXPECT_THROW(total_kmers(p), PreconditionError);
+  p = base_params();
+  p.avg_read_length = 5;  // < k
+  EXPECT_THROW(total_kmers(p), PreconditionError);
+  p = base_params();
+  EXPECT_THROW(total_supermers_exact(p, 10.0), PreconditionError);  // s < k
+}
+
+}  // namespace
+}  // namespace dedukt::kmer::theory

@@ -1,0 +1,171 @@
+#include "dedukt/kmer/wide.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::kmer {
+namespace {
+
+using io::BaseEncoding;
+
+std::string random_seq(Xoshiro256& rng, int len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(kBases[rng.below(4)]);
+  return s;
+}
+
+TEST(WidePackTest, RoundTripsAcrossLengths) {
+  Xoshiro256 rng(81);
+  for (int len : {1, 17, 31, 32, 33, 47, 63}) {
+    const std::string s = random_seq(rng, len);
+    for (const auto enc :
+         {BaseEncoding::kStandard, BaseEncoding::kRandomized}) {
+      EXPECT_EQ(wide_unpack(wide_pack(s, enc), len, enc), s) << len;
+    }
+  }
+}
+
+TEST(WidePackTest, AgreesWithNarrowPackForSmallK) {
+  Xoshiro256 rng(82);
+  const std::string s = random_seq(rng, 21);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                wide_pack(s, BaseEncoding::kStandard)),
+            pack(s, BaseEncoding::kStandard));
+}
+
+TEST(WidePackTest, RejectsBadLengths) {
+  EXPECT_THROW(wide_pack("", BaseEncoding::kStandard), PreconditionError);
+  EXPECT_THROW(wide_pack(std::string(64, 'A'), BaseEncoding::kStandard),
+               PreconditionError);
+}
+
+TEST(WidePackTest, IntegerOrderIsLexicographicOrder) {
+  Xoshiro256 rng(83);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string a = random_seq(rng, 45);
+    const std::string b = random_seq(rng, 45);
+    if (a == b) continue;
+    EXPECT_EQ(wide_pack(a, BaseEncoding::kStandard) <
+                  wide_pack(b, BaseEncoding::kStandard),
+              a < b);
+  }
+}
+
+TEST(WideKeyTest, RoundTripsThroughKey) {
+  Xoshiro256 rng(84);
+  const std::string s = random_seq(rng, 55);
+  const WideCode code = wide_pack(s, BaseEncoding::kStandard);
+  EXPECT_EQ(from_key(to_key(code)), code);
+}
+
+TEST(WideKeyTest, SentinelUnreachable) {
+  const std::string all_t(63, 'T');
+  const WideKey max_key =
+      to_key(wide_pack(all_t, BaseEncoding::kStandard));
+  EXPECT_LT(max_key, kInvalidWideKey);
+}
+
+TEST(WideKeyTest, HashSeparatesSeeds) {
+  const WideKey key{0x1234, 0x5678};
+  EXPECT_NE(hash_wide(key, 1), hash_wide(key, 2));
+}
+
+TEST(WideSubTest, ExtractsNarrowSubcodes) {
+  const std::string s =
+      "ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT";  // 40 bases
+  const WideCode code = wide_pack(s, BaseEncoding::kStandard);
+  for (int pos : {0, 7, 33}) {
+    EXPECT_EQ(wide_sub(code, 40, pos, 7),
+              pack(s.substr(static_cast<std::size_t>(pos), 7),
+                   BaseEncoding::kStandard))
+        << pos;
+  }
+}
+
+TEST(WideRevCompTest, MatchesStringReverseComplement) {
+  Xoshiro256 rng(85);
+  for (int len : {33, 48, 63}) {
+    const std::string s = random_seq(rng, len);
+    const WideCode code = wide_pack(s, BaseEncoding::kStandard);
+    EXPECT_EQ(wide_unpack(
+                  wide_reverse_complement(code, len, BaseEncoding::kStandard),
+                  len, BaseEncoding::kStandard),
+              io::reverse_complement(s));
+  }
+}
+
+TEST(WideCanonicalTest, StrandInvariant) {
+  Xoshiro256 rng(86);
+  const std::string s = random_seq(rng, 41);
+  const WideCode fwd = wide_pack(s, BaseEncoding::kStandard);
+  const WideCode rev =
+      wide_pack(io::reverse_complement(s), BaseEncoding::kStandard);
+  EXPECT_EQ(wide_canonical(fwd, 41, BaseEncoding::kStandard),
+            wide_canonical(rev, 41, BaseEncoding::kStandard));
+}
+
+TEST(WideExtractTest, RollingMatchesNaive) {
+  Xoshiro256 rng(87);
+  const std::string read = random_seq(rng, 300);
+  const int k = 41;
+  std::vector<WideCode> rolled;
+  for_each_wide_kmer(read, k, BaseEncoding::kRandomized,
+                     [&](WideCode code) { rolled.push_back(code); });
+  ASSERT_EQ(rolled.size(), read.size() - static_cast<std::size_t>(k) + 1);
+  for (std::size_t i = 0; i < rolled.size(); ++i) {
+    EXPECT_EQ(rolled[i],
+              wide_pack(std::string_view(read).substr(
+                            i, static_cast<std::size_t>(k)),
+                        BaseEncoding::kRandomized));
+  }
+}
+
+TEST(WideMinimizerTest, MatchesNarrowDefinitionOnSubstrings) {
+  // The wide minimizer must equal the smallest m-mer by policy score,
+  // computed from the ASCII reference.
+  Xoshiro256 rng(88);
+  const MinimizerPolicy policy(MinimizerOrder::kRandomized, 9);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string kmer_str = random_seq(rng, 51);
+    const WideCode code = wide_pack(kmer_str, policy.encoding());
+    KmerCode best = pack(kmer_str.substr(0, 9), policy.encoding());
+    for (std::size_t pos = 1; pos + 9 <= kmer_str.size(); ++pos) {
+      const KmerCode mmer =
+          pack(kmer_str.substr(pos, 9), policy.encoding());
+      if (policy.score(mmer) < policy.score(best)) best = mmer;
+    }
+    EXPECT_EQ(wide_minimizer_of(code, 51, policy), best);
+  }
+}
+
+TEST(WidePartitionTest, StableAndInRange) {
+  Xoshiro256 rng(89);
+  for (int trial = 0; trial < 100; ++trial) {
+    const WideCode code =
+        wide_pack(random_seq(rng, 45), BaseEncoding::kStandard);
+    const auto p = wide_kmer_partition(code, 384);
+    EXPECT_LT(p, 384u);
+    EXPECT_EQ(p, wide_kmer_partition(code, 384));
+  }
+}
+
+TEST(WidePartitionTest, RoughlyUniform) {
+  Xoshiro256 rng(90);
+  constexpr std::uint32_t kParts = 8;
+  std::vector<int> buckets(kParts, 0);
+  for (int i = 0; i < 16000; ++i) {
+    ++buckets[wide_kmer_partition(
+        wide_pack(random_seq(rng, 40), BaseEncoding::kStandard), kParts)];
+  }
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, 2000, 400);
+  }
+}
+
+}  // namespace
+}  // namespace dedukt::kmer

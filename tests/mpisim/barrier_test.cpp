@@ -1,0 +1,86 @@
+#include "dedukt/mpisim/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::mpisim {
+namespace {
+
+TEST(BarrierTest, SingleParticipantNeverBlocks) {
+  Barrier barrier(1);
+  for (int i = 0; i < 10; ++i) barrier.arrive_and_wait();
+}
+
+TEST(BarrierTest, SynchronizesPhases) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier every thread of this round has incremented.
+        if (counter.load() < (round + 1) * kThreads) failed = true;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kRounds);
+}
+
+TEST(BarrierTest, AbortWakesWaiters) {
+  Barrier barrier(2);
+  std::atomic<bool> threw{false};
+  std::thread waiter([&] {
+    try {
+      barrier.arrive_and_wait();
+    } catch (const SimulationError&) {
+      threw = true;
+    }
+  });
+  // Give the waiter time to block, then abort instead of arriving.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  barrier.abort();
+  waiter.join();
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(BarrierTest, ArrivalAfterAbortThrows) {
+  Barrier barrier(3);
+  barrier.abort();
+  EXPECT_THROW(barrier.arrive_and_wait(), SimulationError);
+  EXPECT_TRUE(barrier.aborted());
+}
+
+TEST(BarrierTest, RejectsNonPositiveParticipants) {
+  EXPECT_THROW(Barrier(0), PreconditionError);
+}
+
+TEST(BarrierTest, ReusableAcrossGenerations) {
+  Barrier barrier(4);
+  std::vector<std::thread> threads;
+  std::atomic<int> done{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 100; ++round) barrier.arrive_and_wait();
+      done.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace dedukt::mpisim

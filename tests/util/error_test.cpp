@@ -1,0 +1,65 @@
+#include "dedukt/util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt {
+namespace {
+
+TEST(ErrorTest, CheckPassesOnTrue) {
+  EXPECT_NO_THROW(DEDUKT_CHECK(1 + 1 == 2));
+}
+
+TEST(ErrorTest, CheckThrowsErrorOnFalse) {
+  EXPECT_THROW(DEDUKT_CHECK(1 + 1 == 3), Error);
+}
+
+TEST(ErrorTest, RequireThrowsPreconditionError) {
+  EXPECT_THROW(DEDUKT_REQUIRE(false), PreconditionError);
+}
+
+TEST(ErrorTest, PreconditionErrorIsAnError) {
+  try {
+    DEDUKT_REQUIRE(false);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("DEDUKT_REQUIRE"),
+              std::string::npos);
+  }
+}
+
+TEST(ErrorTest, MessageCapturesExpressionAndLocation) {
+  try {
+    DEDUKT_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, StreamedMessageIsIncluded) {
+  try {
+    DEDUKT_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, RequireMsgThrowsPreconditionWithMessage) {
+  try {
+    DEDUKT_REQUIRE_MSG(false, "bad k=" << 99);
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("bad k=99"), std::string::npos);
+  }
+}
+
+TEST(ErrorTest, ParseErrorHierarchy) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw SimulationError("x"), Error);
+}
+
+}  // namespace
+}  // namespace dedukt

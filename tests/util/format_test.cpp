@@ -1,0 +1,57 @@
+#include "dedukt/util/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt {
+namespace {
+
+TEST(FormatBytesTest, PlainBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+}
+
+TEST(FormatBytesTest, BinaryUnits) {
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(1ull << 20), "1.00 MiB");
+  EXPECT_EQ(format_bytes(1ull << 30), "1.00 GiB");
+  EXPECT_EQ(format_bytes(317ull << 30), "317.00 GiB");
+}
+
+TEST(FormatCountTest, PaperStyleUnits) {
+  // Table II uses 412M, 4.7B, 167B style.
+  EXPECT_EQ(format_count(412'000'000), "412M");
+  EXPECT_EQ(format_count(4'700'000'000ull), "4.7B");
+  EXPECT_EQ(format_count(167'000'000'000ull), "167B");
+}
+
+TEST(FormatCountTest, SmallCountsVerbatim) {
+  EXPECT_EQ(format_count(0), "0");
+  EXPECT_EQ(format_count(999), "999");
+}
+
+TEST(FormatCountTest, Thousands) {
+  EXPECT_EQ(format_count(1500), "1.5K");
+  EXPECT_EQ(format_count(26'000), "26K");
+}
+
+TEST(FormatSecondsTest, UnitSelection) {
+  EXPECT_EQ(format_seconds(2.0), "2.00 s");
+  EXPECT_EQ(format_seconds(0.5), "500.00 ms");
+  EXPECT_EQ(format_seconds(25e-6), "25.0 us");
+  EXPECT_EQ(format_seconds(3e-9), "3.0 ns");
+}
+
+TEST(FormatFixedTest, Decimals) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(3.14159, 0), "3");
+  EXPECT_EQ(format_fixed(-1.005, 1), "-1.0");
+}
+
+TEST(FormatSpeedupTest, Factor) {
+  EXPECT_EQ(format_speedup(1.5), "1.50x");
+  EXPECT_EQ(format_speedup(150.0), "150.00x");
+}
+
+}  // namespace
+}  // namespace dedukt

@@ -1,0 +1,31 @@
+#include "dedukt/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt {
+namespace {
+
+TEST(LogTest, LevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  set_log_level(before);
+}
+
+TEST(LogTest, EmittingBelowThresholdDoesNotCrash) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  DEDUKT_LOG_DEBUG << "suppressed " << 42;
+  DEDUKT_LOG_INFO << "suppressed too";
+  set_log_level(before);
+}
+
+TEST(LogTest, StreamingOperatorsCompose) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);  // keep test output clean
+  DEDUKT_LOG_WARN << "a" << 1 << 2.5 << std::string("b");
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace dedukt

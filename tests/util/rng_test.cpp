@@ -1,0 +1,86 @@
+#include "dedukt/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dedukt {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSameSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(XoshiroTest, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(XoshiroTest, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int bound : {1, 2, 3, 10, 1000, 1 << 20}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(static_cast<std::uint64_t>(bound)),
+                static_cast<std::uint64_t>(bound));
+    }
+  }
+}
+
+TEST(XoshiroTest, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(XoshiroTest, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  constexpr int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  // Mean of U(0,1) is 0.5; with 10k draws the sample mean is within ~1%.
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(XoshiroTest, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  constexpr std::uint64_t kBound = 8;
+  std::vector<int> buckets(kBound, 0);
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.below(kBound)];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kDraws / static_cast<int>(kBound),
+                kDraws / static_cast<int>(kBound) / 10);
+  }
+}
+
+TEST(XoshiroTest, StreamsAreIndependent) {
+  Xoshiro256 s0 = Xoshiro256::for_stream(42, 0);
+  Xoshiro256 s1 = Xoshiro256::for_stream(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0() == s1()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(XoshiroTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng(1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 64u);  // no short cycles
+}
+
+}  // namespace
+}  // namespace dedukt

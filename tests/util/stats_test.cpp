@@ -1,0 +1,78 @@
+#include "dedukt/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(LoadImbalanceTest, PerfectBalance) {
+  std::vector<std::uint64_t> loads = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(load_imbalance(loads), 1.0);
+}
+
+TEST(LoadImbalanceTest, PaperStyleValue) {
+  // Table III: max / average.
+  std::vector<std::uint64_t> loads = {100, 100, 100, 237 * 4 - 300};
+  const double avg = (100 + 100 + 100 + 648) / 4.0;
+  EXPECT_DOUBLE_EQ(load_imbalance(loads), 648.0 / avg);
+}
+
+TEST(LoadImbalanceTest, EmptyAndZeroAreOne) {
+  std::vector<std::uint64_t> empty;
+  EXPECT_DOUBLE_EQ(load_imbalance(empty), 1.0);
+  std::vector<std::uint64_t> zeros = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(load_imbalance(zeros), 1.0);
+}
+
+TEST(LoadImbalanceTest, DoubleValues) {
+  std::vector<double> loads = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(load_imbalance(loads), 3.0 / 2.0);
+}
+
+TEST(PercentileTest, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100), 9.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 25), 2.5);
+}
+
+TEST(PercentileTest, RejectsBadInput) {
+  EXPECT_THROW(percentile({}, 50), PreconditionError);
+  EXPECT_THROW(percentile({1.0}, 101), PreconditionError);
+}
+
+}  // namespace
+}  // namespace dedukt

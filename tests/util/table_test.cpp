@@ -1,0 +1,59 @@
+#include "dedukt/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dedukt {
+namespace {
+
+TEST(TextTableTest, RendersHeaderAndRows) {
+  TextTable t("My Table");
+  t.set_header({"name", "count"});
+  t.add_row({"E. coli", "412M"});
+  t.add_row({"H. sapien", "167B"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("E. coli"), std::string::npos);
+  EXPECT_NE(s.find("167B"), std::string::npos);
+}
+
+TEST(TextTableTest, PadsShortRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string s = t.to_string();
+  // Every rendered line between rules has the same length.
+  std::size_t expected = 0;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t end = s.find('\n', pos);
+    const std::size_t len = end - pos;
+    if (expected == 0) expected = len;
+    EXPECT_EQ(len, expected);
+    pos = end + 1;
+  }
+}
+
+TEST(TextTableTest, NumericCellsRightAligned) {
+  TextTable t;
+  t.set_header({"col"});
+  t.add_row({"1234"});
+  t.add_row({"999999"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("|   1234 |"), std::string::npos);
+}
+
+TEST(TextTableTest, EmptyTableStillRenders) {
+  TextTable t;
+  EXPECT_FALSE(t.to_string().empty());
+}
+
+TEST(TextTableTest, WidthsAdaptToLongestCell) {
+  TextTable t;
+  t.set_header({"x"});
+  t.add_row({"a-very-long-cell-value"});
+  EXPECT_NE(t.to_string().find("a-very-long-cell-value"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dedukt

@@ -1,0 +1,74 @@
+#include "dedukt/util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dedukt {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.015);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer t;
+  const double s = t.seconds();
+  const double ms = t.millis();
+  EXPECT_GE(ms, s * 1e3);
+}
+
+TEST(PhaseTimesTest, AccumulatesByName) {
+  PhaseTimes p;
+  p.add("parse", 1.0);
+  p.add("parse", 0.5);
+  p.add("count", 2.0);
+  EXPECT_DOUBLE_EQ(p.get("parse"), 1.5);
+  EXPECT_DOUBLE_EQ(p.get("count"), 2.0);
+  EXPECT_DOUBLE_EQ(p.get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(p.total(), 3.5);
+}
+
+TEST(PhaseTimesTest, MergeSums) {
+  PhaseTimes a, b;
+  a.add("x", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 3.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+  EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(PhaseTimesTest, MaxMergeTakesMaximumPerPhase) {
+  PhaseTimes a, b;
+  a.add("x", 5.0);
+  a.add("y", 1.0);
+  b.add("x", 2.0);
+  b.add("y", 4.0);
+  a.max_merge(b);
+  EXPECT_DOUBLE_EQ(a.get("x"), 5.0);
+  EXPECT_DOUBLE_EQ(a.get("y"), 4.0);
+}
+
+TEST(ScopedPhaseTest, RecordsScopeDuration) {
+  PhaseTimes p;
+  {
+    ScopedPhase phase(p, "work");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(p.get("work"), 0.005);
+}
+
+}  // namespace
+}  // namespace dedukt

@@ -1,0 +1,9 @@
+// The `dedukt` command-line tool. All logic lives in dedukt::core::run_app
+// (src/core/src/app.cpp) so the test suite can drive it directly.
+#include <iostream>
+
+#include "dedukt/core/app.hpp"
+
+int main(int argc, char** argv) {
+  return dedukt::core::run_app(argc, argv, std::cout, std::cerr);
+}
