@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_breakdown.cpp" "bench/CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_breakdown.dir/bench_fig3_breakdown.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dedukt_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dedukt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/dedukt_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dedukt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dedukt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_alltoallv.dir/bench_fig8_alltoallv.cpp.o"
+  "CMakeFiles/bench_fig8_alltoallv.dir/bench_fig8_alltoallv.cpp.o.d"
+  "bench_fig8_alltoallv"
+  "bench_fig8_alltoallv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_alltoallv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

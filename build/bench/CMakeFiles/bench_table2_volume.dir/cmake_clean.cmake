@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_volume.dir/bench_table2_volume.cpp.o"
+  "CMakeFiles/bench_table2_volume.dir/bench_table2_volume.cpp.o.d"
+  "bench_table2_volume"
+  "bench_table2_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_imbalance.dir/bench_table3_imbalance.cpp.o"
+  "CMakeFiles/bench_table3_imbalance.dir/bench_table3_imbalance.cpp.o.d"
+  "bench_table3_imbalance"
+  "bench_table3_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libdedukt_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debruijn_stats.dir/debruijn_stats.cpp.o"
+  "CMakeFiles/debruijn_stats.dir/debruijn_stats.cpp.o.d"
+  "debruijn_stats"
+  "debruijn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debruijn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

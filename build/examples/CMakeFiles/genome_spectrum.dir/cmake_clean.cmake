@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genome_spectrum.dir/genome_spectrum.cpp.o"
+  "CMakeFiles/genome_spectrum.dir/genome_spectrum.cpp.o.d"
+  "genome_spectrum"
+  "genome_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genome_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

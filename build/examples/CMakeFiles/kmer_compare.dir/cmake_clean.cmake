@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmer_compare.dir/kmer_compare.cpp.o"
+  "CMakeFiles/kmer_compare.dir/kmer_compare.cpp.o.d"
+  "kmer_compare"
+  "kmer_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmer_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

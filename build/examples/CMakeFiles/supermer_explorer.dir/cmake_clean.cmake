@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supermer_explorer.dir/supermer_explorer.cpp.o"
+  "CMakeFiles/supermer_explorer.dir/supermer_explorer.cpp.o.d"
+  "supermer_explorer"
+  "supermer_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supermer_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/app.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/app.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/app.cpp.o.d"
+  "/root/repo/src/core/src/bloom_filter.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/bloom_filter.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/bloom_filter.cpp.o.d"
+  "/root/repo/src/core/src/counts_io.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/counts_io.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/counts_io.cpp.o.d"
+  "/root/repo/src/core/src/cpu_pipeline.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/cpu_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/cpu_pipeline.cpp.o.d"
+  "/root/repo/src/core/src/cpu_wide_pipeline.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/cpu_wide_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/cpu_wide_pipeline.cpp.o.d"
+  "/root/repo/src/core/src/debruijn.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/debruijn.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/debruijn.cpp.o.d"
+  "/root/repo/src/core/src/device_hash_table.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/device_hash_table.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/device_hash_table.cpp.o.d"
+  "/root/repo/src/core/src/driver.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/driver.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/driver.cpp.o.d"
+  "/root/repo/src/core/src/gpu_kmer_pipeline.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/gpu_kmer_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/gpu_kmer_pipeline.cpp.o.d"
+  "/root/repo/src/core/src/gpu_supermer_pipeline.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/gpu_supermer_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/gpu_supermer_pipeline.cpp.o.d"
+  "/root/repo/src/core/src/kernels.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/kernels.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/kernels.cpp.o.d"
+  "/root/repo/src/core/src/partitioner.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/partitioner.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/partitioner.cpp.o.d"
+  "/root/repo/src/core/src/result.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/result.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/result.cpp.o.d"
+  "/root/repo/src/core/src/spectrum.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/spectrum.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/spectrum.cpp.o.d"
+  "/root/repo/src/core/src/summit.cpp" "src/core/CMakeFiles/dedukt_core.dir/src/summit.cpp.o" "gcc" "src/core/CMakeFiles/dedukt_core.dir/src/summit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/dedukt_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dedukt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dedukt_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_core.dir/src/app.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/app.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/bloom_filter.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/bloom_filter.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/counts_io.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/counts_io.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/cpu_pipeline.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/cpu_pipeline.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/cpu_wide_pipeline.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/cpu_wide_pipeline.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/debruijn.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/debruijn.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/device_hash_table.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/device_hash_table.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/driver.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/driver.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/gpu_kmer_pipeline.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/gpu_kmer_pipeline.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/gpu_supermer_pipeline.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/gpu_supermer_pipeline.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/kernels.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/kernels.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/partitioner.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/partitioner.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/result.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/result.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/spectrum.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/spectrum.cpp.o.d"
+  "CMakeFiles/dedukt_core.dir/src/summit.cpp.o"
+  "CMakeFiles/dedukt_core.dir/src/summit.cpp.o.d"
+  "libdedukt_core.a"
+  "libdedukt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_gpusim.dir/src/cost_model.cpp.o"
+  "CMakeFiles/dedukt_gpusim.dir/src/cost_model.cpp.o.d"
+  "CMakeFiles/dedukt_gpusim.dir/src/device.cpp.o"
+  "CMakeFiles/dedukt_gpusim.dir/src/device.cpp.o.d"
+  "libdedukt_gpusim.a"
+  "libdedukt_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

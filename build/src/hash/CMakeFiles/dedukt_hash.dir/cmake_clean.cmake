@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_hash.dir/src/murmur3.cpp.o"
+  "CMakeFiles/dedukt_hash.dir/src/murmur3.cpp.o.d"
+  "libdedukt_hash.a"
+  "libdedukt_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

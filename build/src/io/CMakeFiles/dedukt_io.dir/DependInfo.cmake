@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/src/datasets.cpp" "src/io/CMakeFiles/dedukt_io.dir/src/datasets.cpp.o" "gcc" "src/io/CMakeFiles/dedukt_io.dir/src/datasets.cpp.o.d"
+  "/root/repo/src/io/src/dna.cpp" "src/io/CMakeFiles/dedukt_io.dir/src/dna.cpp.o" "gcc" "src/io/CMakeFiles/dedukt_io.dir/src/dna.cpp.o.d"
+  "/root/repo/src/io/src/fasta.cpp" "src/io/CMakeFiles/dedukt_io.dir/src/fasta.cpp.o" "gcc" "src/io/CMakeFiles/dedukt_io.dir/src/fasta.cpp.o.d"
+  "/root/repo/src/io/src/fastq.cpp" "src/io/CMakeFiles/dedukt_io.dir/src/fastq.cpp.o" "gcc" "src/io/CMakeFiles/dedukt_io.dir/src/fastq.cpp.o.d"
+  "/root/repo/src/io/src/partition.cpp" "src/io/CMakeFiles/dedukt_io.dir/src/partition.cpp.o" "gcc" "src/io/CMakeFiles/dedukt_io.dir/src/partition.cpp.o.d"
+  "/root/repo/src/io/src/synthetic.cpp" "src/io/CMakeFiles/dedukt_io.dir/src/synthetic.cpp.o" "gcc" "src/io/CMakeFiles/dedukt_io.dir/src/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_io.dir/src/datasets.cpp.o"
+  "CMakeFiles/dedukt_io.dir/src/datasets.cpp.o.d"
+  "CMakeFiles/dedukt_io.dir/src/dna.cpp.o"
+  "CMakeFiles/dedukt_io.dir/src/dna.cpp.o.d"
+  "CMakeFiles/dedukt_io.dir/src/fasta.cpp.o"
+  "CMakeFiles/dedukt_io.dir/src/fasta.cpp.o.d"
+  "CMakeFiles/dedukt_io.dir/src/fastq.cpp.o"
+  "CMakeFiles/dedukt_io.dir/src/fastq.cpp.o.d"
+  "CMakeFiles/dedukt_io.dir/src/partition.cpp.o"
+  "CMakeFiles/dedukt_io.dir/src/partition.cpp.o.d"
+  "CMakeFiles/dedukt_io.dir/src/synthetic.cpp.o"
+  "CMakeFiles/dedukt_io.dir/src/synthetic.cpp.o.d"
+  "libdedukt_io.a"
+  "libdedukt_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

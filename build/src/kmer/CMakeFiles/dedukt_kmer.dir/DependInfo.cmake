@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kmer/src/extract.cpp" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/extract.cpp.o" "gcc" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/extract.cpp.o.d"
+  "/root/repo/src/kmer/src/minimizer.cpp" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/minimizer.cpp.o" "gcc" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/minimizer.cpp.o.d"
+  "/root/repo/src/kmer/src/supermer.cpp" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/supermer.cpp.o" "gcc" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/supermer.cpp.o.d"
+  "/root/repo/src/kmer/src/theory.cpp" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/theory.cpp.o" "gcc" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/theory.cpp.o.d"
+  "/root/repo/src/kmer/src/wide.cpp" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/wide.cpp.o" "gcc" "src/kmer/CMakeFiles/dedukt_kmer.dir/src/wide.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

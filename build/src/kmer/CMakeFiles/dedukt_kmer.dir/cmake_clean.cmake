@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_kmer.dir/src/extract.cpp.o"
+  "CMakeFiles/dedukt_kmer.dir/src/extract.cpp.o.d"
+  "CMakeFiles/dedukt_kmer.dir/src/minimizer.cpp.o"
+  "CMakeFiles/dedukt_kmer.dir/src/minimizer.cpp.o.d"
+  "CMakeFiles/dedukt_kmer.dir/src/supermer.cpp.o"
+  "CMakeFiles/dedukt_kmer.dir/src/supermer.cpp.o.d"
+  "CMakeFiles/dedukt_kmer.dir/src/theory.cpp.o"
+  "CMakeFiles/dedukt_kmer.dir/src/theory.cpp.o.d"
+  "CMakeFiles/dedukt_kmer.dir/src/wide.cpp.o"
+  "CMakeFiles/dedukt_kmer.dir/src/wide.cpp.o.d"
+  "libdedukt_kmer.a"
+  "libdedukt_kmer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_kmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdedukt_kmer.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_mpisim.dir/src/barrier.cpp.o"
+  "CMakeFiles/dedukt_mpisim.dir/src/barrier.cpp.o.d"
+  "CMakeFiles/dedukt_mpisim.dir/src/network_model.cpp.o"
+  "CMakeFiles/dedukt_mpisim.dir/src/network_model.cpp.o.d"
+  "CMakeFiles/dedukt_mpisim.dir/src/runtime.cpp.o"
+  "CMakeFiles/dedukt_mpisim.dir/src/runtime.cpp.o.d"
+  "libdedukt_mpisim.a"
+  "libdedukt_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_util.dir/src/cli.cpp.o"
+  "CMakeFiles/dedukt_util.dir/src/cli.cpp.o.d"
+  "CMakeFiles/dedukt_util.dir/src/format.cpp.o"
+  "CMakeFiles/dedukt_util.dir/src/format.cpp.o.d"
+  "CMakeFiles/dedukt_util.dir/src/log.cpp.o"
+  "CMakeFiles/dedukt_util.dir/src/log.cpp.o.d"
+  "CMakeFiles/dedukt_util.dir/src/table.cpp.o"
+  "CMakeFiles/dedukt_util.dir/src/table.cpp.o.d"
+  "libdedukt_util.a"
+  "libdedukt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

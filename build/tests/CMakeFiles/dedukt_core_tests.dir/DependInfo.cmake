@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/app_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/app_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/app_test.cpp.o.d"
+  "/root/repo/tests/core/bloom_filter_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/bloom_filter_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/bloom_filter_test.cpp.o.d"
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/consolidation_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/consolidation_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/consolidation_test.cpp.o.d"
+  "/root/repo/tests/core/counts_io_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/counts_io_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/counts_io_test.cpp.o.d"
+  "/root/repo/tests/core/debruijn_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/debruijn_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/debruijn_test.cpp.o.d"
+  "/root/repo/tests/core/device_hash_table_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/device_hash_table_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/device_hash_table_test.cpp.o.d"
+  "/root/repo/tests/core/driver_integration_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/driver_integration_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/driver_integration_test.cpp.o.d"
+  "/root/repo/tests/core/failure_injection_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/failure_injection_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/failure_injection_test.cpp.o.d"
+  "/root/repo/tests/core/fuzz_equivalence_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/fuzz_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/fuzz_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/golden_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/golden_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/golden_test.cpp.o.d"
+  "/root/repo/tests/core/host_hash_table_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/host_hash_table_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/host_hash_table_test.cpp.o.d"
+  "/root/repo/tests/core/kernels_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/kernels_test.cpp.o.d"
+  "/root/repo/tests/core/multi_round_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/multi_round_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/multi_round_test.cpp.o.d"
+  "/root/repo/tests/core/partitioner_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/partitioner_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/partitioner_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_equivalence_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/pipeline_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/pipeline_equivalence_test.cpp.o.d"
+  "/root/repo/tests/core/preset_matrix_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/preset_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/preset_matrix_test.cpp.o.d"
+  "/root/repo/tests/core/result_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/result_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/result_test.cpp.o.d"
+  "/root/repo/tests/core/spectrum_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/spectrum_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/spectrum_test.cpp.o.d"
+  "/root/repo/tests/core/summit_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/summit_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/summit_test.cpp.o.d"
+  "/root/repo/tests/core/wide_pipeline_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/wide_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/wide_pipeline_test.cpp.o.d"
+  "/root/repo/tests/core/wide_supermer_pipeline_test.cpp" "tests/CMakeFiles/dedukt_core_tests.dir/core/wide_supermer_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_core_tests.dir/core/wide_supermer_pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dedukt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/dedukt_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dedukt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dedukt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_gpusim_tests.dir/gpusim/cost_model_test.cpp.o"
+  "CMakeFiles/dedukt_gpusim_tests.dir/gpusim/cost_model_test.cpp.o.d"
+  "CMakeFiles/dedukt_gpusim_tests.dir/gpusim/device_test.cpp.o"
+  "CMakeFiles/dedukt_gpusim_tests.dir/gpusim/device_test.cpp.o.d"
+  "CMakeFiles/dedukt_gpusim_tests.dir/gpusim/launch_test.cpp.o"
+  "CMakeFiles/dedukt_gpusim_tests.dir/gpusim/launch_test.cpp.o.d"
+  "dedukt_gpusim_tests"
+  "dedukt_gpusim_tests.pdb"
+  "dedukt_gpusim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_gpusim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

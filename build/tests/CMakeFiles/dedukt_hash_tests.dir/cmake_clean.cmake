@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_hash_tests.dir/hash/murmur3_test.cpp.o"
+  "CMakeFiles/dedukt_hash_tests.dir/hash/murmur3_test.cpp.o.d"
+  "dedukt_hash_tests"
+  "dedukt_hash_tests.pdb"
+  "dedukt_hash_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_hash_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/datasets_test.cpp" "tests/CMakeFiles/dedukt_io_tests.dir/io/datasets_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_io_tests.dir/io/datasets_test.cpp.o.d"
+  "/root/repo/tests/io/dna_test.cpp" "tests/CMakeFiles/dedukt_io_tests.dir/io/dna_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_io_tests.dir/io/dna_test.cpp.o.d"
+  "/root/repo/tests/io/fasta_test.cpp" "tests/CMakeFiles/dedukt_io_tests.dir/io/fasta_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_io_tests.dir/io/fasta_test.cpp.o.d"
+  "/root/repo/tests/io/fastq_test.cpp" "tests/CMakeFiles/dedukt_io_tests.dir/io/fastq_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_io_tests.dir/io/fastq_test.cpp.o.d"
+  "/root/repo/tests/io/partition_test.cpp" "tests/CMakeFiles/dedukt_io_tests.dir/io/partition_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_io_tests.dir/io/partition_test.cpp.o.d"
+  "/root/repo/tests/io/synthetic_test.cpp" "tests/CMakeFiles/dedukt_io_tests.dir/io/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_io_tests.dir/io/synthetic_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dedukt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/dedukt_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dedukt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dedukt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

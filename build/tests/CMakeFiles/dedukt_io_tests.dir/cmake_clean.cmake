@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_io_tests.dir/io/datasets_test.cpp.o"
+  "CMakeFiles/dedukt_io_tests.dir/io/datasets_test.cpp.o.d"
+  "CMakeFiles/dedukt_io_tests.dir/io/dna_test.cpp.o"
+  "CMakeFiles/dedukt_io_tests.dir/io/dna_test.cpp.o.d"
+  "CMakeFiles/dedukt_io_tests.dir/io/fasta_test.cpp.o"
+  "CMakeFiles/dedukt_io_tests.dir/io/fasta_test.cpp.o.d"
+  "CMakeFiles/dedukt_io_tests.dir/io/fastq_test.cpp.o"
+  "CMakeFiles/dedukt_io_tests.dir/io/fastq_test.cpp.o.d"
+  "CMakeFiles/dedukt_io_tests.dir/io/partition_test.cpp.o"
+  "CMakeFiles/dedukt_io_tests.dir/io/partition_test.cpp.o.d"
+  "CMakeFiles/dedukt_io_tests.dir/io/synthetic_test.cpp.o"
+  "CMakeFiles/dedukt_io_tests.dir/io/synthetic_test.cpp.o.d"
+  "dedukt_io_tests"
+  "dedukt_io_tests.pdb"
+  "dedukt_io_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_io_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

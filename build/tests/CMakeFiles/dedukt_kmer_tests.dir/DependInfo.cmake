@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kmer/extract_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/extract_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/extract_test.cpp.o.d"
+  "/root/repo/tests/kmer/kmer_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/kmer_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/kmer_test.cpp.o.d"
+  "/root/repo/tests/kmer/minimizer_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/minimizer_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/minimizer_test.cpp.o.d"
+  "/root/repo/tests/kmer/supermer_paper_example_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_paper_example_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_paper_example_test.cpp.o.d"
+  "/root/repo/tests/kmer/supermer_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_test.cpp.o.d"
+  "/root/repo/tests/kmer/theory_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/theory_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/theory_test.cpp.o.d"
+  "/root/repo/tests/kmer/wide_supermer_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_supermer_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_supermer_test.cpp.o.d"
+  "/root/repo/tests/kmer/wide_test.cpp" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dedukt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/dedukt_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dedukt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dedukt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

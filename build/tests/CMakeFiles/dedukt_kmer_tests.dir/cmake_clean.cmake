@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/extract_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/extract_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/kmer_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/kmer_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/minimizer_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/minimizer_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_paper_example_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_paper_example_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/supermer_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/theory_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/theory_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_supermer_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_supermer_test.cpp.o.d"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_test.cpp.o"
+  "CMakeFiles/dedukt_kmer_tests.dir/kmer/wide_test.cpp.o.d"
+  "dedukt_kmer_tests"
+  "dedukt_kmer_tests.pdb"
+  "dedukt_kmer_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_kmer_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/barrier_test.cpp.o"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/barrier_test.cpp.o.d"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/collective_fuzz_test.cpp.o"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/collective_fuzz_test.cpp.o.d"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/comm_test.cpp.o"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/comm_test.cpp.o.d"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/network_model_test.cpp.o"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/network_model_test.cpp.o.d"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/runtime_test.cpp.o"
+  "CMakeFiles/dedukt_mpisim_tests.dir/mpisim/runtime_test.cpp.o.d"
+  "dedukt_mpisim_tests"
+  "dedukt_mpisim_tests.pdb"
+  "dedukt_mpisim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_mpisim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/cli_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/cli_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/cli_test.cpp.o.d"
+  "/root/repo/tests/util/error_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/error_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/error_test.cpp.o.d"
+  "/root/repo/tests/util/format_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/format_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/format_test.cpp.o.d"
+  "/root/repo/tests/util/log_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/log_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/log_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/stats_test.cpp.o.d"
+  "/root/repo/tests/util/table_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/table_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/table_test.cpp.o.d"
+  "/root/repo/tests/util/timer_test.cpp" "tests/CMakeFiles/dedukt_util_tests.dir/util/timer_test.cpp.o" "gcc" "tests/CMakeFiles/dedukt_util_tests.dir/util/timer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dedukt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kmer/CMakeFiles/dedukt_kmer.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dedukt_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/dedukt_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/dedukt_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/dedukt_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dedukt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

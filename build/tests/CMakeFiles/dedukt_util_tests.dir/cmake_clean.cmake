@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt_util_tests.dir/util/cli_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/cli_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/error_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/error_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/format_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/format_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/log_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/log_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/table_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/table_test.cpp.o.d"
+  "CMakeFiles/dedukt_util_tests.dir/util/timer_test.cpp.o"
+  "CMakeFiles/dedukt_util_tests.dir/util/timer_test.cpp.o.d"
+  "dedukt_util_tests"
+  "dedukt_util_tests.pdb"
+  "dedukt_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

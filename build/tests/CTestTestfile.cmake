@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/dedukt_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/dedukt_hash_tests[1]_include.cmake")
+include("/root/repo/build/tests/dedukt_io_tests[1]_include.cmake")
+include("/root/repo/build/tests/dedukt_mpisim_tests[1]_include.cmake")
+include("/root/repo/build/tests/dedukt_gpusim_tests[1]_include.cmake")
+include("/root/repo/build/tests/dedukt_kmer_tests[1]_include.cmake")
+include("/root/repo/build/tests/dedukt_core_tests[1]_include.cmake")

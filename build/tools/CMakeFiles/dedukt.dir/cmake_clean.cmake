@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedukt.dir/dedukt_main.cpp.o"
+  "CMakeFiles/dedukt.dir/dedukt_main.cpp.o.d"
+  "dedukt"
+  "dedukt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedukt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
