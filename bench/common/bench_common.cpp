@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 
 #include "dedukt/util/error.hpp"
 
@@ -100,6 +102,58 @@ PhaseTimes projected_breakdown(const core::CountResult& result,
 double projected_total(const core::CountResult& result,
                        std::uint64_t scale) {
   return projected_breakdown(result, scale).total();
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_bench_json(const std::string& path,
+                      const std::vector<BenchRecord>& records) {
+  std::ostringstream body;
+  body << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    body << "  {\"name\": \"" << json_escape(r.name) << "\", "
+         << "\"wall_seconds\": " << json_double(r.wall_seconds) << ", "
+         << "\"modeled_seconds\": " << json_double(r.modeled_seconds) << ", "
+         << "\"threads\": " << r.threads << "}"
+         << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  body << "]\n";
+  std::ofstream out(path);
+  DEDUKT_REQUIRE_MSG(out.good(), "cannot open " << path << " for writing");
+  out << body.str();
+  DEDUKT_REQUIRE_MSG(out.good(), "failed writing " << path);
+}
+
+bool maybe_write_bench_json(const CliParser& cli,
+                            const std::vector<BenchRecord>& records) {
+  const std::string path = cli.get("json");
+  if (path.empty()) return false;
+  write_bench_json(path, records);
+  std::printf("wrote %zu benchmark records to %s\n", records.size(),
+              path.c_str());
+  return true;
 }
 
 void print_banner(const std::string& experiment_id,

@@ -74,4 +74,23 @@ struct BenchDataset {
 void print_banner(const std::string& experiment_id,
                   const std::string& description);
 
+/// One machine-readable benchmark measurement. wall_seconds is host time
+/// (varies with DEDUKT_SIM_THREADS); modeled_seconds is simulated Summit
+/// time (must not vary with host parallelism).
+struct BenchRecord {
+  std::string name;
+  double wall_seconds = 0.0;
+  double modeled_seconds = 0.0;
+  unsigned threads = 1;  ///< simulation pool size the record was taken at
+};
+
+/// Write records as a JSON array of objects to `path` (overwrites).
+void write_bench_json(const std::string& path,
+                      const std::vector<BenchRecord>& records);
+
+/// Honor --json=<path>: write the records there if the flag is present.
+/// Returns true if a file was written.
+bool maybe_write_bench_json(const CliParser& cli,
+                            const std::vector<BenchRecord>& records);
+
 }  // namespace dedukt::bench

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build (if needed) and run the simulator-parallelism benchmark, writing
+# sequential-vs-pooled numbers to BENCH_micro.json at the repo root.
+#
+# Usage: scripts/run_bench.sh [build-dir] [--threads=1,2,4] [--repeats=N]
+# Extra flags are passed through to bench_pool.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then shift; fi
+
+if [[ ! -x "$build_dir/bench/bench_pool" ]]; then
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" -j --target bench_pool
+fi
+
+"$build_dir/bench/bench_pool" \
+  --threads=1,2,4 \
+  --json="$repo_root/BENCH_micro.json" \
+  "$@"
+
+echo "results: $repo_root/BENCH_micro.json"

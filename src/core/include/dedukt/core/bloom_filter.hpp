@@ -4,8 +4,17 @@
 // Melsted & Pritchard's BFCounter, cited as [20]) uses Bloom filters so
 // that k-mers seen only once — overwhelmingly sequencing errors in real
 // data — never occupy hash-table slots. This is the same optimization on
-// the simulated GPU: a test-and-insert kernel sets each k-mer's bits with
-// atomic OR and reports whether all bits were already set.
+// the simulated GPU, implemented as a *blocked* Bloom filter (Gerbil
+// style): all kHashes bits of a key live in one 64-bit word, chosen by a
+// first hash, with the in-word bit positions drawn from a second hash.
+//
+// Blocking is not just a cache/traffic optimization here — it is what
+// makes the filter safe under block-parallel kernel execution. Testing and
+// setting all of a key's bits is ONE atomic fetch_or, so the "was this key
+// seen before?" decision is totally ordered: of all concurrent occurrences
+// of the same key, exactly one observes incomplete bits. The scattered
+// multi-word variant could absorb two simultaneous first occurrences and
+// silently undercount.
 //
 // Filtered counting semantics (see DeviceHashTable::count_kmers_filtered):
 // a k-mer enters the counting table on its second observed occurrence, and
@@ -23,12 +32,12 @@ namespace dedukt::core {
 
 class DeviceBloomFilter {
  public:
-  /// Number of bits set/tested per key (double hashing).
+  /// Number of bits set/tested per key, all within one 64-bit block.
   static constexpr int kHashes = 4;
 
   /// Sized for `expected_keys` distinct keys at `bits_per_key` bits each
-  /// (8 bits/key with 4 hashes gives ~2.4% false positives; 16 gives
-  /// ~0.2%).
+  /// (8 bits/key with 4 hashes gives a few percent false positives; 16
+  /// gives well under 1%).
   DeviceBloomFilter(gpusim::Device& device, std::uint64_t expected_keys,
                     double bits_per_key = 12.0);
 
@@ -40,21 +49,25 @@ class DeviceBloomFilter {
       gpusim::DeviceBuffer<std::uint8_t>& out_seen);
 
   /// Device-side test-and-set of a single key; returns true if all bits
-  /// were already set. Exposed for fused kernels (count_supermers).
+  /// were already set. One atomic fetch_or on the key's block, so for
+  /// concurrent occurrences of the same key exactly one caller sees
+  /// "unseen". Exposed for fused kernels (count_supermers).
   [[nodiscard]] bool test_and_set(std::uint64_t key,
                                   gpusim::ThreadCtx& ctx);
 
-  /// Bits in the filter (power of two).
-  [[nodiscard]] std::uint64_t bits() const { return mask_ + 1; }
+  /// Bits in the filter (power of two, >= 64).
+  [[nodiscard]] std::uint64_t bits() const { return (word_mask_ + 1) * 64; }
 
-  /// Expected false-positive rate for `keys` inserted distinct keys:
-  /// (1 - e^(-kh*keys/bits))^kh.
+  /// Expected false-positive rate for `keys` inserted distinct keys,
+  /// using the classic unblocked estimate (1 - e^(-kh*keys/bits))^kh. The
+  /// blocked layout's true rate is slightly higher (block loads vary),
+  /// but this remains the headline approximation.
   [[nodiscard]] double expected_fp_rate(std::uint64_t keys) const;
 
  private:
   gpusim::Device* device_;
   gpusim::DeviceBuffer<std::uint64_t> words_;
-  std::uint64_t mask_ = 0;  ///< bits - 1
+  std::uint64_t word_mask_ = 0;  ///< word count - 1
 };
 
 }  // namespace dedukt::core

@@ -16,6 +16,7 @@
 #include "dedukt/util/cli.hpp"
 #include "dedukt/util/error.hpp"
 #include "dedukt/util/format.hpp"
+#include "dedukt/util/thread_pool.hpp"
 
 namespace dedukt::core {
 
@@ -32,7 +33,7 @@ commands:
            [--pipeline=gpu-supermer|gpu-kmer|cpu]
            [--order=randomized|kmc2|lexicographic]
            [--canonical] [--filter-singletons] [--wide-supermers]
-           [--freq-balanced] [--rounds-limit=N]
+           [--freq-balanced] [--rounds-limit=N] [--sim-threads=N]
   histo    --counts=counts.bin [--max-rows=25]
   graph    --counts=counts.bin [--min-count=1]
   dump     --counts=counts.bin [--output=counts.tsv]
@@ -295,6 +296,12 @@ int run_app(int argc, const char* const* argv, std::ostream& out,
   const CliParser cli(static_cast<int>(rest.size()), rest.data());
 
   try {
+    // Host-side simulation parallelism; overrides DEDUKT_SIM_THREADS.
+    if (cli.has("sim-threads")) {
+      const long threads = cli.get_int("sim-threads", 0);
+      DEDUKT_REQUIRE_MSG(threads >= 1, "--sim-threads must be >= 1");
+      util::ThreadPool::set_global_threads(static_cast<unsigned>(threads));
+    }
     if (command == "count") return cmd_count(cli, out);
     if (command == "histo") return cmd_histo(cli, out);
     if (command == "dump") return cmd_dump(cli, out);

@@ -1,5 +1,6 @@
 #include "dedukt/core/bloom_filter.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cmath>
@@ -22,30 +23,32 @@ DeviceBloomFilter::DeviceBloomFilter(gpusim::Device& device,
   const auto want = static_cast<std::uint64_t>(
       static_cast<double>(std::max<std::uint64_t>(expected_keys, 64)) *
       bits_per_key);
-  const std::uint64_t nbits = std::bit_ceil(want);
+  const std::uint64_t nbits = std::max<std::uint64_t>(std::bit_ceil(want), 64);
   words_ = device.alloc<std::uint64_t>(nbits / 64, std::uint64_t{0});
-  mask_ = nbits - 1;
+  word_mask_ = nbits / 64 - 1;
 }
 
 bool DeviceBloomFilter::test_and_set(std::uint64_t key,
                                      gpusim::ThreadCtx& ctx) {
-  // Double hashing: bit_i = h1 + i*h2 (Kirsch & Mitzenmacher).
-  const std::uint64_t h1 = hash::hash_u64(key, kBloomSeed1);
-  const std::uint64_t h2 = hash::hash_u64(key, kBloomSeed2) | 1;
-  bool all_set = true;
+  // Blocked filter: one hash picks the 64-bit block, a second supplies
+  // kHashes in-block bit positions (6 bits each). The single fetch_or is
+  // the simulated atomicOr and doubles as the linearization point — of
+  // all concurrent test_and_sets of this key, exactly one observes the
+  // block without its full mask, so exactly one first occurrence is
+  // absorbed by the filtered-counting path no matter the interleaving.
+  const std::uint64_t word = hash::hash_u64(key, kBloomSeed1) & word_mask_;
+  const std::uint64_t h2 = hash::hash_u64(key, kBloomSeed2);
+  std::uint64_t mask = 0;
   for (int i = 0; i < kHashes; ++i) {
-    const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) &
-                              mask_;
-    const std::uint64_t word_mask = std::uint64_t{1} << (bit & 63);
-    std::atomic_ref<std::uint64_t> word(words_[bit >> 6]);
-    const std::uint64_t previous =
-        word.fetch_or(word_mask, std::memory_order_relaxed);
-    if ((previous & word_mask) == 0) all_set = false;
-    ctx.count_atomic();
-    ctx.count_gmem_read(sizeof(std::uint64_t));
-    ctx.count_ops(6);
+    mask |= std::uint64_t{1} << ((h2 >> (6 * i)) & 63);
   }
-  return all_set;
+  std::atomic_ref<std::uint64_t> block(words_[word]);
+  const std::uint64_t previous =
+      block.fetch_or(mask, std::memory_order_relaxed);
+  ctx.count_atomic();
+  ctx.count_gmem_read(sizeof(std::uint64_t));
+  ctx.count_ops(4 + 2 * kHashes);
+  return (previous & mask) == mask;
 }
 
 gpusim::LaunchStats DeviceBloomFilter::test_and_insert(

@@ -15,8 +15,23 @@ namespace {
 /// One probe sequence: claim-or-increment with device atomics. The thread
 /// that claims the slot adds `claim_add`; later hits add `hit_add` (both 1
 /// for plain counting; the Bloom-filtered path claims with 2 to compensate
-/// for the absorbed first occurrence). Returns the number of probes (for
-/// traffic accounting). Throws if the table is full.
+/// for the absorbed first occurrence). Safe under block-parallel
+/// execution: the CAS claims a slot exactly once and counts accumulate
+/// with atomic adds, so the final (key, count) content is independent of
+/// interleaving even though the slot *layout* may differ between thread
+/// counts. Throws if the table is full.
+///
+/// Returns the probe charge for traffic accounting, which must be
+/// deterministic across pool sizes:
+///  - A claiming insert charges the probes it actually walked. That walk
+///    always spans home slot -> final slot, and for order-independent
+///    linear probing the occupied-slot multiset and total displacement are
+///    insertion-order invariant (the classic parking-function property),
+///    so the per-launch claim charge is identical for any interleaving.
+///  - A hit charges a flat single probe. Its true walk length is the
+///    key's displacement in whatever layout this run produced — an
+///    interleaving-dependent quantity — so charging it would make modeled
+///    time vary with DEDUKT_SIM_THREADS. See docs/performance-model.md.
 std::size_t insert_with_atomics(std::uint64_t* keys, std::uint32_t* counts,
                                 std::size_t mask, std::uint64_t key,
                                 std::uint32_t claim_add = 1,
@@ -35,7 +50,7 @@ std::size_t insert_with_atomics(std::uint64_t* keys, std::uint32_t* counts,
       std::atomic_ref<std::uint32_t> count_ref(counts[slot]);
       count_ref.fetch_add(claimed ? claim_add : hit_add,
                           std::memory_order_relaxed);  // atomicAdd
-      return probes;
+      return claimed ? probes : 1;
     }
     slot = (slot + 1) & mask;  // linear probing (§III-B3)
   }

@@ -1,3 +1,10 @@
+// Concurrency contract (audited for block-parallel Device::launch): every
+// cross-thread write in these kernels is a std::atomic_ref CAS/add on the
+// destination counters/cursors, output slots are made exclusive by the
+// atomic cursor claim before the plain store, and no kernel depends on
+// block execution order. Outgoing-buffer *order* within a destination
+// therefore varies with DEDUKT_SIM_THREADS while the per-destination
+// multisets — and everything counted from them — stay bit-identical.
 #include "dedukt/core/kernels.hpp"
 
 #include <atomic>

@@ -2,14 +2,17 @@
 // kernel launches, and a running timeline of modeled time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "dedukt/gpusim/cost_model.hpp"
 #include "dedukt/gpusim/device_buffer.hpp"
 #include "dedukt/gpusim/device_props.hpp"
 #include "dedukt/gpusim/launch.hpp"
 #include "dedukt/util/error.hpp"
+#include "dedukt/util/thread_pool.hpp"
 #include "dedukt/util/timer.hpp"
 
 namespace dedukt::gpusim {
@@ -108,6 +111,17 @@ class Device {
   /// The kernel callable is invoked once per thread with a ThreadCtx.
   /// Returns per-launch stats; modeled time also accumulates on the
   /// timeline.
+  ///
+  /// Blocks are dispatched as contiguous ranges to the process-wide
+  /// util::ThreadPool (sized by DEDUKT_SIM_THREADS, default hardware
+  /// concurrency; 1 = exact legacy sequential block order). This is valid
+  /// for the data-parallel, atomics-only kernels this library uses (all
+  /// cross-thread writes go through std::atomic_ref, no __syncthreads
+  /// dependencies); threads within a block still execute in warp order,
+  /// matching the coalescing assumptions of the paper's kernels. Each
+  /// block range accumulates into private LaunchCounters merged
+  /// deterministically after the join, so counter totals — and everything
+  /// priced from them — are identical for every pool size.
   template <typename Kernel>
   LaunchStats launch(std::uint32_t grid_dim, std::uint32_t block_dim,
                      Kernel&& kernel) {
@@ -118,19 +132,38 @@ class Device {
         "block_dim " << block_dim << " exceeds device limit");
 
     Timer wall;
-    LaunchCounters counters;
-    counters.threads =
-        static_cast<std::uint64_t>(grid_dim) * block_dim;
-    // Threads within a block execute in warp order, matching the coalescing
-    // assumptions of the paper's kernels; execution is sequential on the
-    // host, which is valid for the data-parallel, atomics-only kernels this
-    // library uses (no __syncthreads dependencies).
-    for (std::uint32_t b = 0; b < grid_dim; ++b) {
-      for (std::uint32_t t = 0; t < block_dim; ++t) {
-        ThreadCtx ctx(b, t, block_dim, grid_dim, counters);
-        kernel(ctx);
-      }
+    util::ThreadPool& pool = util::ThreadPool::global();
+
+    // ~4 ranges per pool thread so an uneven kernel load-balances without
+    // shrinking ranges below useful sizes; one range when sequential.
+    std::uint32_t nranges = 1;
+    if (pool.threads() > 1) {
+      nranges = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          grid_dim, static_cast<std::uint64_t>(pool.threads()) * 4));
     }
+    const std::uint32_t range_blocks = (grid_dim + nranges - 1) / nranges;
+    nranges = (grid_dim + range_blocks - 1) / range_blocks;
+
+    std::vector<LaunchCounters> range_counters(nranges);
+    pool.run_chunks(nranges, [&](std::uint64_t range) {
+      LaunchCounters local;  // worker-private: no cross-range sharing
+      const std::uint32_t begin =
+          static_cast<std::uint32_t>(range) * range_blocks;
+      const std::uint32_t end = std::min(grid_dim, begin + range_blocks);
+      for (std::uint32_t b = begin; b < end; ++b) {
+        for (std::uint32_t t = 0; t < block_dim; ++t) {
+          ThreadCtx ctx(b, t, block_dim, grid_dim, local);
+          kernel(ctx);
+        }
+      }
+      range_counters[range] = local;
+    });
+
+    LaunchCounters counters;
+    for (const LaunchCounters& range : range_counters) {
+      counters.merge(range);
+    }
+    counters.threads = static_cast<std::uint64_t>(grid_dim) * block_dim;
 
     LaunchStats stats;
     stats.counters = counters;

@@ -7,6 +7,15 @@
 // global-memory traffic and op counts through ThreadCtx; the Device
 // aggregates them into LaunchStats and prices the launch with the analytic
 // cost model.
+//
+// Blocks may execute concurrently on host worker threads (see
+// Device::launch), so a kernel must follow the same discipline as its CUDA
+// counterpart: every write that another simulated thread could also
+// perform goes through std::atomic_ref (the simulated atomicCAS/atomicAdd/
+// atomicOr), and nothing may depend on block execution order. The
+// LaunchCounters& a ThreadCtx carries is private to one contiguous block
+// range — never shared across concurrent workers — and the per-range
+// counters are merged deterministically after the launch joins.
 #pragma once
 
 #include <cstdint>
@@ -30,7 +39,10 @@ struct LaunchCounters {
   }
 };
 
-/// Execution context handed to each simulated GPU thread.
+/// Execution context handed to each simulated GPU thread. The counters
+/// reference is a block-range-private accumulator owned by the executing
+/// worker (see Device::launch), so counting is race-free under
+/// block-parallel execution.
 class ThreadCtx {
  public:
   ThreadCtx(std::uint32_t block_idx, std::uint32_t thread_idx,

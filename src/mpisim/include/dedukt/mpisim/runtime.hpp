@@ -1,9 +1,15 @@
 // Runtime — owns the simulated ranks.
 //
 // run(f) spawns one OS thread per rank, each with its own Comm bound to the
-// shared collective board, and joins them all. An exception on any rank
-// aborts all barriers (so no rank deadlocks) and is rethrown from run() on
-// the caller's thread.
+// shared collective board, and joins them all (single-rank runs execute
+// inline on the caller). An exception on any rank aborts all barriers (so
+// no rank deadlocks) and is rethrown from run() on the caller's thread.
+//
+// Rank threads share the process-wide util::ThreadPool used for
+// block-parallel kernel execution: each rank executes its own kernels'
+// block ranges itself and pool workers only assist within the pool's total
+// budget (DEDUKT_SIM_THREADS), so simulated rank counts far above the host
+// core count stay well-behaved.
 #pragma once
 
 #include <functional>

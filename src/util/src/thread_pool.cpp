@@ -1,0 +1,206 @@
+#include "dedukt/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::util {
+
+namespace {
+/// True while this thread is already accounted for in a pool's executing_
+/// count (worker assist loop or an enclosing run_chunks). Nested
+/// submissions must not count the same OS thread twice or they would
+/// starve the assist budget.
+thread_local bool tl_counted = false;
+}  // namespace
+
+/// One run_chunks call. Claiming is a single atomic cursor; completion is
+/// tracked separately so cancelled (never-claimed) chunks are accounted for
+/// and the caller's wait always terminates.
+struct ThreadPool::Job {
+  Job(std::uint64_t n, const std::function<void(std::uint64_t)>& f)
+      : nchunks(n), fn(f) {}
+
+  const std::uint64_t nchunks;
+  const std::function<void(std::uint64_t)>& fn;  ///< caller outlives the job
+  std::atomic<std::uint64_t> next{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  ///< first failure; guarded by done_mutex
+
+  [[nodiscard]] bool exhausted() const {
+    return cancelled.load(std::memory_order_relaxed) ||
+           next.load(std::memory_order_relaxed) >= nchunks;
+  }
+
+  void account(std::uint64_t n) {
+    if (completed.fetch_add(n, std::memory_order_acq_rel) + n == nchunks) {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      done_cv.notify_all();
+    }
+  }
+
+  /// Stop claiming and account the chunks that will never run.
+  void cancel_rest() {
+    cancelled.store(true, std::memory_order_relaxed);
+    const std::uint64_t taken = next.exchange(nchunks);
+    if (taken < nchunks) account(nchunks - taken);
+  }
+
+  /// Claim and execute one chunk; false when nothing is left to claim.
+  bool run_one() {
+    if (cancelled.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= nchunks) return false;
+    try {
+      fn(chunk);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        if (!error) error = std::current_exception();
+      }
+      cancel_rest();
+    }
+    account(1);
+    return true;
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(threads, 1u)) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_chunks(std::uint64_t nchunks,
+                            const std::function<void(std::uint64_t)>& fn) {
+  if (nchunks == 0) return;
+  if (workers_.empty() || nchunks == 1) {
+    // Legacy sequential semantics: inline, ascending order.
+    for (std::uint64_t chunk = 0; chunk < nchunks; ++chunk) fn(chunk);
+    return;
+  }
+
+  auto job = std::make_shared<Job>(nchunks, fn);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  work_cv_.notify_all();
+
+  // The caller participates unconditionally — liveness must never depend
+  // on a worker being free (mpisim rank threads all launch concurrently,
+  // and chunk bodies may submit nested jobs).
+  const bool count_self = !tl_counted;
+  if (count_self) {
+    tl_counted = true;
+    executing_.fetch_add(1, std::memory_order_relaxed);
+  }
+  while (job->run_one()) {
+  }
+  if (count_self) {
+    executing_.fetch_sub(1, std::memory_order_relaxed);
+    tl_counted = false;
+    work_cv_.notify_all();  // freed budget: wake throttled workers
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] {
+      return job->completed.load(std::memory_order_acquire) == nchunks;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = std::find(jobs_.begin(), jobs_.end(), job);
+    if (it != jobs_.end()) jobs_.erase(it);
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] {
+        if (stop_) return true;
+        if (executing_.load(std::memory_order_relaxed) >= threads_) {
+          return false;  // budget consumed by callers/other workers
+        }
+        return std::any_of(jobs_.begin(), jobs_.end(),
+                           [](const auto& j) { return !j->exhausted(); });
+      });
+      if (stop_) return;
+      for (const auto& candidate : jobs_) {
+        if (!candidate->exhausted()) {
+          job = candidate;
+          break;
+        }
+      }
+      if (!job) continue;
+    }
+
+    tl_counted = true;
+    executing_.fetch_add(1, std::memory_order_relaxed);
+    while (executing_.load(std::memory_order_relaxed) <= threads_ &&
+           job->run_one()) {
+    }
+    executing_.fetch_sub(1, std::memory_order_relaxed);
+    tl_counted = false;
+    work_cv_.notify_all();
+  }
+}
+
+namespace {
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(configured_threads());
+  return *g_pool;
+}
+
+void ThreadPool::set_global_threads(unsigned threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool.reset();  // joins the old workers before the new pool spawns
+  g_pool = std::make_unique<ThreadPool>(
+      threads > 0 ? threads : configured_threads());
+}
+
+unsigned ThreadPool::configured_threads() {
+  if (const char* env = std::getenv("DEDUKT_SIM_THREADS")) {
+    const std::string value(env);
+    try {
+      const long parsed = std::stol(value);
+      DEDUKT_REQUIRE_MSG(parsed >= 1,
+                         "DEDUKT_SIM_THREADS must be >= 1, got " << parsed);
+      return static_cast<unsigned>(parsed);
+    } catch (const std::invalid_argument&) {
+      throw PreconditionError("DEDUKT_SIM_THREADS is not a number: " + value);
+    } catch (const std::out_of_range&) {
+      throw PreconditionError("DEDUKT_SIM_THREADS out of range: " + value);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace dedukt::util

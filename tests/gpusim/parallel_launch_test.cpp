@@ -1,0 +1,127 @@
+// Block-parallel Device::launch: simulated results and priced counters must
+// not depend on the host pool size.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/util/thread_pool.hpp"
+
+namespace dedukt::gpusim {
+namespace {
+
+/// Restores the shared pool to sequential when a test ends, whatever
+/// happened in between.
+struct PoolGuard {
+  ~PoolGuard() { util::ThreadPool::set_global_threads(1); }
+};
+
+LaunchStats histogram_launch(std::vector<std::uint64_t>& bins,
+                             std::uint32_t grid_dim,
+                             std::uint32_t block_dim) {
+  Device device;
+  return device.launch(grid_dim, block_dim, [&](ThreadCtx& ctx) {
+    // Contended atomic adds — the hash-table-count access pattern.
+    std::atomic_ref<std::uint64_t> bin(bins[ctx.global_id() % bins.size()]);
+    bin.fetch_add(1, std::memory_order_relaxed);
+    ctx.count_atomic();
+    ctx.count_gmem_write(sizeof(std::uint64_t));
+    ctx.count_ops(2);
+  });
+}
+
+TEST(ParallelLaunchTest, ResultsAndCountersIdenticalAcrossPoolSizes) {
+  PoolGuard guard;
+  constexpr std::uint32_t kGrid = 37;   // deliberately not a multiple of
+  constexpr std::uint32_t kBlock = 64;  // any pool's range count
+
+  util::ThreadPool::set_global_threads(1);
+  std::vector<std::uint64_t> sequential_bins(101, 0);
+  const LaunchStats sequential =
+      histogram_launch(sequential_bins, kGrid, kBlock);
+
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<std::uint64_t> bins(101, 0);
+    const LaunchStats stats = histogram_launch(bins, kGrid, kBlock);
+
+    EXPECT_EQ(bins, sequential_bins) << threads << " threads";
+    EXPECT_EQ(stats.counters.threads, sequential.counters.threads);
+    EXPECT_EQ(stats.counters.gmem_read_bytes,
+              sequential.counters.gmem_read_bytes);
+    EXPECT_EQ(stats.counters.gmem_write_bytes,
+              sequential.counters.gmem_write_bytes);
+    EXPECT_EQ(stats.counters.atomics, sequential.counters.atomics);
+    EXPECT_EQ(stats.counters.ops, sequential.counters.ops);
+    EXPECT_EQ(stats.modeled_seconds, sequential.modeled_seconds)
+        << "modeled time must be bit-identical, got a drift at " << threads
+        << " threads";
+  }
+}
+
+TEST(ParallelLaunchTest, EverySimulatedThreadRunsExactlyOnce) {
+  PoolGuard guard;
+  util::ThreadPool::set_global_threads(8);
+  constexpr std::uint32_t kGrid = 53;
+  constexpr std::uint32_t kBlock = 32;
+  std::vector<std::uint64_t> visits(kGrid * kBlock, 0);
+
+  Device device;
+  device.launch(kGrid, kBlock, [&](ThreadCtx& ctx) {
+    std::atomic_ref<std::uint64_t> slot(visits[ctx.global_id()]);
+    slot.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i], 1u) << "global thread " << i;
+  }
+}
+
+TEST(ParallelLaunchTest, KernelExceptionPropagatesFromWorkers) {
+  PoolGuard guard;
+  util::ThreadPool::set_global_threads(4);
+  Device device;
+  EXPECT_THROW(device.launch(64, 32,
+                             [&](ThreadCtx& ctx) {
+                               if (ctx.global_id() == 777) {
+                                 throw std::runtime_error("kernel fault");
+                               }
+                             }),
+               std::runtime_error);
+  // The device (and pool) stay usable after a faulted launch.
+  std::atomic<std::uint64_t> ran{0};
+  device.launch(4, 8, [&](ThreadCtx&) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 32u);
+}
+
+TEST(ParallelLaunchTest, TimelineAccumulationMatchesSequential) {
+  PoolGuard guard;
+
+  auto run = [](unsigned threads) {
+    util::ThreadPool::set_global_threads(threads);
+    Device device;
+    std::vector<std::uint64_t> bins(17, 0);
+    for (int i = 0; i < 5; ++i) {
+      device.launch(19 + i, 64, [&](ThreadCtx& ctx) {
+        std::atomic_ref<std::uint64_t> bin(bins[ctx.global_id() % 17]);
+        bin.fetch_add(1, std::memory_order_relaxed);
+        ctx.count_gmem_read(8);
+        ctx.count_ops(1);
+      });
+    }
+    return device.timeline();
+  };
+
+  const DeviceTimeline sequential = run(1);
+  const DeviceTimeline pooled = run(4);
+  EXPECT_EQ(pooled.launches, sequential.launches);
+  EXPECT_EQ(pooled.kernel_seconds, sequential.kernel_seconds);
+  EXPECT_EQ(pooled.volume_seconds, sequential.volume_seconds);
+}
+
+}  // namespace
+}  // namespace dedukt::gpusim

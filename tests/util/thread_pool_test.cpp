@@ -1,0 +1,126 @@
+#include "dedukt/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::util {
+namespace {
+
+TEST(ThreadPoolTest, EveryChunkRunsExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::uint64_t kChunks = 200;
+    std::vector<std::atomic<int>> hits(kChunks);
+    pool.run_chunks(kChunks, [&](std::uint64_t chunk) {
+      hits[chunk].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::uint64_t i = 0; i < kChunks; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "chunk " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInAscendingOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::uint64_t> order;
+  pool.run_chunks(50, [&](std::uint64_t chunk) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(chunk);
+  });
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint64_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ZeroChunksIsANoOp) {
+  ThreadPool pool(4);
+  pool.run_chunks(0, [](std::uint64_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, NestedSubmissionCompletes) {
+  // A chunk body that itself submits to the same pool: progress must not
+  // require a free worker (the simulated-kernel-inside-rank-thread shape).
+  ThreadPool pool(4);
+  std::atomic<int> inner_runs{0};
+  pool.run_chunks(8, [&](std::uint64_t) {
+    pool.run_chunks(8, [&](std::uint64_t) {
+      inner_runs.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ThreadPoolTest, ManyExternalThreadsShareOnePool) {
+  // mpisim rank threads all launch kernels into the shared pool at once.
+  ThreadPool pool(4);
+  constexpr int kCallers = 16;
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    callers.emplace_back([&] {
+      pool.run_chunks(32, [&](std::uint64_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), kCallers * 32);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCallerAndPoolSurvives) {
+  for (const unsigned threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    EXPECT_THROW(
+        pool.run_chunks(64,
+                        [&](std::uint64_t chunk) {
+                          if (chunk == 3) throw std::runtime_error("boom");
+                        }),
+        std::runtime_error);
+    // The pool must stay usable after a failed job.
+    std::atomic<int> runs{0};
+    pool.run_chunks(16, [&](std::uint64_t) {
+      runs.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(runs.load(), 16);
+  }
+}
+
+TEST(ThreadPoolTest, ConfiguredThreadsReadsEnvironment) {
+  ::setenv("DEDUKT_SIM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::configured_threads(), 3u);
+  ::setenv("DEDUKT_SIM_THREADS", "0", 1);
+  EXPECT_THROW(ThreadPool::configured_threads(), PreconditionError);
+  ::setenv("DEDUKT_SIM_THREADS", "banana", 1);
+  EXPECT_THROW(ThreadPool::configured_threads(), PreconditionError);
+  ::unsetenv("DEDUKT_SIM_THREADS");
+  EXPECT_GE(ThreadPool::configured_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsReplacesTheSharedPool) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().threads(), 2u);
+  std::atomic<int> runs{0};
+  ThreadPool::global().run_chunks(10, [&](std::uint64_t) {
+    runs.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(runs.load(), 10);
+
+  ::setenv("DEDUKT_SIM_THREADS", "5", 1);
+  ThreadPool::set_global_threads(0);  // 0 = re-read the environment
+  EXPECT_EQ(ThreadPool::global().threads(), 5u);
+  ::unsetenv("DEDUKT_SIM_THREADS");
+  ThreadPool::set_global_threads(1);
+}
+
+}  // namespace
+}  // namespace dedukt::util
