@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace dedukt;
   using core::PipelineKind;
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Footnote 1 ablation",
                       "Source-side vs destination-side k-mer "
                       "consolidation (after Georganas).");

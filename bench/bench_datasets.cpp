@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace dedukt;
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Table I",
                       "Datasets used for performance evaluation (synthetic "
                       "stand-ins for the paper's six inputs).");

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
       "Figure 3",
       "Runtime breakdown, CPU (2688 cores) vs GPU (384 GPUs), H. sapien "
       "54X, 64 nodes.");
+  bench::maybe_enable_trace(cli);
 
   const int cpu_ranks = static_cast<int>(cli.get_int("cpu-ranks", 2688));
   const int gpu_ranks = static_cast<int>(cli.get_int("gpu-ranks", 384));
@@ -33,46 +34,53 @@ int main(int argc, char** argv) {
               format_count(dataset.reads.total_bases()).c_str(),
               static_cast<unsigned long long>(dataset.scale));
 
+  // Phase times come from the trace subsystem's metrics aggregation
+  // (TracedRun::projected_breakdown), not CountResult's private sums.
   struct Row {
     const char* label;
-    core::CountResult result;
+    bench::TracedRun run;
   };
   std::vector<Row> rows;
   rows.push_back({"(a) CPU 2688 cores",
-                  bench::run_pipeline(dataset, PipelineKind::kCpu,
-                                      cpu_ranks)});
+                  bench::run_pipeline_traced(dataset, PipelineKind::kCpu,
+                                             cpu_ranks)});
   rows.push_back({"(b) GPU 384 GPUs (kmer)",
-                  bench::run_pipeline(dataset, PipelineKind::kGpuKmer,
-                                      gpu_ranks)});
+                  bench::run_pipeline_traced(dataset, PipelineKind::kGpuKmer,
+                                             gpu_ranks)});
 
   TextTable table(
       "Fig. 3 — projected full-size Summit time per phase (seconds)");
-  table.set_header({"configuration", "parse & process", "exchange",
-                    "kmer counter", "total", "exchange share"});
+  std::vector<std::string> header = {"configuration"};
+  for (const auto& entry : core::kPhaseLegend) header.push_back(entry.label);
+  header.push_back("total");
+  header.push_back("exchange share");
+  table.set_header(header);
   for (const auto& row : rows) {
-    const PhaseTimes breakdown =
-        bench::projected_breakdown(row.result, dataset.scale);
-    const double parse = breakdown.get(core::kPhaseParse);
-    const double exchange = breakdown.get(core::kPhaseExchange);
-    const double count = breakdown.get(core::kPhaseCount);
-    const double total = parse + exchange + count;
-    table.add_row({row.label, format_fixed(parse, 1),
-                   format_fixed(exchange, 1), format_fixed(count, 1),
-                   format_fixed(total, 1),
-                   format_fixed(exchange / total * 100, 0) + "%"});
+    const PhaseTimes breakdown = row.run.projected_breakdown(dataset.scale);
+    std::vector<std::string> cells = {row.label};
+    double total = 0.0;
+    for (const auto& entry : core::kPhaseLegend) {
+      total += breakdown.get(entry.name);
+    }
+    for (const auto& entry : core::kPhaseLegend) {
+      cells.push_back(format_fixed(breakdown.get(entry.name), 1));
+    }
+    cells.push_back(format_fixed(total, 1));
+    cells.push_back(
+        format_fixed(breakdown.get(core::kPhaseExchange) / total * 100, 0) +
+        "%");
+    table.add_row(cells);
   }
   table.print();
 
-  const double cpu_total = bench::projected_total(rows[0].result,
-                                                  dataset.scale);
-  const double gpu_total = bench::projected_total(rows[1].result,
-                                                  dataset.scale);
-  const double cpu_exchange =
-      bench::projected_breakdown(rows[0].result, dataset.scale)
-          .get(core::kPhaseExchange);
-  const double gpu_exchange =
-      bench::projected_breakdown(rows[1].result, dataset.scale)
-          .get(core::kPhaseExchange);
+  const double cpu_total =
+      rows[0].run.projected_breakdown(dataset.scale).total();
+  const double gpu_total =
+      rows[1].run.projected_breakdown(dataset.scale).total();
+  const double cpu_exchange = rows[0].run.projected_breakdown(dataset.scale)
+                                  .get(core::kPhaseExchange);
+  const double gpu_exchange = rows[1].run.projected_breakdown(dataset.scale)
+                                  .get(core::kPhaseExchange);
 
   std::printf("\noverall GPU speedup over CPU baseline: %s  (paper: ~100x, "
               "\"50 minutes to 30 seconds\")\n",
@@ -83,9 +91,9 @@ int main(int argc, char** argv) {
               format_seconds(gpu_exchange).c_str());
   std::printf("measured (host) wall time of the functional simulation: "
               "CPU %s, GPU %s\n",
-              format_seconds(rows[0].result.measured_breakdown().total())
+              format_seconds(rows[0].run.measured_breakdown().total())
                   .c_str(),
-              format_seconds(rows[1].result.measured_breakdown().total())
+              format_seconds(rows[1].run.measured_breakdown().total())
                   .c_str());
   return 0;
 }

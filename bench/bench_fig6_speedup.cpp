@@ -59,6 +59,7 @@ void run_panel(const char* panel, const std::vector<bench::BenchDataset>& datase
 
 int main(int argc, char** argv) {
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Figure 6",
                       "Overall speedup (excl. I/O) of the GPU counters over "
                       "the CPU baseline.");

@@ -18,47 +18,52 @@ int main(int argc, char** argv) {
   bench::print_banner("Figure 7",
                       "GPU runtime breakdown, kmer vs supermer (m=7, m=9), "
                       "64 nodes / 384 GPUs.");
+  bench::maybe_enable_trace(cli);
 
   const int gpu_ranks = static_cast<int>(cli.get_int("gpu-ranks", 384));
 
   for (const auto& dataset :
        bench::load_datasets(cli, bench::large_dataset_keys())) {
+    // Breakdowns are aggregated from trace spans (TracedRun), not from
+    // CountResult's private accumulation.
     struct Variant {
       std::string label;
-      core::CountResult result;
+      bench::TracedRun run;
     };
     std::vector<Variant> variants;
-    variants.push_back({"kmer", bench::run_pipeline(
+    variants.push_back({"kmer", bench::run_pipeline_traced(
                                     dataset, PipelineKind::kGpuKmer,
                                     gpu_ranks)});
     variants.push_back(
-        {"supermer (m=7)", bench::run_pipeline(
+        {"supermer (m=7)", bench::run_pipeline_traced(
                                dataset, PipelineKind::kGpuSupermer,
                                gpu_ranks, 7)});
     variants.push_back(
-        {"supermer (m=9)", bench::run_pipeline(
+        {"supermer (m=9)", bench::run_pipeline_traced(
                                dataset, PipelineKind::kGpuSupermer,
                                gpu_ranks, 9)});
 
     TextTable table("Fig. 7 — " + dataset.preset.short_name +
                     " projected full-size Summit seconds per phase");
-    table.set_header({"variant", "parse & process", "exchange",
-                      "kmer counter", "total"});
+    std::vector<std::string> header = {"variant"};
+    for (const auto& entry : core::kPhaseLegend) {
+      header.push_back(entry.label);
+    }
+    header.push_back("total");
+    table.set_header(header);
     for (const auto& v : variants) {
-      const PhaseTimes b =
-          bench::projected_breakdown(v.result, dataset.scale);
-      table.add_row({v.label,
-                     format_fixed(b.get(core::kPhaseParse), 2),
-                     format_fixed(b.get(core::kPhaseExchange), 2),
-                     format_fixed(b.get(core::kPhaseCount), 2),
-                     format_fixed(b.total(), 2)});
+      const PhaseTimes b = v.run.projected_breakdown(dataset.scale);
+      std::vector<std::string> cells = {v.label};
+      for (const auto& entry : core::kPhaseLegend) {
+        cells.push_back(format_fixed(b.get(entry.name), 2));
+      }
+      cells.push_back(format_fixed(b.total(), 2));
+      table.add_row(cells);
     }
     table.print();
 
-    const PhaseTimes kb =
-        bench::projected_breakdown(variants[0].result, dataset.scale);
-    const PhaseTimes sb =
-        bench::projected_breakdown(variants[1].result, dataset.scale);
+    const PhaseTimes kb = variants[0].run.projected_breakdown(dataset.scale);
+    const PhaseTimes sb = variants[1].run.projected_breakdown(dataset.scale);
     std::printf("supermer(m=7) vs kmer: parse %+.0f%%, count %+.0f%%, "
                 "exchange %+.0f%%, overall %s\n\n",
                 (sb.get(core::kPhaseParse) / kb.get(core::kPhaseParse) - 1) *

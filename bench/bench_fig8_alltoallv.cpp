@@ -56,6 +56,7 @@ void run_panel(const char* panel,
 
 int main(int argc, char** argv) {
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Figure 8",
                       "Speedup of the Alltoallv exchange using supermers "
                       "instead of k-mers.");

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace dedukt;
   using core::PipelineKind;
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Figure 9",
                       "Strong scaling of the GPU compute kernels "
                       "(k-mers/s, excluding exchange), 4-128 nodes.");

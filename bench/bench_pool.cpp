@@ -8,7 +8,10 @@
 // checks that invariant and fails loudly if a sweep disagrees.
 //
 // Flags: --threads=1,2,4 (pool sizes to sweep)  --repeats=N
-//        --json=<path> (machine-readable BenchRecord dump)  --scale-mult=F
+//        --json=<path> (machine-readable BenchRecord dump; includes
+//        trace-derived "kernel:<name>" records — per-kernel modeled
+//        seconds summed over the sweep at each pool size)
+//        --trace=<path> (Chrome trace of the whole sweep)  --scale-mult=F
 #include <cstdio>
 #include <cstdlib>
 #include <random>
@@ -103,16 +106,35 @@ int main(int argc, char** argv) {
       "Wall vs modeled time of kernel-dominated workloads across host pool "
       "sizes; modeled output must be identical for every pool size.");
 
+  dedukt::bench::maybe_enable_trace(cli);
+
   const std::vector<unsigned> threads = parse_threads(cli);
   const int repeats = static_cast<int>(cli.get_int("repeats", 3));
   const auto kmers = make_kmers(1u << 20);
   const auto datasets = dedukt::bench::load_datasets(cli, {"ecoli30x"});
 
+  // Record kernel launches so --json can report per-kernel modeled times.
+  // One metrics window per pool size; an in-memory session is enough
+  // unless --trace asked for a file.
+  auto& session = dedukt::trace::TraceSession::instance();
+  if (!dedukt::trace::enabled()) session.enable("");
+
   std::vector<BenchRecord> records;
+  std::vector<BenchRecord> kernel_records;
   for (const unsigned t : threads) {
     dedukt::util::ThreadPool::set_global_threads(t);
+    const dedukt::trace::SessionMark mark = session.mark();
     records.push_back(run_hash_insert(kmers, repeats, t));
     records.push_back(run_pipeline(datasets[0], repeats, t));
+    for (const auto& [name, totals] :
+         session.metrics(mark).kernel_totals()) {
+      BenchRecord kernel;
+      kernel.name = "kernel:" + name;
+      kernel.wall_seconds = totals.wall_seconds;
+      kernel.modeled_seconds = totals.modeled_seconds;
+      kernel.threads = t;
+      kernel_records.push_back(std::move(kernel));
+    }
   }
 
   std::printf("%-20s %8s %14s %16s %10s\n", "workload", "threads",
@@ -130,7 +152,10 @@ int main(int argc, char** argv) {
   }
 
   // The acceptance invariant: host parallelism must not leak into the
-  // simulation. Same workload => bit-identical modeled seconds.
+  // simulation. Same workload => bit-identical modeled seconds. The
+  // per-kernel trace records join the check: each kernel's summed modeled
+  // time must also be independent of the pool size.
+  records.insert(records.end(), kernel_records.begin(), kernel_records.end());
   for (const BenchRecord& record : records) {
     for (const BenchRecord& other : records) {
       if (other.name != record.name) continue;

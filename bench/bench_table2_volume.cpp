@@ -48,6 +48,7 @@ SupermerStats build_stats(const io::ReadBatch& reads, int m, int window) {
 
 int main(int argc, char** argv) {
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Table II",
                       "Total k-mers and supermers exchanged (m=9 and m=7), "
                       "k=17, window=15.");

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace dedukt;
   using core::PipelineKind;
   const CliParser cli(argc, argv);
+  bench::maybe_enable_trace(cli);
   bench::print_banner("Table III",
                       "Load imbalance (max/avg counted k-mers per rank), "
                       "384 partitions.");

@@ -104,6 +104,53 @@ double projected_total(const core::CountResult& result,
   return projected_breakdown(result, scale).total();
 }
 
+PhaseTimes projected_breakdown(const trace::MetricsReport& metrics,
+                               std::uint64_t scale) {
+  return metrics.projected_breakdown(static_cast<double>(scale));
+}
+
+bool maybe_enable_trace(const CliParser& cli) {
+  const std::string path = cli.get("trace");
+  if (path.empty()) return false;
+  trace::TraceSession::instance().enable(path);
+  std::printf("tracing enabled; Chrome trace will be written to %s\n",
+              path.c_str());
+  return true;
+}
+
+PhaseTimes TracedRun::projected_breakdown(std::uint64_t scale) const {
+  if (!metrics.ranks.empty()) {
+    return metrics.projected_breakdown(static_cast<double>(scale));
+  }
+  return result.projected_breakdown(static_cast<double>(scale));
+}
+
+PhaseTimes TracedRun::measured_breakdown() const {
+  if (!metrics.ranks.empty()) return metrics.measured_breakdown();
+  return result.measured_breakdown();
+}
+
+PhaseTimes TracedRun::modeled_breakdown() const {
+  if (!metrics.ranks.empty()) return metrics.modeled_breakdown();
+  return result.modeled_breakdown();
+}
+
+TracedRun run_pipeline_traced(const BenchDataset& dataset,
+                              core::PipelineKind kind, int nranks, int m,
+                              core::ExchangeMode exchange,
+                              kmer::MinimizerOrder order) {
+  // An in-memory session (no output path) is enough to aggregate metrics;
+  // if --trace already enabled a file-backed session, reuse it so the run's
+  // spans also land in the exported Chrome trace.
+  auto& session = trace::TraceSession::instance();
+  if (!trace::enabled()) session.enable("");
+  const trace::SessionMark mark = session.mark();
+  TracedRun run;
+  run.result = run_pipeline(dataset, kind, nranks, m, exchange, order);
+  run.metrics = session.metrics(mark);
+  return run;
+}
+
 namespace {
 
 std::string json_escape(const std::string& s) {

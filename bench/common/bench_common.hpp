@@ -15,6 +15,7 @@
 
 #include "dedukt/core/driver.hpp"
 #include "dedukt/io/datasets.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "dedukt/util/cli.hpp"
 
 namespace dedukt::bench {
@@ -69,6 +70,38 @@ struct BenchDataset {
 /// Sum of the projected per-phase maxima.
 [[nodiscard]] double projected_total(const core::CountResult& result,
                                      std::uint64_t scale);
+
+/// projected_breakdown over a trace-derived metrics window (same formula;
+/// the phase sums are bit-identical to the CountResult ones).
+[[nodiscard]] PhaseTimes projected_breakdown(
+    const trace::MetricsReport& metrics, std::uint64_t scale);
+
+/// Honor --trace=<path>: enable session tracing writing the Chrome trace
+/// (and metrics JSON) to <path> at process exit. Returns true if enabled.
+bool maybe_enable_trace(const CliParser& cli);
+
+/// One pipeline run plus the trace-metrics window covering exactly it.
+/// The breakdown accessors read the trace metrics (bit-identical to the
+/// CountResult aggregation); only when tracing is compiled out
+/// (DEDUKT_DISABLE_TRACING) do they fall back to the CountResult.
+struct TracedRun {
+  core::CountResult result;
+  trace::MetricsReport metrics;
+
+  [[nodiscard]] PhaseTimes projected_breakdown(std::uint64_t scale) const;
+  [[nodiscard]] PhaseTimes measured_breakdown() const;
+  [[nodiscard]] PhaseTimes modeled_breakdown() const;
+};
+
+/// run_pipeline with span recording: enables the trace session (in-memory
+/// if no --trace path was set), marks the buffers, runs, and aggregates the
+/// window — so per-figure breakdowns come from the tracing subsystem
+/// instead of CountResult's private accumulation.
+[[nodiscard]] TracedRun run_pipeline_traced(
+    const BenchDataset& dataset, core::PipelineKind kind, int nranks,
+    int m = 7,
+    core::ExchangeMode exchange = core::ExchangeMode::kStaged,
+    kmer::MinimizerOrder order = kmer::MinimizerOrder::kRandomized);
 
 /// Standard banner: what this driver reproduces and how to read it.
 void print_banner(const std::string& experiment_id,

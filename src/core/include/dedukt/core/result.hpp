@@ -24,6 +24,27 @@ inline constexpr const char* kPhaseParse = "parse";
 inline constexpr const char* kPhaseExchange = "exchange";
 inline constexpr const char* kPhaseCount = "count";
 
+/// One legend entry: internal phase name + the label the paper's figures
+/// print for it.
+struct PhaseLegendEntry {
+  const char* name;
+  const char* label;
+};
+
+/// THE canonical phase order and labels of the Figure 3/7 legends. Every
+/// consumer that prints a breakdown (the CLI, the figure benches) iterates
+/// this constant instead of hardcoding its own copy.
+inline constexpr PhaseLegendEntry kPhaseLegend[] = {
+    {kPhaseParse, "parse & process"},
+    {kPhaseExchange, "exchange"},
+    {kPhaseCount, "kmer counter"},
+};
+
+/// The legend's phase names alone, in legend order — the argument
+/// PhaseTimes::ordered() expects.
+inline constexpr const char* kPhaseOrder[] = {kPhaseParse, kPhaseExchange,
+                                              kPhaseCount};
+
 /// Per-rank ledger of one counting run.
 struct RankMetrics {
   // Work counts.

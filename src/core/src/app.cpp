@@ -13,6 +13,7 @@
 #include "dedukt/io/datasets.hpp"
 #include "dedukt/io/fasta.hpp"
 #include "dedukt/io/fastq.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "dedukt/util/cli.hpp"
 #include "dedukt/util/error.hpp"
 #include "dedukt/util/format.hpp"
@@ -34,6 +35,8 @@ commands:
            [--order=randomized|kmc2|lexicographic]
            [--canonical] [--filter-singletons] [--wide-supermers]
            [--freq-balanced] [--rounds-limit=N] [--sim-threads=N]
+           [--trace=trace.json]  (Chrome trace + <base>.metrics.json,
+                                  same as DEDUKT_TRACE=<path>)
   histo    --counts=counts.bin [--max-rows=25]
   graph    --counts=counts.bin [--min-count=1]
   dump     --counts=counts.bin [--output=counts.tsv]
@@ -79,6 +82,13 @@ kmer::MinimizerOrder parse_order(const std::string& name) {
 }
 
 int cmd_count(const CliParser& cli, std::ostream& out) {
+  // --trace=<path> mirrors DEDUKT_TRACE=<path>; files are written when the
+  // session flushes (explicitly below, and again harmlessly at exit).
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) {
+    trace::TraceSession::instance().enable(trace_path);
+  }
+
   const io::ReadBatch reads = load_input(cli, out);
 
   DriverOptions options;
@@ -108,10 +118,19 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
       << " k-mer instances, " << format_count(result.total_unique())
       << " distinct\n";
   const PhaseTimes breakdown = result.modeled_breakdown();
-  out << "modeled Summit time: parse "
-      << format_seconds(breakdown.get(kPhaseParse)) << ", exchange "
-      << format_seconds(breakdown.get(kPhaseExchange)) << ", count "
-      << format_seconds(breakdown.get(kPhaseCount)) << "\n";
+  out << "modeled Summit time:";
+  bool first = true;
+  for (const auto& [name, seconds] : breakdown.ordered(kPhaseOrder)) {
+    out << (first ? " " : ", ") << name << " " << format_seconds(seconds);
+    first = false;
+  }
+  out << "\n";
+
+  if (!trace_path.empty()) {
+    const std::string chrome = trace::TraceSession::instance().write_files();
+    out << "wrote Chrome trace to " << chrome << " (metrics: "
+        << trace::TraceSession::metrics_path_for(chrome) << ")\n";
+  }
 
   const std::string output = cli.get("output");
   if (!output.empty()) {

@@ -60,7 +60,8 @@ gpusim::LaunchStats DeviceBloomFilter::test_and_insert(
   std::uint8_t* out = out_seen.data();
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("bloom_test_and_insert",
+                         shape.grid_dim, shape.block_dim,
                          [=, this](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;

@@ -6,6 +6,7 @@
 #include "dedukt/core/summit.hpp"
 #include "dedukt/kmer/extract.hpp"
 #include "dedukt/io/partition.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "pipeline_common.hpp"
 
 namespace dedukt::core {
@@ -27,6 +28,7 @@ RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
   // --- PARSEKMER: extract k-mers and bucket by destination processor ---
   std::vector<std::vector<std::uint64_t>> outgoing(parts);
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
     ScopedPhase phase(metrics.measured, kPhaseParse);
     for (const auto& read : reads.reads) {
       for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
@@ -40,15 +42,18 @@ RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
         });
       }
     }
+    const double parse_modeled =
+        static_cast<double>(metrics.bases) / summit::kCpuParseBasesPerSec;
+    metrics.modeled.add(kPhaseParse, parse_modeled);
+    metrics.modeled_volume.add(kPhaseParse, parse_modeled);
+    span.set_modeled_seconds(parse_modeled);
+    span.set_modeled_volume_seconds(parse_modeled);
   }
-  const double parse_modeled =
-      static_cast<double>(metrics.bases) / summit::kCpuParseBasesPerSec;
-  metrics.modeled.add(kPhaseParse, parse_modeled);
-  metrics.modeled_volume.add(kPhaseParse, parse_modeled);
 
   // --- EXCHANGEKMER: Alltoallv of packed k-mers ---
   mpisim::AlltoallvResult<std::uint64_t> received;
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
     detail::CommCapture capture(comm);
     {
       ScopedPhase phase(metrics.measured, kPhaseExchange);
@@ -62,23 +67,28 @@ RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
     metrics.modeled_alltoallv_seconds = capture.modeled_seconds();
     metrics.modeled_alltoallv_volume_seconds =
         capture.modeled_volume_seconds();
+    span.set_modeled_seconds(capture.modeled_seconds());
+    span.set_modeled_volume_seconds(capture.modeled_volume_seconds());
   }
   outgoing.clear();
   outgoing.shrink_to_fit();
 
   // --- COUNTKMER: build the local partition of the global hash table ---
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
     ScopedPhase phase(metrics.measured, kPhaseCount);
     for (const std::uint64_t code : received.data) {
       local_table.add(code);
     }
+    metrics.kmers_received = received.data.size();
+    const double count_modeled =
+        static_cast<double>(metrics.kmers_received) /
+        summit::kCpuCountKmersPerSec;
+    metrics.modeled.add(kPhaseCount, count_modeled);
+    metrics.modeled_volume.add(kPhaseCount, count_modeled);
+    span.set_modeled_seconds(count_modeled);
+    span.set_modeled_volume_seconds(count_modeled);
   }
-  metrics.kmers_received = received.data.size();
-  const double count_modeled =
-      static_cast<double>(metrics.kmers_received) /
-      summit::kCpuCountKmersPerSec;
-  metrics.modeled.add(kPhaseCount, count_modeled);
-  metrics.modeled_volume.add(kPhaseCount, count_modeled);
 
   metrics.unique_kmers = local_table.unique();
   metrics.counted_kmers = local_table.total();

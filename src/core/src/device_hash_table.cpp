@@ -71,7 +71,8 @@ gpusim::LaunchStats DeviceHashTable::accumulate_pairs(
   const std::uint32_t* in_counts = key_counts.data();
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_accumulate_pairs",
+                         shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;
@@ -112,7 +113,7 @@ gpusim::LaunchStats DeviceHashTable::count_kmers(
   const std::uint64_t* in = kmers.data();
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_count_kmers", shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;
@@ -139,7 +140,8 @@ gpusim::LaunchStats DeviceHashTable::count_supermers(
   const std::uint8_t* lens = lengths.data();
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_count_supermers",
+                         shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;
@@ -167,7 +169,8 @@ gpusim::LaunchStats DeviceHashTable::count_kmers_filtered(
   DeviceBloomFilter* filter = &bloom;
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_count_kmers_filtered",
+                         shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;
@@ -197,7 +200,8 @@ gpusim::LaunchStats DeviceHashTable::count_supermers_filtered(
   DeviceBloomFilter* filter = &bloom;
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_count_supermers_filtered",
+                         shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;
@@ -230,7 +234,8 @@ gpusim::LaunchStats DeviceHashTable::count_wide_supermers(
   const std::uint8_t* lens = lengths.data();
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_count_wide_supermers",
+                         shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;
@@ -262,7 +267,8 @@ gpusim::LaunchStats DeviceHashTable::count_wide_supermers_filtered(
   DeviceBloomFilter* filter = &bloom;
 
   const auto shape = device_->shape_for(n);
-  return device_->launch(shape.grid_dim, shape.block_dim,
+  return device_->launch("hash_count_wide_supermers_filtered",
+                         shape.grid_dim, shape.block_dim,
                          [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= n) return;

@@ -8,6 +8,7 @@
 #include "dedukt/kmer/extract.hpp"
 #include "dedukt/kmer/wide.hpp"
 #include "dedukt/mpisim/runtime.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "dedukt/util/error.hpp"
 
 namespace dedukt::core {
@@ -48,6 +49,14 @@ CountResult run_distributed_count(const io::ReadBatch& reads,
   runtime.run([&](mpisim::Comm& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
     const io::ReadBatch& mine = batches[rank];
+
+    // Top-level app span: everything this rank does for the count — the
+    // pipeline's phase spans and collectives nest inside it.
+    trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
+    if (rank_span.active()) {
+      rank_span.arg_u64("reads", mine.size());
+      rank_span.arg_u64("bases", mine.total_bases());
+    }
 
     HostHashTable table;
     RankMetrics metrics;
@@ -159,6 +168,7 @@ WideCountResult run_distributed_count_wide(const io::ReadBatch& reads,
   std::vector<std::vector<WideKmerCount>> gathered;
   runtime.run([&](mpisim::Comm& comm) {
     const auto rank = static_cast<std::size_t>(comm.rank());
+    trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
     WideHostHashTable table;
     result.base.ranks[rank] =
         run_cpu_wide_rank(comm, batches[rank], options.pipeline, table);

@@ -14,6 +14,7 @@
 #include "dedukt/core/pipeline.hpp"
 #include "dedukt/core/summit.hpp"
 #include "dedukt/io/partition.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "pipeline_common.hpp"
 
 namespace dedukt::core {
@@ -40,6 +41,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<std::uint64_t> d_out;
   std::uint64_t total = 0;
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
     ScopedPhase phase(metrics.measured, kPhaseParse);
     detail::DeviceCapture device_capture(device);
 
@@ -75,13 +77,15 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     metrics.kmers_parsed = total;
     const double parse_modeled =
         std::max(device_capture.modeled_seconds(),
-                 static_cast<double>(total) / summit::kGpuParseKmersPerSec);
-    metrics.modeled.add(kPhaseParse,
-                        parse_modeled + summit::kGpuParseOverheadSec);
-    metrics.modeled_volume.add(
-        kPhaseParse,
+                 static_cast<double>(total) / summit::kGpuParseKmersPerSec) +
+        summit::kGpuParseOverheadSec;
+    const double parse_volume =
         std::max(device_capture.modeled_volume_seconds(),
-                 static_cast<double>(total) / summit::kGpuParseKmersPerSec));
+                 static_cast<double>(total) / summit::kGpuParseKmersPerSec);
+    metrics.modeled.add(kPhaseParse, parse_modeled);
+    metrics.modeled_volume.add(kPhaseParse, parse_volume);
+    span.set_modeled_seconds(parse_modeled);
+    span.set_modeled_volume_seconds(parse_volume);
   }
 
   // --- source-side consolidation (footnote 1, after Georganas) ---
@@ -94,6 +98,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     std::vector<std::vector<std::uint64_t>> out_keys(parts);
     std::vector<std::vector<std::uint32_t>> out_key_counts(parts);
     {
+      trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
       ScopedPhase phase(metrics.measured, kPhaseParse);
       detail::DeviceCapture device_capture(device);
 
@@ -108,12 +113,13 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
       const double consolidate_modeled =
           std::max(device_capture.modeled_seconds(),
                    static_cast<double>(total) / summit::kGpuCountKmersPerSec);
-      metrics.modeled.add(kPhaseParse, consolidate_modeled);
-      metrics.modeled_volume.add(
-          kPhaseParse,
+      const double consolidate_volume =
           std::max(device_capture.modeled_volume_seconds(),
-                   static_cast<double>(total) /
-                       summit::kGpuCountKmersPerSec));
+                   static_cast<double>(total) / summit::kGpuCountKmersPerSec);
+      metrics.modeled.add(kPhaseParse, consolidate_modeled);
+      metrics.modeled_volume.add(kPhaseParse, consolidate_volume);
+      span.set_modeled_seconds(consolidate_modeled);
+      span.set_modeled_volume_seconds(consolidate_volume);
     }
 
     mpisim::AlltoallvResult<std::uint64_t> recv_keys;
@@ -121,6 +127,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     gpusim::DeviceBuffer<std::uint64_t> d_recv_keys;
     gpusim::DeviceBuffer<std::uint32_t> d_recv_key_counts;
     {
+      trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
       ScopedPhase phase(metrics.measured, kPhaseExchange);
       detail::DeviceCapture device_capture(device);
       detail::CommCapture comm_capture(comm);
@@ -149,18 +156,22 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
           staged ? device_capture.modeled_seconds() : 0.0;
       const double staging_volume =
           staged ? device_capture.modeled_volume_seconds() : 0.0;
-      metrics.modeled.add(kPhaseExchange,
-                          comm_capture.modeled_seconds() + staging +
-                              summit::kGpuExchangeOverheadSec);
-      metrics.modeled_volume.add(
-          kPhaseExchange,
-          comm_capture.modeled_volume_seconds() + staging_volume);
+      const double exchange_modeled = comm_capture.modeled_seconds() +
+                                      staging +
+                                      summit::kGpuExchangeOverheadSec;
+      const double exchange_volume =
+          comm_capture.modeled_volume_seconds() + staging_volume;
+      metrics.modeled.add(kPhaseExchange, exchange_modeled);
+      metrics.modeled_volume.add(kPhaseExchange, exchange_volume);
       metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
       metrics.modeled_alltoallv_volume_seconds =
           comm_capture.modeled_volume_seconds();
+      span.set_modeled_seconds(exchange_modeled);
+      span.set_modeled_volume_seconds(exchange_volume);
     }
 
     {
+      trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
       ScopedPhase phase(metrics.measured, kPhaseCount);
       detail::DeviceCapture device_capture(device);
 
@@ -180,17 +191,19 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
       }
       metrics.kmers_received = kmers_to_count;
       // Accumulation touches one pair per locally-distinct k-mer.
-      const double count_modeled = std::max(
-          device_capture.modeled_seconds(),
-          static_cast<double>(recv_keys.data.size()) /
-              summit::kGpuCountKmersPerSec);
-      metrics.modeled.add(kPhaseCount,
-                          count_modeled + summit::kGpuCountOverheadSec);
-      metrics.modeled_volume.add(
-          kPhaseCount,
+      const double count_modeled =
+          std::max(device_capture.modeled_seconds(),
+                   static_cast<double>(recv_keys.data.size()) /
+                       summit::kGpuCountKmersPerSec) +
+          summit::kGpuCountOverheadSec;
+      const double count_volume =
           std::max(device_capture.modeled_volume_seconds(),
                    static_cast<double>(recv_keys.data.size()) /
-                       summit::kGpuCountKmersPerSec));
+                       summit::kGpuCountKmersPerSec);
+      metrics.modeled.add(kPhaseCount, count_modeled);
+      metrics.modeled_volume.add(kPhaseCount, count_volume);
+      span.set_modeled_seconds(count_modeled);
+      span.set_modeled_volume_seconds(count_volume);
     }
     metrics.unique_kmers = local_table.unique();
     metrics.counted_kmers = local_table.total();
@@ -201,6 +214,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
   mpisim::AlltoallvResult<std::uint64_t> received;
   gpusim::DeviceBuffer<std::uint64_t> d_recv;
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
     ScopedPhase phase(metrics.measured, kPhaseExchange);
     detail::DeviceCapture device_capture(device);
     detail::CommCapture comm_capture(comm);
@@ -239,19 +253,22 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
         staged ? device_capture.modeled_seconds() : 0.0;
     const double staging_volume =
         staged ? device_capture.modeled_volume_seconds() : 0.0;
-    metrics.modeled.add(kPhaseExchange,
-                        comm_capture.modeled_seconds() + staging +
-                            summit::kGpuExchangeOverheadSec);
-    metrics.modeled_volume.add(
-        kPhaseExchange,
-        comm_capture.modeled_volume_seconds() + staging_volume);
+    const double exchange_modeled = comm_capture.modeled_seconds() + staging +
+                                    summit::kGpuExchangeOverheadSec;
+    const double exchange_volume =
+        comm_capture.modeled_volume_seconds() + staging_volume;
+    metrics.modeled.add(kPhaseExchange, exchange_modeled);
+    metrics.modeled_volume.add(kPhaseExchange, exchange_volume);
     metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
     metrics.modeled_alltoallv_volume_seconds =
         comm_capture.modeled_volume_seconds();
+    span.set_modeled_seconds(exchange_modeled);
+    span.set_modeled_volume_seconds(exchange_volume);
   }
 
   // --- build the k-mer counter on the device ---
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
     ScopedPhase phase(metrics.measured, kPhaseCount);
     detail::DeviceCapture device_capture(device);
 
@@ -272,14 +289,16 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     const double count_modeled =
         std::max(device_capture.modeled_seconds(),
                  static_cast<double>(metrics.kmers_received) /
-                     summit::kGpuCountKmersPerSec);
+                     summit::kGpuCountKmersPerSec) +
+        summit::kGpuCountOverheadSec;
     const double count_volume =
         std::max(device_capture.modeled_volume_seconds(),
                  static_cast<double>(metrics.kmers_received) /
                      summit::kGpuCountKmersPerSec);
-    metrics.modeled.add(kPhaseCount,
-                        count_modeled + summit::kGpuCountOverheadSec);
+    metrics.modeled.add(kPhaseCount, count_modeled);
     metrics.modeled_volume.add(kPhaseCount, count_volume);
+    span.set_modeled_seconds(count_modeled);
+    span.set_modeled_volume_seconds(count_volume);
   }
 
   metrics.unique_kmers = local_table.unique();

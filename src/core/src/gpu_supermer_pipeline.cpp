@@ -17,6 +17,7 @@
 #include "dedukt/core/pipeline.hpp"
 #include "dedukt/core/summit.hpp"
 #include "dedukt/io/partition.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "pipeline_common.hpp"
 
 namespace dedukt::core {
@@ -53,6 +54,7 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<std::uint8_t> d_lens;
   std::uint64_t total_supermers = 0;
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
     ScopedPhase phase(metrics.measured, kPhaseParse);
     detail::DeviceCapture device_capture(device);
 
@@ -114,15 +116,17 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
         std::max(device_capture.modeled_seconds(),
                  static_cast<double>(metrics.kmers_parsed) /
                      (summit::kGpuParseKmersPerSec /
-                      summit::kSupermerParseOverhead));
-    metrics.modeled.add(kPhaseParse,
-                        parse_modeled + summit::kGpuParseOverheadSec);
-    metrics.modeled_volume.add(
-        kPhaseParse,
+                      summit::kSupermerParseOverhead)) +
+        summit::kGpuParseOverheadSec;
+    const double parse_volume =
         std::max(device_capture.modeled_volume_seconds(),
                  static_cast<double>(metrics.kmers_parsed) /
                      (summit::kGpuParseKmersPerSec /
-                      summit::kSupermerParseOverhead)));
+                      summit::kSupermerParseOverhead));
+    metrics.modeled.add(kPhaseParse, parse_modeled);
+    metrics.modeled_volume.add(kPhaseParse, parse_volume);
+    span.set_modeled_seconds(parse_modeled);
+    span.set_modeled_volume_seconds(parse_volume);
   }
 
   // --- exchange supermer words and lengths ---
@@ -131,6 +135,7 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<Word> d_recv_words;
   gpusim::DeviceBuffer<std::uint8_t> d_recv_lens;
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
     ScopedPhase phase(metrics.measured, kPhaseExchange);
     detail::DeviceCapture device_capture(device);
     detail::CommCapture comm_capture(comm);
@@ -183,19 +188,22 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
         staged ? device_capture.modeled_seconds() : 0.0;
     const double staging_volume =
         staged ? device_capture.modeled_volume_seconds() : 0.0;
-    metrics.modeled.add(kPhaseExchange,
-                        comm_capture.modeled_seconds() + staging +
-                            summit::kGpuExchangeOverheadSec);
-    metrics.modeled_volume.add(
-        kPhaseExchange,
-        comm_capture.modeled_volume_seconds() + staging_volume);
+    const double exchange_modeled = comm_capture.modeled_seconds() + staging +
+                                    summit::kGpuExchangeOverheadSec;
+    const double exchange_volume =
+        comm_capture.modeled_volume_seconds() + staging_volume;
+    metrics.modeled.add(kPhaseExchange, exchange_modeled);
+    metrics.modeled_volume.add(kPhaseExchange, exchange_volume);
     metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
     metrics.modeled_alltoallv_volume_seconds =
         comm_capture.modeled_volume_seconds();
+    span.set_modeled_seconds(exchange_modeled);
+    span.set_modeled_volume_seconds(exchange_volume);
   }
 
   // --- extract k-mers from received supermers and count ---
   {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
     ScopedPhase phase(metrics.measured, kPhaseCount);
     detail::DeviceCapture device_capture(device);
 
@@ -239,15 +247,17 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
         std::max(device_capture.modeled_seconds(),
                  static_cast<double>(kmers_to_count) /
                      (summit::kGpuCountKmersPerSec /
-                      summit::kSupermerCountOverhead));
+                      summit::kSupermerCountOverhead)) +
+        summit::kGpuCountOverheadSec;
     const double count_volume =
         std::max(device_capture.modeled_volume_seconds(),
                  static_cast<double>(kmers_to_count) /
                      (summit::kGpuCountKmersPerSec /
                       summit::kSupermerCountOverhead));
-    metrics.modeled.add(kPhaseCount,
-                        count_modeled + summit::kGpuCountOverheadSec);
+    metrics.modeled.add(kPhaseCount, count_modeled);
     metrics.modeled_volume.add(kPhaseCount, count_volume);
+    span.set_modeled_seconds(count_modeled);
+    span.set_modeled_volume_seconds(count_volume);
   }
 
   metrics.unique_kmers = local_table.unique();
@@ -273,6 +283,7 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
   kernels::DestinationTable routing;
   gpusim::DeviceBuffer<std::uint32_t> d_routing;
   if (config.partition == PartitionScheme::kFrequencyBalanced) {
+    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
     ScopedPhase phase(setup.measured, kPhaseParse);
     detail::CommCapture comm_capture(comm);
     detail::DeviceCapture device_capture(device);
@@ -288,12 +299,15 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
     const double sampling = static_cast<double>(reads.total_bases()) / 4.0 /
                             (summit::kGpuParseKmersPerSec /
                              summit::kSupermerParseOverhead);
-    setup.modeled.add(kPhaseParse,
-                      sampling + comm_capture.modeled_seconds() +
-                          device_capture.modeled_seconds());
-    setup.modeled_volume.add(
-        kPhaseParse, sampling + comm_capture.modeled_volume_seconds() +
-                         device_capture.modeled_volume_seconds());
+    const double setup_modeled = sampling + comm_capture.modeled_seconds() +
+                                 device_capture.modeled_seconds();
+    const double setup_volume = sampling +
+                                comm_capture.modeled_volume_seconds() +
+                                device_capture.modeled_volume_seconds();
+    setup.modeled.add(kPhaseParse, setup_modeled);
+    setup.modeled_volume.add(kPhaseParse, setup_volume);
+    span.set_modeled_seconds(setup_modeled);
+    span.set_modeled_volume_seconds(setup_volume);
   }
 
   auto run_single = [&](const io::ReadBatch& batch) {

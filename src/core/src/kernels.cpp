@@ -166,7 +166,7 @@ gpusim::LaunchStats parse_count_kmers(
   std::uint32_t* counters = dest_counts.data();
 
   const auto shape = device.shape_for(total_len);
-  return device.launch(shape.grid_dim, shape.block_dim,
+  return device.launch("parse_count_kmers", shape.grid_dim, shape.block_dim,
                        [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= total_len) return;
@@ -196,7 +196,7 @@ gpusim::LaunchStats parse_fill_kmers(
   const std::size_t out_size = out_kmers.size();
 
   const auto shape = device.shape_for(total_len);
-  return device.launch(shape.grid_dim, shape.block_dim,
+  return device.launch("parse_fill_kmers", shape.grid_dim, shape.block_dim,
                        [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= total_len) return;
@@ -231,7 +231,7 @@ gpusim::LaunchStats supermer_count(
   const io::BaseEncoding enc = policy.encoding();
 
   const auto shape = device.shape_for(nwindows);
-  return device.launch(shape.grid_dim, shape.block_dim,
+  return device.launch("supermer_count", shape.grid_dim, shape.block_dim,
                        [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= nwindows) return;
@@ -272,7 +272,7 @@ gpusim::LaunchStats supermer_fill(
   const io::BaseEncoding enc = policy.encoding();
 
   const auto shape = device.shape_for(nwindows);
-  return device.launch(shape.grid_dim, shape.block_dim,
+  return device.launch("supermer_fill", shape.grid_dim, shape.block_dim,
                        [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= nwindows) return;
@@ -315,7 +315,7 @@ gpusim::LaunchStats supermer_count_wide(
   const io::BaseEncoding enc = policy.encoding();
 
   const auto shape = device.shape_for(nwindows);
-  return device.launch(shape.grid_dim, shape.block_dim,
+  return device.launch("supermer_count_wide", shape.grid_dim, shape.block_dim,
                        [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= nwindows) return;
@@ -356,7 +356,7 @@ gpusim::LaunchStats supermer_fill_wide(
   const io::BaseEncoding enc = policy.encoding();
 
   const auto shape = device.shape_for(nwindows);
-  return device.launch(shape.grid_dim, shape.block_dim,
+  return device.launch("supermer_fill_wide", shape.grid_dim, shape.block_dim,
                        [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= nwindows) return;

@@ -11,6 +11,7 @@
 #include "dedukt/gpusim/device_buffer.hpp"
 #include "dedukt/gpusim/device_props.hpp"
 #include "dedukt/gpusim/launch.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "dedukt/util/error.hpp"
 #include "dedukt/util/thread_pool.hpp"
 #include "dedukt/util/timer.hpp"
@@ -88,11 +89,21 @@ class Device {
   void copy_to_device(std::span<const T> host, DeviceBuffer<T>& dst) {
     DEDUKT_REQUIRE_MSG(host.size() <= dst.size(),
                        "H2D copy larger than destination buffer");
+    trace::ScopedSpan span(trace::kCategoryTransfer, "h2d",
+                           trace::Track::kDevice);
     std::copy(host.begin(), host.end(), dst.data());
     const std::uint64_t bytes = host.size() * sizeof(T);
+    const double modeled = cost_model_.transfer_seconds(bytes);
+    const double volume = cost_model_.transfer_volume_seconds(bytes);
     timeline_.h2d_bytes += bytes;
-    timeline_.h2d_seconds += cost_model_.transfer_seconds(bytes);
-    timeline_.volume_seconds += cost_model_.transfer_volume_seconds(bytes);
+    timeline_.h2d_seconds += modeled;
+    timeline_.volume_seconds += volume;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("bytes", bytes);
+      trace::counter("device.h2d_bytes", bytes);
+    }
   }
 
   /// Copy device -> host, priced at host-link bandwidth.
@@ -100,11 +111,21 @@ class Device {
   void copy_to_host(const DeviceBuffer<T>& src, std::span<T> host) {
     DEDUKT_REQUIRE_MSG(host.size() <= src.size(),
                        "D2H copy larger than source buffer");
+    trace::ScopedSpan span(trace::kCategoryTransfer, "d2h",
+                           trace::Track::kDevice);
     std::copy(src.data(), src.data() + host.size(), host.begin());
     const std::uint64_t bytes = host.size() * sizeof(T);
+    const double modeled = cost_model_.transfer_seconds(bytes);
+    const double volume = cost_model_.transfer_volume_seconds(bytes);
     timeline_.d2h_bytes += bytes;
-    timeline_.d2h_seconds += cost_model_.transfer_seconds(bytes);
-    timeline_.volume_seconds += cost_model_.transfer_volume_seconds(bytes);
+    timeline_.d2h_seconds += modeled;
+    timeline_.volume_seconds += volume;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("bytes", bytes);
+      trace::counter("device.d2h_bytes", bytes);
+    }
   }
 
   /// Launch a kernel over `grid_dim` blocks of `block_dim` threads.
@@ -125,12 +146,24 @@ class Device {
   template <typename Kernel>
   LaunchStats launch(std::uint32_t grid_dim, std::uint32_t block_dim,
                      Kernel&& kernel) {
+    return launch("kernel", grid_dim, block_dim,
+                  std::forward<Kernel>(kernel));
+  }
+
+  /// Named launch: identical semantics, but the kernel's trace span and
+  /// per-kernel metrics carry `name` (a static string, e.g. the real
+  /// kernel's identifier) instead of the generic "kernel".
+  template <typename Kernel>
+  LaunchStats launch(const char* name, std::uint32_t grid_dim,
+                     std::uint32_t block_dim, Kernel&& kernel) {
     DEDUKT_REQUIRE_MSG(block_dim > 0 && grid_dim > 0,
                        "empty launch configuration");
     DEDUKT_REQUIRE_MSG(
         block_dim <= static_cast<std::uint32_t>(props_.max_threads_per_block),
         "block_dim " << block_dim << " exceeds device limit");
 
+    trace::ScopedSpan span(trace::kCategoryKernel, name,
+                           trace::Track::kDevice);
     Timer wall;
     util::ThreadPool& pool = util::ThreadPool::global();
 
@@ -169,9 +202,21 @@ class Device {
     stats.counters = counters;
     stats.modeled_seconds = cost_model_.kernel_seconds(counters);
     stats.wall_seconds = wall.seconds();
+    const double volume = cost_model_.kernel_volume_seconds(counters);
     timeline_.kernel_seconds += stats.modeled_seconds;
-    timeline_.volume_seconds += cost_model_.kernel_volume_seconds(counters);
+    timeline_.volume_seconds += volume;
     timeline_.launches += 1;
+    if (span.active()) {
+      span.set_modeled_seconds(stats.modeled_seconds);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("grid_dim", grid_dim);
+      span.arg_u64("block_dim", block_dim);
+      span.arg_u64("threads", counters.threads);
+      span.arg_u64("gmem_read_bytes", counters.gmem_read_bytes);
+      span.arg_u64("gmem_write_bytes", counters.gmem_write_bytes);
+      span.arg_u64("atomics", counters.atomics);
+      span.arg_u64("ops", counters.ops);
+    }
     return stats;
   }
 

@@ -16,6 +16,11 @@
 // LaunchCounters& a ThreadCtx carries is private to one contiguous block
 // range — never shared across concurrent workers — and the per-range
 // counters are merged deterministically after the launch joins.
+//
+// Launches accept an optional static kernel name (the first overload of
+// Device::launch); when tracing is enabled, each launch records a "kernel"
+// span on the device track carrying the grid shape, memory traffic, and
+// the modeled time the cost model priced it at.
 #pragma once
 
 #include <cstdint>

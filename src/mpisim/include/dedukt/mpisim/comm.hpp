@@ -12,6 +12,11 @@
 //    modeled time of the same exchange on the target machine (Summit by
 //    default). This is how the benchmarks obtain cluster-scale exchange
 //    times from a single-host simulation.
+// When tracing is enabled (see dedukt/trace), every collective additionally
+// records a "collective" span on the calling rank's track, pinned to the
+// same modeled duration it adds to CommStats, with byte counts as span
+// arguments. alltoall() delegates to alltoallv() and is deliberately not
+// spanned itself, so each exchange appears exactly once.
 #pragma once
 
 #include <cstring>
@@ -22,6 +27,7 @@
 
 #include "dedukt/mpisim/barrier.hpp"
 #include "dedukt/mpisim/network_model.hpp"
+#include "dedukt/trace/trace.hpp"
 #include "dedukt/util/error.hpp"
 
 namespace dedukt::mpisim {
@@ -108,11 +114,14 @@ class Comm {
 
   /// Synchronize all ranks.
   void barrier() {
+    trace::ScopedSpan span(trace::kCategoryCollective, "barrier");
     publish(nullptr, op_tag(0x1, typeid(void)));
     board_.barrier.arrive_and_wait();  // phase B (no data)
     board_.barrier.arrive_and_wait();  // phase C
     stats_.collective_calls += 1;
-    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    const double modeled = network_.collective_latency_seconds(nranks_);
+    stats_.modeled_seconds += modeled;
+    span.set_modeled_seconds(modeled);
   }
 
   /// Personalized all-to-all with variable counts: send[dst] goes to rank
@@ -126,6 +135,7 @@ class Comm {
     DEDUKT_REQUIRE_MSG(send.size() == static_cast<std::size_t>(nranks_),
                        "alltoallv needs one send buffer per rank");
 
+    trace::ScopedSpan span(trace::kCategoryCollective, "alltoallv");
     publish(&send, op_tag(0x2, typeid(T)));
 
     // Read every source's slice destined to this rank.
@@ -159,10 +169,21 @@ class Comm {
     stats_.alltoallv_calls += 1;
     stats_.bytes_sent += out_bytes;
     stats_.bytes_received += in_bytes;
-    stats_.modeled_seconds +=
+    const double modeled =
         network_.alltoallv_seconds(last_round_max_bytes_, nranks_);
-    stats_.modeled_volume_seconds +=
+    const double volume =
         network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    stats_.modeled_seconds += modeled;
+    stats_.modeled_volume_seconds += volume;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("bytes_sent", out_bytes);
+      span.arg_u64("bytes_received", in_bytes);
+      span.arg_u64("round_max_bytes", last_round_max_bytes_);
+      trace::counter("comm.bytes_sent", out_bytes);
+      trace::counter("comm.bytes_received", in_bytes);
+    }
     return result;
   }
 
@@ -185,6 +206,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] T allreduce(const T& value, ReduceOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    trace::ScopedSpan span(trace::kCategoryCollective, "allreduce");
     publish(&value, op_tag(0x3, typeid(T)));
     T acc = *static_cast<const T*>(board_.ptrs[0]);
     for (int src = 1; src < nranks_; ++src) {
@@ -196,7 +218,13 @@ class Comm {
     stats_.bytes_sent += sizeof(T) * static_cast<std::uint64_t>(nranks_ - 1);
     stats_.bytes_received += sizeof(T) *
                              static_cast<std::uint64_t>(nranks_ - 1);
-    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    const double modeled = network_.collective_latency_seconds(nranks_);
+    stats_.modeled_seconds += modeled;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.arg_u64("bytes", sizeof(T) *
+                                static_cast<std::uint64_t>(nranks_ - 1));
+    }
     return acc;
   }
 
@@ -205,6 +233,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<T> allgather(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    trace::ScopedSpan span(trace::kCategoryCollective, "allgather");
     publish(&value, op_tag(0x4, typeid(T)));
     std::vector<T> out;
     out.reserve(static_cast<std::size_t>(nranks_));
@@ -213,7 +242,12 @@ class Comm {
     }
     finish_with_bytes(sizeof(T) * static_cast<std::uint64_t>(nranks_));
     stats_.collective_calls += 1;
-    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    const double modeled = network_.collective_latency_seconds(nranks_);
+    stats_.modeled_seconds += modeled;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.arg_u64("bytes", sizeof(T) * static_cast<std::uint64_t>(nranks_));
+    }
     return out;
   }
 
@@ -224,6 +258,7 @@ class Comm {
                                                     int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     DEDUKT_REQUIRE(root >= 0 && root < nranks_);
+    trace::ScopedSpan span(trace::kCategoryCollective, "gatherv");
     publish(&send, op_tag(0x5, typeid(T)));
     std::vector<std::vector<T>> out;
     std::uint64_t in_bytes = 0;
@@ -242,10 +277,20 @@ class Comm {
     stats_.collective_calls += 1;
     stats_.bytes_sent += out_bytes;
     stats_.bytes_received += in_bytes;
-    stats_.modeled_seconds += network_.alltoallv_seconds(
+    const double modeled = network_.alltoallv_seconds(
         last_round_max_bytes_, nranks_);
-    stats_.modeled_volume_seconds += network_.alltoallv_volume_seconds(
+    const double volume = network_.alltoallv_volume_seconds(
         last_round_max_bytes_, nranks_);
+    stats_.modeled_seconds += modeled;
+    stats_.modeled_volume_seconds += volume;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("bytes_sent", out_bytes);
+      span.arg_u64("bytes_received", in_bytes);
+      trace::counter("comm.bytes_sent", out_bytes);
+      trace::counter("comm.bytes_received", in_bytes);
+    }
     return out;
   }
 
@@ -257,6 +302,7 @@ class Comm {
                                             int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     DEDUKT_REQUIRE(root >= 0 && root < nranks_);
+    trace::ScopedSpan span(trace::kCategoryCollective, "bcast_vector");
     publish(&value, op_tag(0x7, typeid(T)));
     const auto& src =
         *static_cast<const std::vector<T>*>(board_.ptrs[root]);
@@ -266,11 +312,19 @@ class Comm {
     finish_with_bytes(bytes);
     stats_.collective_calls += 1;
     if (rank_ != root) stats_.bytes_received += bytes;
-    stats_.modeled_seconds +=
+    const double modeled =
         network_.collective_latency_seconds(nranks_) +
         network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
-    stats_.modeled_volume_seconds +=
+    const double volume =
         network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    stats_.modeled_seconds += modeled;
+    stats_.modeled_volume_seconds += volume;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("bytes_received", bytes);
+      if (rank_ != root) trace::counter("comm.bytes_received", bytes);
+    }
     return result;
   }
 
@@ -279,11 +333,14 @@ class Comm {
   [[nodiscard]] T bcast(const T& value, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     DEDUKT_REQUIRE(root >= 0 && root < nranks_);
+    trace::ScopedSpan span(trace::kCategoryCollective, "bcast");
     publish(&value, op_tag(0x6, typeid(T)));
     const T result = *static_cast<const T*>(board_.ptrs[root]);
     finish_with_bytes(sizeof(T));
     stats_.collective_calls += 1;
-    stats_.modeled_seconds += network_.collective_latency_seconds(nranks_);
+    const double modeled = network_.collective_latency_seconds(nranks_);
+    stats_.modeled_seconds += modeled;
+    span.set_modeled_seconds(modeled);
     return result;
   }
 

@@ -10,6 +10,11 @@
 // block ranges itself and pool workers only assist within the pool's total
 // budget (DEDUKT_SIM_THREADS), so simulated rank counts far above the host
 // core count stay well-behaved.
+//
+// When tracing is enabled, run() binds every rank body to its per-rank
+// trace::SpanRecorder (trace::RankTraceScope), so spans recorded anywhere
+// inside f — collectives, kernel launches, pipeline phases — land on the
+// right rank track of the exported Chrome trace.
 #pragma once
 
 #include <functional>

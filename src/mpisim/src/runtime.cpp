@@ -4,6 +4,7 @@
 #include <mutex>
 #include <thread>
 
+#include "dedukt/trace/trace.hpp"
 #include "dedukt/util/error.hpp"
 #include "dedukt/util/thread_pool.hpp"
 
@@ -33,6 +34,7 @@ void Runtime::run(const std::function<void(Comm&)>& f) {
     // Single-rank runs execute inline: no rank thread to spawn, and the
     // caller yields fully into pool-parallel kernel work. Collectives are
     // trivially satisfied at size 1, so no barrier can block.
+    trace::RankTraceScope trace_scope(0);
     Comm comm(0, 1, board, network_, stats_[0]);
     f(comm);
     return;
@@ -45,6 +47,10 @@ void Runtime::run(const std::function<void(Comm&)>& f) {
   threads.reserve(static_cast<std::size_t>(nranks_));
   for (int r = 0; r < nranks_; ++r) {
     threads.emplace_back([&, r] {
+      // Bind this rank thread to its session recorder so spans opened
+      // anywhere below (collectives, kernels, pipeline phases) land on
+      // rank r's track.
+      trace::RankTraceScope trace_scope(r);
       Comm comm(r, nranks_, board, network_,
                 stats_[static_cast<std::size_t>(r)]);
       try {

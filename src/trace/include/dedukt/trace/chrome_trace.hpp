@@ -1,0 +1,26 @@
+// Chrome trace-event JSON writer (the "JSON Array Format" chrome://tracing
+// and Perfetto load). Spans become complete ("X") events; two synthetic
+// processes carry the tracks: pid 0 = simulated ranks (host side), pid 1 =
+// simulated devices, one tid per rank. Timestamps are microseconds on the
+// selected clock.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dedukt/trace/span.hpp"
+
+namespace dedukt::trace {
+
+/// One rank's merged, record-ordered spans.
+struct RankSpans {
+  int rank = 0;
+  std::vector<SpanRecord> spans;
+};
+
+/// Render the trace. `ranks` must already be in deterministic (ascending
+/// rank) order; the output is then byte-identical for identical spans.
+[[nodiscard]] std::string chrome_trace_json(const std::vector<RankSpans>& ranks,
+                                            Clock clock);
+
+}  // namespace dedukt::trace

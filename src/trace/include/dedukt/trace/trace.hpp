@@ -1,0 +1,7 @@
+// Umbrella header for instrumentation sites: scoped spans, counters, and
+// the session. See docs/tracing.md for how to record and read traces.
+#pragma once
+
+#include "dedukt/trace/recorder.hpp"
+#include "dedukt/trace/session.hpp"
+#include "dedukt/trace/span.hpp"

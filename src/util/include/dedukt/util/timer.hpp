@@ -3,7 +3,10 @@
 
 #include <chrono>
 #include <map>
+#include <span>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dedukt {
 
@@ -65,6 +68,28 @@ class PhaseTimes {
 
   [[nodiscard]] const std::map<std::string, double>& phases() const {
     return phases_;
+  }
+
+  /// Phases in a caller-defined presentation order: one entry per `legend`
+  /// name (0.0 when never recorded), then any remaining phases
+  /// alphabetically. Lets every consumer print breakdowns in the same
+  /// canonical order (see core::kPhaseLegend).
+  [[nodiscard]] std::vector<std::pair<std::string, double>> ordered(
+      std::span<const char* const> legend) const {
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(phases_.size() + legend.size());
+    for (const char* name : legend) out.emplace_back(name, get(name));
+    for (const auto& [name, seconds] : phases_) {
+      bool listed = false;
+      for (const char* known : legend) {
+        if (name == known) {
+          listed = true;
+          break;
+        }
+      }
+      if (!listed) out.emplace_back(name, seconds);
+    }
+    return out;
   }
 
  private:

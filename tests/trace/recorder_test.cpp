@@ -1,0 +1,144 @@
+// SpanRecorder / ScopedSpan unit tests: RAII nesting, the modeled-time
+// cursor, pinned durations, counters, and span arguments.
+#include "dedukt/trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dedukt/trace/session.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::trace {
+namespace {
+
+/// Enables an in-memory session for the test and restores the disabled
+/// default afterwards, so tests in this binary cannot leak trace state.
+class RecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceSession::instance().enable("");
+    TraceSession::instance().reset();
+  }
+  void TearDown() override { TraceSession::instance().disable(); }
+};
+
+TEST_F(RecorderTest, ScopedSpansNestAndCloseInLifoOrder) {
+  {
+    ScopedSpan outer(kCategoryPhase, "outer");
+    ASSERT_TRUE(outer.active());
+    {
+      ScopedSpan inner(kCategoryKernel, "inner", Track::kDevice);
+      inner.set_modeled_seconds(0.5);
+    }
+    {
+      ScopedSpan inner2(kCategoryCollective, "inner2");
+      inner2.set_modeled_seconds(0.25);
+    }
+  }
+  const auto spans =
+      TraceSession::instance().recorder(SpanRecorder::kMainRank)
+          .spans_snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Record order is open order: outer first, then the two children.
+  EXPECT_STREQ(spans[0].name.c_str(), "outer");
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].depth, 1);
+  EXPECT_EQ(spans[1].track, Track::kDevice);
+  // The leaf spans pinned their durations and advanced the cursor; the
+  // unpinned parent covers exactly what its children put on the clock.
+  EXPECT_DOUBLE_EQ(spans[1].modeled_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(spans[2].modeled_seconds, 0.25);
+  EXPECT_DOUBLE_EQ(spans[2].modeled_start, 0.5);
+  EXPECT_DOUBLE_EQ(spans[0].modeled_seconds, 0.75);
+}
+
+TEST_F(RecorderTest, PinnedDurationIsStoredVerbatimAnywhereOnTheCursor) {
+  // The same pinned value must be recorded bit-identically whether the
+  // span runs at cursor zero or far into the session — aggregated metrics
+  // windows rely on it.
+  const double pinned = 0.00020756;
+  auto& recorder = TraceSession::instance().recorder(0);
+  const auto early = recorder.open_span(kCategoryKernel, "k", Track::kDevice);
+  recorder.close_span(early, 0.0, pinned, 0.0);
+  recorder.advance_modeled(123.456789);
+  const auto late = recorder.open_span(kCategoryKernel, "k", Track::kDevice);
+  recorder.close_span(late, 0.0, pinned, 0.0);
+
+  const auto spans = recorder.spans_snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].modeled_seconds, spans[1].modeled_seconds);
+  EXPECT_EQ(spans[0].modeled_seconds, pinned);
+}
+
+TEST_F(RecorderTest, PinnedParentExtendsWhenChildrenOvershoot) {
+  auto& recorder = TraceSession::instance().recorder(1);
+  const auto parent = recorder.open_span(kCategoryPhase, "p", Track::kRank);
+  const auto child = recorder.open_span(kCategoryKernel, "c", Track::kDevice);
+  recorder.close_span(child, 0.0, 2.0, 0.0);
+  recorder.close_span(parent, 0.0, 1.0, 0.0);  // pin below the child
+  const auto spans = recorder.spans_snapshot();
+  EXPECT_DOUBLE_EQ(spans[0].modeled_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(recorder.modeled_now(), 2.0);
+}
+
+TEST_F(RecorderTest, CloseOutOfLifoOrderThrows) {
+  auto& recorder = TraceSession::instance().recorder(2);
+  const auto first = recorder.open_span(kCategoryPhase, "a", Track::kRank);
+  const auto second = recorder.open_span(kCategoryPhase, "b", Track::kRank);
+  EXPECT_THROW(recorder.close_span(first, 0.0, -1.0, 0.0), Error);
+  recorder.close_span(second, 0.0, -1.0, 0.0);
+  recorder.close_span(first, 0.0, -1.0, 0.0);
+}
+
+TEST_F(RecorderTest, CountersAccumulateAcrossCalls) {
+  counter("comm.bytes_sent", 100);
+  counter("comm.bytes_sent", 23);
+  counter("device.h2d_bytes", 7);
+  const auto counters =
+      TraceSession::instance().recorder(SpanRecorder::kMainRank)
+          .counters_snapshot();
+  EXPECT_EQ(counters.at("comm.bytes_sent"), 123u);
+  EXPECT_EQ(counters.at("device.h2d_bytes"), 7u);
+}
+
+TEST_F(RecorderTest, ArgsRenderAsJson) {
+  {
+    ScopedSpan span(kCategoryCollective, "alltoallv");
+    span.arg_u64("bytes", 4096);
+    span.arg_str("note", "a\"b");
+  }
+  const auto spans =
+      TraceSession::instance().recorder(SpanRecorder::kMainRank)
+          .spans_snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[0].key, "bytes");
+  EXPECT_EQ(spans[0].args[0].json, "4096");
+  EXPECT_EQ(spans[0].args[1].json, "\"a\\\"b\"");
+}
+
+TEST_F(RecorderTest, RankTraceScopeRoutesSpansToTheRankRecorder) {
+  {
+    RankTraceScope scope(5);
+    ScopedSpan span(kCategoryPhase, "on-rank-5");
+  }
+  ScopedSpan main_span(kCategoryPhase, "on-main");
+  EXPECT_EQ(TraceSession::instance().recorder(5).span_count(), 1u);
+  const auto spans = TraceSession::instance().recorder(5).spans_snapshot();
+  EXPECT_STREQ(spans[0].name.c_str(), "on-rank-5");
+}
+
+TEST_F(RecorderTest, ResetDropsSpansAndRewindsTheCursor) {
+  auto& recorder = TraceSession::instance().recorder(3);
+  const auto handle = recorder.open_span(kCategoryPhase, "x", Track::kRank);
+  recorder.close_span(handle, 0.0, 1.5, 0.0);
+  recorder.add_counter("c", 1);
+  EXPECT_DOUBLE_EQ(recorder.modeled_now(), 1.5);
+  recorder.reset();
+  EXPECT_EQ(recorder.span_count(), 0u);
+  EXPECT_TRUE(recorder.counters_snapshot().empty());
+  EXPECT_DOUBLE_EQ(recorder.modeled_now(), 0.0);
+}
+
+}  // namespace
+}  // namespace dedukt::trace
