@@ -1,0 +1,10 @@
+// Umbrella header for the staged pipeline framework: PhaseScope (phase
+// accounting), ExchangePlan (the exchange stage), RoundRunner (§III-A
+// multi-round orchestration). Pipeline translation units include this and
+// nothing else framework-related; see docs/architecture.md ("The staged
+// pipeline framework").
+#pragma once
+
+#include "dedukt/core/exchange_plan.hpp"
+#include "dedukt/core/phase_scope.hpp"
+#include "dedukt/core/round_runner.hpp"

@@ -1,0 +1,152 @@
+// CPU baseline pipelines — Algorithm 1, the diBELLA-derived counter the
+// paper benchmarks against (§III-A, §V-A), in both key widths:
+//
+//  * narrow: one-word packed k-mers (k <= 31), the paper's regime;
+//  * wide: two-word packed k-mers (31 < k <= 63) for long-read analyses —
+//    structurally identical, but the wire type is the 16-byte WideKey and
+//    the hash is the 128->64 mix, so the exchanged volume per k-mer
+//    doubles — exactly the regime where the supermer idea pays off most.
+//
+// One translation unit, templated on a key-traits struct (mirroring how
+// the supermer pipeline templates on its packing word); each round is the
+// parse -> exchange -> count stage sequence on the staged pipeline
+// framework.
+#include <vector>
+
+#include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/staged_pipeline.hpp"
+#include "dedukt/core/summit.hpp"
+#include "dedukt/io/partition.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/kmer/wide.hpp"
+#include "dedukt/trace/trace.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// Single-word keys (k <= 31): the packed code itself goes on the wire.
+struct NarrowCpuTraits {
+  using Wire = std::uint64_t;
+  using Table = HostHashTable;
+
+  /// Visit every k-mer of `fragment` as (destination rank, wire key).
+  template <typename Fn>
+  static void for_each_routed(std::string_view fragment,
+                              const PipelineConfig& config,
+                              io::BaseEncoding enc, std::uint32_t parts,
+                              Fn&& fn) {
+    kmer::for_each_kmer(fragment, config.k, enc, [&](kmer::KmerCode code) {
+      if (config.canonical) {
+        code = kmer::canonical(code, config.k, enc);
+      }
+      fn(kmer::kmer_partition(code, parts), code);
+    });
+  }
+};
+
+/// Two-word keys (31 < k <= 63): the 16-byte WideKey goes on the wire.
+struct WideCpuTraits {
+  using Wire = kmer::WideKey;
+  using Table = WideHostHashTable;
+
+  template <typename Fn>
+  static void for_each_routed(std::string_view fragment,
+                              const PipelineConfig& config,
+                              io::BaseEncoding enc, std::uint32_t parts,
+                              Fn&& fn) {
+    kmer::for_each_wide_kmer(
+        fragment, config.k, enc, [&](kmer::WideCode code) {
+          if (config.canonical) {
+            code = kmer::wide_canonical(code, config.k, enc);
+          }
+          fn(kmer::wide_kmer_partition(code, parts), kmer::to_key(code));
+        });
+  }
+};
+
+/// One round of Algorithm 1 (the whole job when it fits in memory).
+template <typename Traits>
+RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
+                           const PipelineConfig& config,
+                           typename Traits::Table& local_table) {
+  const auto parts = static_cast<std::uint32_t>(comm.size());
+  const io::BaseEncoding enc = config.encoding();
+
+  RankMetrics metrics;
+  metrics.reads = reads.size();
+  metrics.bases = reads.total_bases();
+
+  // --- PARSEKMER: extract k-mers and bucket by destination processor ---
+  std::vector<std::vector<typename Traits::Wire>> outgoing(parts);
+  {
+    PhaseScope phase(metrics, kPhaseParse);
+    for (const auto& read : reads.reads) {
+      for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+        Traits::for_each_routed(
+            fragment, config, enc, parts,
+            [&](std::uint32_t dest, const typename Traits::Wire& key) {
+              outgoing[dest].push_back(key);
+              ++metrics.kmers_parsed;
+            });
+      }
+    }
+    phase.set_uniform_charge(static_cast<double>(metrics.bases) /
+                             summit::kCpuParseBasesPerSec);
+  }
+
+  // --- EXCHANGEKMER: Alltoallv of packed k-mers ---
+  mpisim::AlltoallvResult<typename Traits::Wire> received;
+  {
+    PhaseScope phase(metrics, kPhaseExchange);
+    ExchangePlan plan(comm, /*device=*/nullptr, /*staged=*/false);
+    received = plan.exchange(outgoing);
+    phase.commit_exchange(plan);
+  }
+  outgoing.clear();
+  outgoing.shrink_to_fit();
+
+  // --- COUNTKMER: build the local partition of the global hash table ---
+  {
+    PhaseScope phase(metrics, kPhaseCount);
+    for (const auto& key : received.data) {
+      local_table.add(key);
+    }
+    metrics.kmers_received = received.data.size();
+    phase.set_uniform_charge(static_cast<double>(metrics.kmers_received) /
+                             summit::kCpuCountKmersPerSec);
+  }
+
+  metrics.unique_kmers = local_table.unique();
+  metrics.counted_kmers = local_table.total();
+  return metrics;
+}
+
+}  // namespace
+
+RankMetrics run_cpu_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
+                         const PipelineConfig& config,
+                         HostHashTable& local_table) {
+  config.validate();
+  const RoundRunner runner(comm, reads, config);
+  return runner.run(local_table, [&](const io::ReadBatch& batch) {
+    return run_cpu_single<NarrowCpuTraits>(comm, batch, config, local_table);
+  });
+}
+
+RankMetrics run_cpu_wide_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
+                              const PipelineConfig& config,
+                              WideHostHashTable& local_table) {
+  DEDUKT_REQUIRE_MSG(config.k > kmer::kMaxPackedK &&
+                         config.k <= kmer::kMaxWideK,
+                     "wide pipeline handles 31 < k <= 63, got k="
+                         << config.k);
+  DEDUKT_REQUIRE_MSG(config.kind == PipelineKind::kCpu,
+                     "wide-k counting is CPU-pipeline only");
+  const RoundRunner runner(comm, reads, config);
+  return runner.run(local_table, [&](const io::ReadBatch& batch) {
+    return run_cpu_single<WideCpuTraits>(comm, batch, config, local_table);
+  });
+}
+
+}  // namespace dedukt::core

@@ -12,10 +12,10 @@
 #include "dedukt/core/device_hash_table.hpp"
 #include "dedukt/core/kernels.hpp"
 #include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/staged_pipeline.hpp"
 #include "dedukt/core/summit.hpp"
 #include "dedukt/io/partition.hpp"
 #include "dedukt/trace/trace.hpp"
-#include "pipeline_common.hpp"
 
 namespace dedukt::core {
 
@@ -23,10 +23,9 @@ namespace {
 
 /// One round of the pipeline (the whole job when it fits in memory).
 RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
-                              const io::ReadBatch& reads,
-                              const PipelineConfig& config,
-                              HostHashTable& local_table) {
-  config.validate();
+                                const io::ReadBatch& reads,
+                                const PipelineConfig& config,
+                                HostHashTable& local_table) {
   const auto parts = static_cast<std::uint32_t>(comm.size());
   const io::BaseEncoding enc = config.encoding();
   const bool staged = config.exchange == ExchangeMode::kStaged;
@@ -41,9 +40,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<std::uint64_t> d_out;
   std::uint64_t total = 0;
   {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
-    ScopedPhase phase(metrics.measured, kPhaseParse);
-    detail::DeviceCapture device_capture(device);
+    PhaseScope phase(metrics, kPhaseParse, device);
 
     kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
                                                                  config.k);
@@ -55,7 +52,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
                                config.k, enc, parts, d_counts);
     device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
 
-    total = detail::exclusive_prefix(counts, offsets);
+    total = exclusive_prefix(counts, offsets);
     DEDUKT_CHECK_MSG(total == staging.total_kmers,
                      "parse kernel lost k-mers: " << total << " vs "
                                                   << staging.total_kmers);
@@ -75,17 +72,9 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     device.free(d_cursors);
 
     metrics.kmers_parsed = total;
-    const double parse_modeled =
-        std::max(device_capture.modeled_seconds(),
-                 static_cast<double>(total) / summit::kGpuParseKmersPerSec) +
-        summit::kGpuParseOverheadSec;
-    const double parse_volume =
-        std::max(device_capture.modeled_volume_seconds(),
-                 static_cast<double>(total) / summit::kGpuParseKmersPerSec);
-    metrics.modeled.add(kPhaseParse, parse_modeled);
-    metrics.modeled_volume.add(kPhaseParse, parse_volume);
-    span.set_modeled_seconds(parse_modeled);
-    span.set_modeled_volume_seconds(parse_volume);
+    phase.set_device_floor_charge(
+        static_cast<double>(total) / summit::kGpuParseKmersPerSec,
+        summit::kGpuParseOverheadSec);
   }
 
   // --- source-side consolidation (footnote 1, after Georganas) ---
@@ -98,9 +87,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     std::vector<std::vector<std::uint64_t>> out_keys(parts);
     std::vector<std::vector<std::uint32_t>> out_key_counts(parts);
     {
-      trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
-      ScopedPhase phase(metrics.measured, kPhaseParse);
-      detail::DeviceCapture device_capture(device);
+      PhaseScope phase(metrics, kPhaseParse, device);
 
       DeviceHashTable local(device, total, config.table_headroom);
       local.count_kmers(d_out, total);
@@ -110,16 +97,11 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
         out_keys[dest].push_back(key);
         out_key_counts[dest].push_back(count);
       }
-      const double consolidate_modeled =
-          std::max(device_capture.modeled_seconds(),
-                   static_cast<double>(total) / summit::kGpuCountKmersPerSec);
-      const double consolidate_volume =
-          std::max(device_capture.modeled_volume_seconds(),
-                   static_cast<double>(total) / summit::kGpuCountKmersPerSec);
-      metrics.modeled.add(kPhaseParse, consolidate_modeled);
-      metrics.modeled_volume.add(kPhaseParse, consolidate_volume);
-      span.set_modeled_seconds(consolidate_modeled);
-      span.set_modeled_volume_seconds(consolidate_volume);
+      // Local pre-counting runs at the count rate; no extra launch
+      // overhead is charged for the fused pass.
+      phase.set_device_floor_charge(
+          static_cast<double>(total) / summit::kGpuCountKmersPerSec,
+          /*overhead_seconds=*/0.0);
     }
 
     mpisim::AlltoallvResult<std::uint64_t> recv_keys;
@@ -127,53 +109,20 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     gpusim::DeviceBuffer<std::uint64_t> d_recv_keys;
     gpusim::DeviceBuffer<std::uint32_t> d_recv_key_counts;
     {
-      trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
-      ScopedPhase phase(metrics.measured, kPhaseExchange);
-      detail::DeviceCapture device_capture(device);
-      detail::CommCapture comm_capture(comm);
+      PhaseScope phase(metrics, kPhaseExchange);
+      ExchangePlan plan(comm, &device, staged);
 
-      recv_keys = comm.alltoallv(out_keys);
-      recv_key_counts = comm.alltoallv(out_key_counts);
+      recv_keys = plan.exchange(out_keys);
+      recv_key_counts = plan.exchange(out_key_counts);
       DEDUKT_CHECK(recv_keys.data.size() == recv_key_counts.data.size());
 
-      d_recv_keys = device.alloc<std::uint64_t>(
-          std::max<std::size_t>(recv_keys.data.size(), 1));
-      d_recv_key_counts = device.alloc<std::uint32_t>(
-          std::max<std::size_t>(recv_key_counts.data.size(), 1));
-      if (staged) {
-        device.copy_to_device<std::uint64_t>(recv_keys.data, d_recv_keys);
-        device.copy_to_device<std::uint32_t>(recv_key_counts.data,
-                                             d_recv_key_counts);
-      } else {
-        std::copy(recv_keys.data.begin(), recv_keys.data.end(),
-                  d_recv_keys.data());
-        std::copy(recv_key_counts.data.begin(), recv_key_counts.data.end(),
-                  d_recv_key_counts.data());
-      }
-      metrics.bytes_sent = comm_capture.bytes_sent();
-      metrics.bytes_received = comm_capture.bytes_received();
-      const double staging =
-          staged ? device_capture.modeled_seconds() : 0.0;
-      const double staging_volume =
-          staged ? device_capture.modeled_volume_seconds() : 0.0;
-      const double exchange_modeled = comm_capture.modeled_seconds() +
-                                      staging +
-                                      summit::kGpuExchangeOverheadSec;
-      const double exchange_volume =
-          comm_capture.modeled_volume_seconds() + staging_volume;
-      metrics.modeled.add(kPhaseExchange, exchange_modeled);
-      metrics.modeled_volume.add(kPhaseExchange, exchange_volume);
-      metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
-      metrics.modeled_alltoallv_volume_seconds =
-          comm_capture.modeled_volume_seconds();
-      span.set_modeled_seconds(exchange_modeled);
-      span.set_modeled_volume_seconds(exchange_volume);
+      d_recv_keys = plan.stage_in(recv_keys.data);
+      d_recv_key_counts = plan.stage_in(recv_key_counts.data);
+      phase.commit_exchange(plan, summit::kGpuExchangeOverheadSec);
     }
 
     {
-      trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
-      ScopedPhase phase(metrics.measured, kPhaseCount);
-      detail::DeviceCapture device_capture(device);
+      PhaseScope phase(metrics, kPhaseCount, device);
 
       std::uint64_t kmers_to_count = 0;
       for (const std::uint32_t count : recv_key_counts.data) {
@@ -191,19 +140,10 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
       }
       metrics.kmers_received = kmers_to_count;
       // Accumulation touches one pair per locally-distinct k-mer.
-      const double count_modeled =
-          std::max(device_capture.modeled_seconds(),
-                   static_cast<double>(recv_keys.data.size()) /
-                       summit::kGpuCountKmersPerSec) +
-          summit::kGpuCountOverheadSec;
-      const double count_volume =
-          std::max(device_capture.modeled_volume_seconds(),
-                   static_cast<double>(recv_keys.data.size()) /
-                       summit::kGpuCountKmersPerSec);
-      metrics.modeled.add(kPhaseCount, count_modeled);
-      metrics.modeled_volume.add(kPhaseCount, count_volume);
-      span.set_modeled_seconds(count_modeled);
-      span.set_modeled_volume_seconds(count_volume);
+      phase.set_device_floor_charge(
+          static_cast<double>(recv_keys.data.size()) /
+              summit::kGpuCountKmersPerSec,
+          summit::kGpuCountOverheadSec);
     }
     metrics.unique_kmers = local_table.unique();
     metrics.counted_kmers = local_table.total();
@@ -214,63 +154,18 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
   mpisim::AlltoallvResult<std::uint64_t> received;
   gpusim::DeviceBuffer<std::uint64_t> d_recv;
   {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
-    ScopedPhase phase(metrics.measured, kPhaseExchange);
-    detail::DeviceCapture device_capture(device);
-    detail::CommCapture comm_capture(comm);
+    PhaseScope phase(metrics, kPhaseExchange);
+    ExchangePlan plan(comm, &device, staged);
 
-    // Outgoing buffer leaves the device: priced D2H when staged, free of
-    // host-link cost under GPUDirect.
-    std::vector<std::uint64_t> host_out(total);
-    if (staged) {
-      device.copy_to_host(d_out, std::span<std::uint64_t>(host_out));
-    } else {
-      std::copy(d_out.data(), d_out.data() + total, host_out.begin());
-    }
-    device.free(d_out);
-
-    std::vector<std::vector<std::uint64_t>> outgoing(parts);
-    for (std::uint32_t dest = 0; dest < parts; ++dest) {
-      outgoing[dest].assign(host_out.begin() + offsets[dest],
-                            host_out.begin() + offsets[dest] + counts[dest]);
-    }
-    host_out.clear();
-    host_out.shrink_to_fit();
-
-    received = comm.alltoallv(outgoing);
-
-    d_recv = device.alloc<std::uint64_t>(
-        std::max<std::size_t>(received.data.size(), 1));
-    if (staged) {
-      device.copy_to_device<std::uint64_t>(received.data, d_recv);
-    } else {
-      std::copy(received.data.begin(), received.data.end(), d_recv.data());
-    }
-
-    metrics.bytes_sent = comm_capture.bytes_sent();
-    metrics.bytes_received = comm_capture.bytes_received();
-    const double staging =
-        staged ? device_capture.modeled_seconds() : 0.0;
-    const double staging_volume =
-        staged ? device_capture.modeled_volume_seconds() : 0.0;
-    const double exchange_modeled = comm_capture.modeled_seconds() + staging +
-                                    summit::kGpuExchangeOverheadSec;
-    const double exchange_volume =
-        comm_capture.modeled_volume_seconds() + staging_volume;
-    metrics.modeled.add(kPhaseExchange, exchange_modeled);
-    metrics.modeled_volume.add(kPhaseExchange, exchange_volume);
-    metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
-    metrics.modeled_alltoallv_volume_seconds =
-        comm_capture.modeled_volume_seconds();
-    span.set_modeled_seconds(exchange_modeled);
-    span.set_modeled_volume_seconds(exchange_volume);
+    const std::vector<std::uint64_t> host_out = plan.stage_out(d_out, total);
+    received = plan.exchange(host_out, counts, offsets);
+    d_recv = plan.stage_in(received.data);
+    phase.commit_exchange(plan, summit::kGpuExchangeOverheadSec);
   }
 
   // --- build the k-mer counter on the device ---
   {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
-    ScopedPhase phase(metrics.measured, kPhaseCount);
-    detail::DeviceCapture device_capture(device);
+    PhaseScope phase(metrics, kPhaseCount, device);
 
     DeviceHashTable table(device, received.data.size(),
                           config.table_headroom);
@@ -286,19 +181,10 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
       local_table.add(key, count);
     }
     metrics.kmers_received = received.data.size();
-    const double count_modeled =
-        std::max(device_capture.modeled_seconds(),
-                 static_cast<double>(metrics.kmers_received) /
-                     summit::kGpuCountKmersPerSec) +
-        summit::kGpuCountOverheadSec;
-    const double count_volume =
-        std::max(device_capture.modeled_volume_seconds(),
-                 static_cast<double>(metrics.kmers_received) /
-                     summit::kGpuCountKmersPerSec);
-    metrics.modeled.add(kPhaseCount, count_modeled);
-    metrics.modeled_volume.add(kPhaseCount, count_volume);
-    span.set_modeled_seconds(count_modeled);
-    span.set_modeled_volume_seconds(count_volume);
+    phase.set_device_floor_charge(
+        static_cast<double>(metrics.kmers_received) /
+            summit::kGpuCountKmersPerSec,
+        summit::kGpuCountOverheadSec);
   }
 
   metrics.unique_kmers = local_table.unique();
@@ -313,24 +199,10 @@ RankMetrics run_gpu_kmer_rank(mpisim::Comm& comm, gpusim::Device& device,
                               const PipelineConfig& config,
                               HostHashTable& local_table) {
   config.validate();
-  const std::uint64_t rounds = detail::plan_rounds(
-      comm, reads, config.k, config.max_kmers_per_round);
-  if (rounds == 1) {
-    return run_gpu_kmer_single(comm, device, reads, config, local_table);
-  }
-  // §III-A multi-round processing: split this rank's reads into `rounds`
-  // base-balanced sub-batches and run the full pipeline per round, all
-  // ranks in lockstep, accumulating into the same local table.
-  const std::vector<io::ReadBatch> round_batches =
-      io::partition_by_bases(reads, static_cast<int>(rounds));
-  RankMetrics total;
-  for (const io::ReadBatch& batch : round_batches) {
-    const RankMetrics round = run_gpu_kmer_single(comm, device, batch, config, local_table);
-    detail::accumulate_round(total, round);
-  }
-  total.unique_kmers = local_table.unique();
-  total.counted_kmers = local_table.total();
-  return total;
+  const RoundRunner runner(comm, reads, config);
+  return runner.run(local_table, [&](const io::ReadBatch& batch) {
+    return run_gpu_kmer_single(comm, device, batch, config, local_table);
+  });
 }
 
 }  // namespace dedukt::core

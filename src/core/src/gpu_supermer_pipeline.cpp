@@ -15,10 +15,10 @@
 #include "dedukt/core/kernels.hpp"
 #include "dedukt/core/partitioner.hpp"
 #include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/staged_pipeline.hpp"
 #include "dedukt/core/summit.hpp"
 #include "dedukt/io/partition.hpp"
 #include "dedukt/trace/trace.hpp"
-#include "pipeline_common.hpp"
 
 namespace dedukt::core {
 
@@ -32,13 +32,13 @@ namespace {
 /// single-word regime, kmer::WideKey for the two-word extension that lifts
 /// the window cap of 15.
 template <typename Word>
-RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
-                                  const io::ReadBatch& reads,
-                                  const PipelineConfig& config,
-                                  HostHashTable& local_table,
-                                  kernels::DestinationTable routing) {
+RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
+                                    gpusim::Device& device,
+                                    const io::ReadBatch& reads,
+                                    const PipelineConfig& config,
+                                    HostHashTable& local_table,
+                                    kernels::DestinationTable routing) {
   constexpr bool kWide = std::is_same_v<Word, kmer::WideKey>;
-  config.validate();
   const auto parts = static_cast<std::uint32_t>(comm.size());
   const kmer::SupermerConfig smer_config = config.supermer_config();
   const bool staged = config.exchange == ExchangeMode::kStaged;
@@ -54,9 +54,7 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<std::uint8_t> d_lens;
   std::uint64_t total_supermers = 0;
   {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
-    ScopedPhase phase(metrics.measured, kPhaseParse);
-    detail::DeviceCapture device_capture(device);
+    PhaseScope phase(metrics, kPhaseParse, device);
 
     kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
                                                                  config.k);
@@ -81,7 +79,7 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
     }
     device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
 
-    total_supermers = detail::exclusive_prefix(counts, offsets);
+    total_supermers = exclusive_prefix(counts, offsets);
 
     auto d_offsets = device.alloc<std::uint64_t>(parts);
     device.copy_to_device<std::uint64_t>(offsets, d_offsets);
@@ -108,25 +106,11 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
     device.free(d_cursors);
 
     metrics.supermers_built = total_supermers;
-    for (std::uint64_t i = 0; i < total_supermers; ++i) {
-      metrics.supermer_bases += d_lens[i];
-    }
     // Supermer construction costs ~33% over plain k-mer parsing (§V-C).
-    const double parse_modeled =
-        std::max(device_capture.modeled_seconds(),
-                 static_cast<double>(metrics.kmers_parsed) /
-                     (summit::kGpuParseKmersPerSec /
-                      summit::kSupermerParseOverhead)) +
-        summit::kGpuParseOverheadSec;
-    const double parse_volume =
-        std::max(device_capture.modeled_volume_seconds(),
-                 static_cast<double>(metrics.kmers_parsed) /
-                     (summit::kGpuParseKmersPerSec /
-                      summit::kSupermerParseOverhead));
-    metrics.modeled.add(kPhaseParse, parse_modeled);
-    metrics.modeled_volume.add(kPhaseParse, parse_volume);
-    span.set_modeled_seconds(parse_modeled);
-    span.set_modeled_volume_seconds(parse_volume);
+    phase.set_device_floor_charge(
+        static_cast<double>(metrics.kmers_parsed) /
+            (summit::kGpuParseKmersPerSec / summit::kSupermerParseOverhead),
+        summit::kGpuParseOverheadSec);
   }
 
   // --- exchange supermer words and lengths ---
@@ -135,77 +119,32 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<Word> d_recv_words;
   gpusim::DeviceBuffer<std::uint8_t> d_recv_lens;
   {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseExchange);
-    ScopedPhase phase(metrics.measured, kPhaseExchange);
-    detail::DeviceCapture device_capture(device);
-    detail::CommCapture comm_capture(comm);
+    PhaseScope phase(metrics, kPhaseExchange);
+    ExchangePlan plan(comm, &device, staged);
 
-    std::vector<Word> host_words(total_supermers);
-    std::vector<std::uint8_t> host_lens(total_supermers);
-    if (staged) {
-      device.copy_to_host(d_words, std::span<Word>(host_words));
-      device.copy_to_host(d_lens, std::span<std::uint8_t>(host_lens));
-    } else {
-      std::copy(d_words.data(), d_words.data() + total_supermers,
-                host_words.begin());
-      std::copy(d_lens.data(), d_lens.data() + total_supermers,
-                host_lens.begin());
-    }
-    device.free(d_words);
-    device.free(d_lens);
-
-    std::vector<std::vector<Word>> out_words(parts);
-    std::vector<std::vector<std::uint8_t>> out_lens(parts);
-    for (std::uint32_t dest = 0; dest < parts; ++dest) {
-      out_words[dest].assign(
-          host_words.begin() + offsets[dest],
-          host_words.begin() + offsets[dest] + counts[dest]);
-      out_lens[dest].assign(host_lens.begin() + offsets[dest],
-                            host_lens.begin() + offsets[dest] + counts[dest]);
+    const std::vector<Word> host_words =
+        plan.stage_out(d_words, total_supermers);
+    const std::vector<std::uint8_t> host_lens =
+        plan.stage_out(d_lens, total_supermers);
+    // Total supermer payload bases (§IV-C compression metric), summed from
+    // the host copy of the length buffer — never element-by-element from
+    // device memory.
+    for (const std::uint8_t len : host_lens) {
+      metrics.supermer_bases += len;
     }
 
-    recv_words = comm.alltoallv(out_words);
-    recv_lens = comm.alltoallv(out_lens);
+    recv_words = plan.exchange(host_words, counts, offsets);
+    recv_lens = plan.exchange(host_lens, counts, offsets);
     DEDUKT_CHECK(recv_words.data.size() == recv_lens.data.size());
 
-    d_recv_words = device.alloc<Word>(
-        std::max<std::size_t>(recv_words.data.size(), 1));
-    d_recv_lens = device.alloc<std::uint8_t>(
-        std::max<std::size_t>(recv_lens.data.size(), 1));
-    if (staged) {
-      device.copy_to_device<Word>(recv_words.data, d_recv_words);
-      device.copy_to_device<std::uint8_t>(recv_lens.data, d_recv_lens);
-    } else {
-      std::copy(recv_words.data.begin(), recv_words.data.end(),
-                d_recv_words.data());
-      std::copy(recv_lens.data.begin(), recv_lens.data.end(),
-                d_recv_lens.data());
-    }
-
-    metrics.bytes_sent = comm_capture.bytes_sent();
-    metrics.bytes_received = comm_capture.bytes_received();
-    const double staging =
-        staged ? device_capture.modeled_seconds() : 0.0;
-    const double staging_volume =
-        staged ? device_capture.modeled_volume_seconds() : 0.0;
-    const double exchange_modeled = comm_capture.modeled_seconds() + staging +
-                                    summit::kGpuExchangeOverheadSec;
-    const double exchange_volume =
-        comm_capture.modeled_volume_seconds() + staging_volume;
-    metrics.modeled.add(kPhaseExchange, exchange_modeled);
-    metrics.modeled_volume.add(kPhaseExchange, exchange_volume);
-    metrics.modeled_alltoallv_seconds = comm_capture.modeled_seconds();
-    metrics.modeled_alltoallv_volume_seconds =
-        comm_capture.modeled_volume_seconds();
-    span.set_modeled_seconds(exchange_modeled);
-    span.set_modeled_volume_seconds(exchange_volume);
+    d_recv_words = plan.stage_in(recv_words.data);
+    d_recv_lens = plan.stage_in(recv_lens.data);
+    phase.commit_exchange(plan, summit::kGpuExchangeOverheadSec);
   }
 
   // --- extract k-mers from received supermers and count ---
   {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseCount);
-    ScopedPhase phase(metrics.measured, kPhaseCount);
-    detail::DeviceCapture device_capture(device);
+    PhaseScope phase(metrics, kPhaseCount, device);
 
     metrics.supermers_received = recv_words.data.size();
     std::uint64_t kmers_to_count = 0;
@@ -243,21 +182,10 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm, gpusim::Device& device,
     }
     metrics.kmers_received = kmers_to_count;
     // Counting from supermers costs ~27% over direct counting (§V-C).
-    const double count_modeled =
-        std::max(device_capture.modeled_seconds(),
-                 static_cast<double>(kmers_to_count) /
-                     (summit::kGpuCountKmersPerSec /
-                      summit::kSupermerCountOverhead)) +
-        summit::kGpuCountOverheadSec;
-    const double count_volume =
-        std::max(device_capture.modeled_volume_seconds(),
-                 static_cast<double>(kmers_to_count) /
-                     (summit::kGpuCountKmersPerSec /
-                      summit::kSupermerCountOverhead));
-    metrics.modeled.add(kPhaseCount, count_modeled);
-    metrics.modeled_volume.add(kPhaseCount, count_volume);
-    span.set_modeled_seconds(count_modeled);
-    span.set_modeled_volume_seconds(count_volume);
+    phase.set_device_floor_charge(
+        static_cast<double>(kmers_to_count) /
+            (summit::kGpuCountKmersPerSec / summit::kSupermerCountOverhead),
+        summit::kGpuCountOverheadSec);
   }
 
   metrics.unique_kmers = local_table.unique();
@@ -272,8 +200,9 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
                                   const PipelineConfig& config,
                                   HostHashTable& local_table) {
   config.validate();
-  const std::uint64_t rounds = detail::plan_rounds(
-      comm, reads, config.k, config.max_kmers_per_round);
+  // Round planning is collective and must precede the routing-table
+  // collectives below — RoundRunner's constructor does it.
+  const RoundRunner runner(comm, reads, config);
 
   // §VII extension: build the frequency-balanced routing table ONCE for
   // the whole job — per-round tables would route the same k-mer to
@@ -283,10 +212,7 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
   kernels::DestinationTable routing;
   gpusim::DeviceBuffer<std::uint32_t> d_routing;
   if (config.partition == PartitionScheme::kFrequencyBalanced) {
-    trace::ScopedSpan span(trace::kCategoryPhase, kPhaseParse);
-    ScopedPhase phase(setup.measured, kPhaseParse);
-    detail::CommCapture comm_capture(comm);
-    detail::DeviceCapture device_capture(device);
+    PhaseScope phase(setup, kPhaseParse, comm, device);
 
     const MinimizerAssignment assignment = MinimizerAssignment::build(
         comm, reads, config.supermer_config(), /*sample_stride=*/4);
@@ -299,15 +225,10 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
     const double sampling = static_cast<double>(reads.total_bases()) / 4.0 /
                             (summit::kGpuParseKmersPerSec /
                              summit::kSupermerParseOverhead);
-    const double setup_modeled = sampling + comm_capture.modeled_seconds() +
-                                 device_capture.modeled_seconds();
-    const double setup_volume = sampling +
-                                comm_capture.modeled_volume_seconds() +
-                                device_capture.modeled_volume_seconds();
-    setup.modeled.add(kPhaseParse, setup_modeled);
-    setup.modeled_volume.add(kPhaseParse, setup_volume);
-    span.set_modeled_seconds(setup_modeled);
-    span.set_modeled_volume_seconds(setup_volume);
+    phase.set_charge(sampling + phase.comm().modeled_seconds() +
+                         phase.device().modeled_seconds(),
+                     sampling + phase.comm().modeled_volume_seconds() +
+                         phase.device().modeled_volume_seconds());
   }
 
   auto run_single = [&](const io::ReadBatch& batch) {
@@ -318,23 +239,7 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
     return run_gpu_supermer_single<std::uint64_t>(
         comm, device, batch, config, local_table, routing);
   };
-
-  RankMetrics total = setup;
-  if (rounds == 1) {
-    detail::accumulate_round(total, run_single(reads));
-  } else {
-    // §III-A multi-round processing: split this rank's reads into `rounds`
-    // base-balanced sub-batches and run the full pipeline per round, all
-    // ranks in lockstep, accumulating into the same local table.
-    const std::vector<io::ReadBatch> round_batches =
-        io::partition_by_bases(reads, static_cast<int>(rounds));
-    for (const io::ReadBatch& batch : round_batches) {
-      detail::accumulate_round(total, run_single(batch));
-    }
-  }
-  total.unique_kmers = local_table.unique();
-  total.counted_kmers = local_table.total();
-  return total;
+  return runner.run(local_table, run_single, std::move(setup));
 }
 
 }  // namespace dedukt::core

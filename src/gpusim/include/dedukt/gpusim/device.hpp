@@ -248,4 +248,30 @@ class Device {
   std::uint64_t allocated_ = 0;
 };
 
+/// Snapshot/delta of a device's modeled timeline around one scope:
+/// construct at the start, read the deltas at the end. This is the one
+/// canonical way to attribute device time to a pipeline phase (see
+/// core::PhaseScope / core::ExchangePlan).
+class DeviceCapture {
+ public:
+  explicit DeviceCapture(Device& device)
+      : device_(device), start_(device.timeline()) {}
+
+  [[nodiscard]] double modeled_seconds() const {
+    return device_.timeline().total_seconds() - start_.total_seconds();
+  }
+  [[nodiscard]] double transfer_seconds() const {
+    return device_.timeline().transfer_seconds() -
+           start_.transfer_seconds();
+  }
+  /// Volume-proportional share of modeled_seconds().
+  [[nodiscard]] double modeled_volume_seconds() const {
+    return device_.timeline().volume_seconds - start_.volume_seconds;
+  }
+
+ private:
+  Device& device_;
+  DeviceTimeline start_;
+};
+
 }  // namespace dedukt::gpusim

@@ -399,4 +399,31 @@ class Comm {
   std::uint64_t last_round_max_bytes_ = 0;
 };
 
+/// Snapshot/delta of a rank's communication ledger around one scope:
+/// construct at the start, read the deltas at the end. This is the one
+/// canonical way to attribute communication traffic and modeled time to a
+/// pipeline phase (see core::PhaseScope / core::ExchangePlan).
+class CommCapture {
+ public:
+  explicit CommCapture(Comm& comm) : comm_(comm), start_(comm.stats()) {}
+
+  [[nodiscard]] std::uint64_t bytes_sent() const {
+    return comm_.stats().bytes_sent - start_.bytes_sent;
+  }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return comm_.stats().bytes_received - start_.bytes_received;
+  }
+  [[nodiscard]] double modeled_seconds() const {
+    return comm_.stats().modeled_seconds - start_.modeled_seconds;
+  }
+  [[nodiscard]] double modeled_volume_seconds() const {
+    return comm_.stats().modeled_volume_seconds -
+           start_.modeled_volume_seconds;
+  }
+
+ private:
+  Comm& comm_;
+  CommStats start_;
+};
+
 }  // namespace dedukt::mpisim

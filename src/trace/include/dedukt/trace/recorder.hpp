@@ -134,6 +134,12 @@ class ScopedSpan {
   void set_modeled_seconds(double seconds) { modeled_ = seconds; }
   /// Record the volume-proportional share of the modeled duration.
   void set_modeled_volume_seconds(double seconds) { volume_ = seconds; }
+  /// Fused setter: pin the modeled duration and its volume share together
+  /// (what every phase-level instrumentation site wants).
+  void set_modeled(double seconds, double volume_seconds) {
+    modeled_ = seconds;
+    volume_ = volume_seconds;
+  }
 
   void arg_u64(const char* key, std::uint64_t value);
   void arg_i64(const char* key, std::int64_t value);

@@ -1,0 +1,253 @@
+// Pre/post-refactor golden check for the staged pipeline framework.
+//
+// Runs every pipeline (CPU narrow/wide, GPU k-mer, GPU supermer) across the
+// exchange modes, routing schemes, filters and round limits, and serializes
+// everything the framework is required to keep bit-identical: the k-mer
+// spectrum, the deterministic fields of every RankMetrics (doubles rendered
+// as hexfloats, so a one-ULP drift fails), and the trace metrics JSON on
+// the modeled clock. The golden files were captured from the hand-rolled
+// pipelines before the PhaseScope/ExchangePlan/RoundRunner refactor; any
+// change to modeled charges, exchange accounting or span structure shows up
+// as a byte diff.
+//
+// Regenerate (only when a change to observable accounting is intended):
+//   DEDUKT_UPDATE_GOLDEN=1 ./dedukt_core_tests
+//     --gtest_filter='PipelineFrameworkGolden.*'
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/trace/trace.hpp"
+
+#ifndef DEDUKT_TEST_DATA_DIR
+#define DEDUKT_TEST_DATA_DIR "."
+#endif
+
+namespace dedukt::core {
+namespace {
+
+io::ReadBatch golden_reads() {
+  io::GenomeSpec gspec;
+  gspec.length = 5'000;
+  gspec.seed = 42;
+  io::ReadSpec rspec;
+  rspec.coverage = 4.0;
+  rspec.mean_read_length = 400;
+  rspec.min_read_length = 80;
+  rspec.seed = 43;
+  return io::generate_dataset(gspec, rspec);
+}
+
+/// Exact, deterministic rendering of a double: hexfloat, so that any
+/// change in rounding or evaluation order changes the byte stream.
+std::string hex(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+void append_phase_times(std::ostringstream& out, const char* label,
+                        const PhaseTimes& times) {
+  out << "  " << label << ":";
+  for (const auto& [phase, seconds] : times.phases()) {
+    out << " " << phase << "=" << hex(seconds);
+  }
+  out << "\n";
+}
+
+void append_rank(std::ostringstream& out, const RankMetrics& m) {
+  out << "  reads=" << m.reads << " bases=" << m.bases
+      << " kmers_parsed=" << m.kmers_parsed
+      << " supermers_built=" << m.supermers_built
+      << " supermer_bases=" << m.supermer_bases
+      << " kmers_received=" << m.kmers_received
+      << " supermers_received=" << m.supermers_received
+      << " bytes_sent=" << m.bytes_sent
+      << " bytes_received=" << m.bytes_received
+      << " unique=" << m.unique_kmers << " counted=" << m.counted_kmers
+      << "\n";
+  append_phase_times(out, "modeled", m.modeled);
+  append_phase_times(out, "modeled_volume", m.modeled_volume);
+  out << "  alltoallv=" << hex(m.modeled_alltoallv_seconds)
+      << " alltoallv_volume=" << hex(m.modeled_alltoallv_volume_seconds)
+      << "\n";
+}
+
+void append_spectrum(std::ostringstream& out,
+                     const std::map<std::uint64_t, std::uint64_t>& spectrum) {
+  out << "spectrum:";
+  for (const auto& [multiplicity, distinct] : spectrum) {
+    out << " " << multiplicity << ":" << distinct;
+  }
+  out << "\n";
+}
+
+/// Run one narrow-pipeline scenario under an in-memory trace session and
+/// render everything deterministic about it.
+std::string capture(const DriverOptions& options) {
+  auto& session = trace::TraceSession::instance();
+  session.reset();
+  session.enable("");
+  const CountResult result = run_distributed_count(golden_reads(), options);
+  const std::string metrics_json =
+      session.metrics().to_json(/*include_wall=*/false);
+  session.disable();
+
+  std::ostringstream out;
+  append_spectrum(out, result.spectrum());
+  for (int r = 0; r < result.nranks; ++r) {
+    out << "rank " << r << ":\n";
+    append_rank(out, result.ranks[static_cast<std::size_t>(r)]);
+  }
+  out << "trace_metrics: " << metrics_json << "\n";
+  return out.str();
+}
+
+std::string capture_wide(const DriverOptions& options) {
+  auto& session = trace::TraceSession::instance();
+  session.reset();
+  session.enable("");
+  const WideCountResult result =
+      run_distributed_count_wide(golden_reads(), options);
+  const std::string metrics_json =
+      session.metrics().to_json(/*include_wall=*/false);
+  session.disable();
+
+  std::map<std::uint64_t, std::uint64_t> spectrum;
+  for (const auto& [key, count] : result.global_counts) {
+    spectrum[count] += 1;
+  }
+  std::ostringstream out;
+  append_spectrum(out, spectrum);
+  for (int r = 0; r < result.base.nranks; ++r) {
+    out << "rank " << r << ":\n";
+    append_rank(out, result.base.ranks[static_cast<std::size_t>(r)]);
+  }
+  out << "trace_metrics: " << metrics_json << "\n";
+  return out.str();
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path =
+      std::string(DEDUKT_TEST_DATA_DIR) + "/golden_" + name + ".txt";
+  if (std::getenv("DEDUKT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "golden updated: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with DEDUKT_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual) << "byte diff against seed golden "
+                                    << path;
+}
+
+DriverOptions base_options(PipelineKind kind) {
+  DriverOptions options;
+  options.pipeline.kind = kind;
+  options.pipeline.k = 17;
+  options.nranks = 4;
+  return options;
+}
+
+TEST(PipelineFrameworkGolden, Cpu) {
+  check_golden("cpu", capture(base_options(PipelineKind::kCpu)));
+}
+
+TEST(PipelineFrameworkGolden, CpuMultiRound) {
+  DriverOptions options = base_options(PipelineKind::kCpu);
+  options.pipeline.max_kmers_per_round = 1'500;
+  check_golden("cpu_multiround", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, CpuWide) {
+  DriverOptions options = base_options(PipelineKind::kCpu);
+  options.pipeline.k = 33;
+  options.nranks = 3;
+  check_golden("cpu_wide", capture_wide(options));
+}
+
+TEST(PipelineFrameworkGolden, CpuWideMultiRound) {
+  DriverOptions options = base_options(PipelineKind::kCpu);
+  options.pipeline.k = 33;
+  options.pipeline.max_kmers_per_round = 1'500;
+  check_golden("cpu_wide_multiround", capture_wide(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuKmerStaged) {
+  check_golden("gpu_kmer_staged", capture(base_options(PipelineKind::kGpuKmer)));
+}
+
+TEST(PipelineFrameworkGolden, GpuKmerDirect) {
+  DriverOptions options = base_options(PipelineKind::kGpuKmer);
+  options.pipeline.exchange = ExchangeMode::kGpuDirect;
+  check_golden("gpu_kmer_direct", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuKmerConsolidated) {
+  DriverOptions options = base_options(PipelineKind::kGpuKmer);
+  options.pipeline.source_consolidation = true;
+  check_golden("gpu_kmer_consolidated", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuKmerFiltered) {
+  DriverOptions options = base_options(PipelineKind::kGpuKmer);
+  options.pipeline.filter_singletons = true;
+  check_golden("gpu_kmer_filtered", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuKmerMultiRound) {
+  DriverOptions options = base_options(PipelineKind::kGpuKmer);
+  options.pipeline.max_kmers_per_round = 1'500;
+  check_golden("gpu_kmer_multiround", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuSupermerStaged) {
+  check_golden("gpu_supermer_staged",
+               capture(base_options(PipelineKind::kGpuSupermer)));
+}
+
+TEST(PipelineFrameworkGolden, GpuSupermerDirect) {
+  DriverOptions options = base_options(PipelineKind::kGpuSupermer);
+  options.pipeline.exchange = ExchangeMode::kGpuDirect;
+  check_golden("gpu_supermer_direct", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuSupermerWide) {
+  DriverOptions options = base_options(PipelineKind::kGpuSupermer);
+  options.pipeline.wide_supermers = true;
+  options.pipeline.window = 40;
+  check_golden("gpu_supermer_wide", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuSupermerFreqBalanced) {
+  DriverOptions options = base_options(PipelineKind::kGpuSupermer);
+  options.pipeline.partition = PartitionScheme::kFrequencyBalanced;
+  check_golden("gpu_supermer_freq", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuSupermerFiltered) {
+  DriverOptions options = base_options(PipelineKind::kGpuSupermer);
+  options.pipeline.filter_singletons = true;
+  check_golden("gpu_supermer_filtered", capture(options));
+}
+
+TEST(PipelineFrameworkGolden, GpuSupermerMultiRound) {
+  DriverOptions options = base_options(PipelineKind::kGpuSupermer);
+  options.pipeline.max_kmers_per_round = 1'500;
+  check_golden("gpu_supermer_multiround", capture(options));
+}
+
+}  // namespace
+}  // namespace dedukt::core
