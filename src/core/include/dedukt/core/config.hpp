@@ -77,6 +77,13 @@ struct PipelineConfig {
   /// bytes per supermer for fewer, longer supermers. Supermer pipeline
   /// only.
   bool wide_supermers = false;
+  /// Overlapped multi-round processing (§III-A + §V's Alltoallv headroom):
+  /// while round r's exchange is in flight as a nonblocking ialltoallv,
+  /// round r+1 parses and packs into a second staging buffer. Spectra and
+  /// work counts are bit-identical to the lockstep path; only the modeled
+  /// exchange exposure changes — max(comm, compute) plus the network
+  /// model's non-overlappable fraction, instead of the sum. Off by default.
+  bool overlap_rounds = false;
   /// Source-side consolidation (the paper's footnote 1, after Georganas):
   /// count k-mers locally on the source rank first and exchange
   /// (k-mer, count) pairs (12 bytes each) instead of one 8-byte word per

@@ -98,6 +98,34 @@ class ExchangePlan {
     return comm_.alltoallv(outgoing);
   }
 
+  /// Nonblocking variant of step 3 (overlap_rounds): post the exchange and
+  /// return the request; the payload is copied at post time, so the sliced
+  /// temporary buffers need not outlive this call. Completion — and the
+  /// plan's comm-capture charges — happen at Request::wait().
+  template <typename T>
+  [[nodiscard]] mpisim::Request<T> post(
+      const std::vector<T>& staged_flat,
+      const std::vector<std::uint32_t>& counts,
+      const std::vector<std::uint64_t>& offsets) {
+    const auto parts = static_cast<std::uint32_t>(comm_.size());
+    DEDUKT_CHECK(counts.size() == parts && offsets.size() == parts);
+    std::vector<std::vector<T>> outgoing(parts);
+    for (std::uint32_t dest = 0; dest < parts; ++dest) {
+      outgoing[dest].assign(
+          staged_flat.begin() + static_cast<std::ptrdiff_t>(offsets[dest]),
+          staged_flat.begin() + static_cast<std::ptrdiff_t>(offsets[dest]) +
+              counts[dest]);
+    }
+    return comm_.ialltoallv(outgoing);
+  }
+
+  /// Nonblocking step 3 for per-destination-bucketed payloads.
+  template <typename T>
+  [[nodiscard]] mpisim::Request<T> post(
+      const std::vector<std::vector<T>>& outgoing) {
+    return comm_.ialltoallv(outgoing);
+  }
+
   /// Step 4: move a received payload onto the device (at least one slot so
   /// kernels can take a pointer). Priced as an H2D transfer when staged.
   template <typename T>

@@ -65,35 +65,58 @@ struct WideCpuTraits {
   }
 };
 
+/// PARSEKMER (one full parse phase): extract k-mers and bucket them by
+/// destination processor. Shared verbatim by the lockstep and overlapped
+/// paths so their operations — and the parse charge — cannot drift.
+template <typename Traits>
+std::vector<std::vector<typename Traits::Wire>> parse_cpu(
+    const io::ReadBatch& reads, const PipelineConfig& config,
+    std::uint32_t parts, RankMetrics& metrics) {
+  const io::BaseEncoding enc = config.encoding();
+  std::vector<std::vector<typename Traits::Wire>> outgoing(parts);
+  PhaseScope phase(metrics, kPhaseParse);
+  for (const auto& read : reads.reads) {
+    for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+      Traits::for_each_routed(
+          fragment, config, enc, parts,
+          [&](std::uint32_t dest, const typename Traits::Wire& key) {
+            outgoing[dest].push_back(key);
+            ++metrics.kmers_parsed;
+          });
+    }
+  }
+  phase.set_uniform_charge(static_cast<double>(metrics.bases) /
+                           summit::kCpuParseBasesPerSec);
+  return outgoing;
+}
+
+/// COUNTKMER (one full count phase): fold the received keys into the local
+/// partition of the global hash table.
+template <typename Traits>
+void count_cpu(const mpisim::AlltoallvResult<typename Traits::Wire>& received,
+               typename Traits::Table& local_table, RankMetrics& metrics) {
+  PhaseScope phase(metrics, kPhaseCount);
+  for (const auto& key : received.data) {
+    local_table.add(key);
+  }
+  metrics.kmers_received = received.data.size();
+  phase.set_uniform_charge(static_cast<double>(metrics.kmers_received) /
+                           summit::kCpuCountKmersPerSec);
+}
+
 /// One round of Algorithm 1 (the whole job when it fits in memory).
 template <typename Traits>
 RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
                            const PipelineConfig& config,
                            typename Traits::Table& local_table) {
   const auto parts = static_cast<std::uint32_t>(comm.size());
-  const io::BaseEncoding enc = config.encoding();
 
   RankMetrics metrics;
   metrics.reads = reads.size();
   metrics.bases = reads.total_bases();
 
-  // --- PARSEKMER: extract k-mers and bucket by destination processor ---
-  std::vector<std::vector<typename Traits::Wire>> outgoing(parts);
-  {
-    PhaseScope phase(metrics, kPhaseParse);
-    for (const auto& read : reads.reads) {
-      for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
-        Traits::for_each_routed(
-            fragment, config, enc, parts,
-            [&](std::uint32_t dest, const typename Traits::Wire& key) {
-              outgoing[dest].push_back(key);
-              ++metrics.kmers_parsed;
-            });
-      }
-    }
-    phase.set_uniform_charge(static_cast<double>(metrics.bases) /
-                             summit::kCpuParseBasesPerSec);
-  }
+  std::vector<std::vector<typename Traits::Wire>> outgoing =
+      parse_cpu<Traits>(reads, config, parts, metrics);
 
   // --- EXCHANGEKMER: Alltoallv of packed k-mers ---
   mpisim::AlltoallvResult<typename Traits::Wire> received;
@@ -106,20 +129,60 @@ RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
   outgoing.clear();
   outgoing.shrink_to_fit();
 
-  // --- COUNTKMER: build the local partition of the global hash table ---
-  {
-    PhaseScope phase(metrics, kPhaseCount);
-    for (const auto& key : received.data) {
-      local_table.add(key);
-    }
-    metrics.kmers_received = received.data.size();
-    phase.set_uniform_charge(static_cast<double>(metrics.kmers_received) /
-                             summit::kCpuCountKmersPerSec);
-  }
+  count_cpu<Traits>(received, local_table, metrics);
 
   metrics.unique_kmers = local_table.unique();
   metrics.counted_kmers = local_table.total();
   return metrics;
+}
+
+/// The round decomposition RoundRunner::run_overlapped drives: parse and
+/// count call the exact helpers of the lockstep path; the exchange is
+/// split into a nonblocking post and a wait-side receive.
+template <typename Traits>
+struct CpuOverlapStages {
+  using Wire = typename Traits::Wire;
+  using Parsed = std::vector<std::vector<Wire>>;
+  using Pending = mpisim::Request<Wire>;
+  using Received = mpisim::AlltoallvResult<Wire>;
+
+  const PipelineConfig& config;
+  std::uint32_t parts;
+  typename Traits::Table& local_table;
+
+  Parsed parse(const io::ReadBatch& reads, RankMetrics& metrics) {
+    metrics.reads = reads.size();
+    metrics.bases = reads.total_bases();
+    return parse_cpu<Traits>(reads, config, parts, metrics);
+  }
+
+  Pending post(Parsed&& outgoing, ExchangePlan& plan, RankMetrics&) {
+    return plan.post(outgoing);
+  }
+
+  Received receive(Pending&& request, ExchangePlan&, RankMetrics&) {
+    return request.wait();
+  }
+
+  void count(Received&& received, RankMetrics& metrics) {
+    count_cpu<Traits>(received, local_table, metrics);
+  }
+};
+
+template <typename Traits>
+RankMetrics run_cpu_pipeline(mpisim::Comm& comm, const io::ReadBatch& reads,
+                             const PipelineConfig& config,
+                             typename Traits::Table& local_table) {
+  const RoundRunner runner(comm, reads, config);
+  if (config.overlap_rounds) {
+    CpuOverlapStages<Traits> stages{
+        config, static_cast<std::uint32_t>(comm.size()), local_table};
+    return runner.run_overlapped(comm, OverlapExchangeSpec{}, local_table,
+                                 stages);
+  }
+  return runner.run(local_table, [&](const io::ReadBatch& batch) {
+    return run_cpu_single<Traits>(comm, batch, config, local_table);
+  });
 }
 
 }  // namespace
@@ -128,10 +191,7 @@ RankMetrics run_cpu_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
                          const PipelineConfig& config,
                          HostHashTable& local_table) {
   config.validate();
-  const RoundRunner runner(comm, reads, config);
-  return runner.run(local_table, [&](const io::ReadBatch& batch) {
-    return run_cpu_single<NarrowCpuTraits>(comm, batch, config, local_table);
-  });
+  return run_cpu_pipeline<NarrowCpuTraits>(comm, reads, config, local_table);
 }
 
 RankMetrics run_cpu_wide_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
@@ -143,10 +203,7 @@ RankMetrics run_cpu_wide_rank(mpisim::Comm& comm, const io::ReadBatch& reads,
                          << config.k);
   DEDUKT_REQUIRE_MSG(config.kind == PipelineKind::kCpu,
                      "wide-k counting is CPU-pipeline only");
-  const RoundRunner runner(comm, reads, config);
-  return runner.run(local_table, [&](const io::ReadBatch& batch) {
-    return run_cpu_single<WideCpuTraits>(comm, batch, config, local_table);
-  });
+  return run_cpu_pipeline<WideCpuTraits>(comm, reads, config, local_table);
 }
 
 }  // namespace dedukt::core

@@ -6,6 +6,7 @@
 // H2D) or GPUDirect. count: open-addressing device hash table with atomic
 // CAS/add.
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "dedukt/core/bloom_filter.hpp"
@@ -21,88 +22,173 @@ namespace dedukt::core {
 
 namespace {
 
+/// The device-resident parse output: per-destination counts/offsets and the
+/// packed k-mer buffer awaiting the exchange.
+struct ParsedKmers {
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint64_t> offsets;
+  gpusim::DeviceBuffer<std::uint64_t> d_out;
+  std::uint64_t total = 0;
+};
+
+/// Per-destination (key, count) buckets after source-side consolidation.
+struct ConsolidatedKmers {
+  std::vector<std::vector<std::uint64_t>> out_keys;
+  std::vector<std::vector<std::uint32_t>> out_key_counts;
+};
+
+/// parse & process k-mers on the device (one full parse phase). Shared
+/// verbatim by the lockstep and overlapped paths.
+ParsedKmers parse_gpu_kmers(gpusim::Device& device, const io::ReadBatch& reads,
+                            const PipelineConfig& config, std::uint32_t parts,
+                            RankMetrics& metrics) {
+  const io::BaseEncoding enc = config.encoding();
+  ParsedKmers parsed;
+  parsed.counts.resize(parts);
+  PhaseScope phase(metrics, kPhaseParse, device);
+
+  kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
+                                                               config.k);
+  auto d_bases = device.alloc<char>(staging.bases.size());
+  device.copy_to_device<char>(staging.bases, d_bases);
+
+  auto d_counts = device.alloc<std::uint32_t>(parts, 0u);
+  kernels::parse_count_kmers(device, d_bases, staging.bases.size(),
+                             config.k, enc, parts, d_counts);
+  device.copy_to_host(d_counts, std::span<std::uint32_t>(parsed.counts));
+
+  parsed.total = exclusive_prefix(parsed.counts, parsed.offsets);
+  DEDUKT_CHECK_MSG(parsed.total == staging.total_kmers,
+                   "parse kernel lost k-mers: " << parsed.total << " vs "
+                                                << staging.total_kmers);
+
+  auto d_offsets = device.alloc<std::uint64_t>(parts);
+  device.copy_to_device<std::uint64_t>(parsed.offsets, d_offsets);
+  auto d_cursors = device.alloc<std::uint32_t>(parts, 0u);
+  parsed.d_out = device.alloc<std::uint64_t>(
+      std::max<std::uint64_t>(parsed.total, 1));
+  kernels::parse_fill_kmers(device, d_bases, staging.bases.size(),
+                            config.k, enc, parts, d_offsets, d_cursors,
+                            parsed.d_out);
+
+  device.free(d_bases);
+  device.free(d_counts);
+  device.free(d_offsets);
+  device.free(d_cursors);
+
+  metrics.kmers_parsed = parsed.total;
+  phase.set_device_floor_charge(
+      static_cast<double>(parsed.total) / summit::kGpuParseKmersPerSec,
+      summit::kGpuParseOverheadSec);
+  return parsed;
+}
+
+/// Source-side consolidation (footnote 1, after Georganas): count locally
+/// first and bucket (k-mer, count) pairs per destination. A second parse
+/// phase in the ledger.
+ConsolidatedKmers consolidate_gpu_kmers(gpusim::Device& device,
+                                        const PipelineConfig& config,
+                                        ParsedKmers&& parsed,
+                                        std::uint32_t parts,
+                                        RankMetrics& metrics) {
+  ConsolidatedKmers buckets;
+  buckets.out_keys.resize(parts);
+  buckets.out_key_counts.resize(parts);
+  PhaseScope phase(metrics, kPhaseParse, device);
+
+  DeviceHashTable local(device, parsed.total, config.table_headroom);
+  local.count_kmers(parsed.d_out, parsed.total);
+  device.free(parsed.d_out);
+  for (const auto& [key, count] : local.to_host()) {
+    const std::uint32_t dest = kmer::kmer_partition(key, parts);
+    buckets.out_keys[dest].push_back(key);
+    buckets.out_key_counts[dest].push_back(count);
+  }
+  // Local pre-counting runs at the count rate; no extra launch overhead is
+  // charged for the fused pass.
+  phase.set_device_floor_charge(
+      static_cast<double>(parsed.total) / summit::kGpuCountKmersPerSec,
+      /*overhead_seconds=*/0.0);
+  return buckets;
+}
+
+/// Count phase of the consolidated path: accumulate the received (key,
+/// count) pairs into the local partition of the global table.
+void count_gpu_pairs(
+    gpusim::Device& device, const PipelineConfig& config,
+    const mpisim::AlltoallvResult<std::uint64_t>& recv_keys,
+    const mpisim::AlltoallvResult<std::uint32_t>& recv_key_counts,
+    gpusim::DeviceBuffer<std::uint64_t>& d_recv_keys,
+    gpusim::DeviceBuffer<std::uint32_t>& d_recv_key_counts,
+    HostHashTable& local_table, RankMetrics& metrics) {
+  PhaseScope phase(metrics, kPhaseCount, device);
+
+  std::uint64_t kmers_to_count = 0;
+  for (const std::uint32_t count : recv_key_counts.data) {
+    kmers_to_count += count;
+  }
+  DeviceHashTable table(device, recv_keys.data.size(),
+                        config.table_headroom);
+  table.accumulate_pairs(d_recv_keys, d_recv_key_counts,
+                         recv_keys.data.size());
+  device.free(d_recv_keys);
+  device.free(d_recv_key_counts);
+
+  for (const auto& [key, count] : table.to_host()) {
+    local_table.add(key, count);
+  }
+  metrics.kmers_received = kmers_to_count;
+  // Accumulation touches one pair per locally-distinct k-mer.
+  phase.set_device_floor_charge(
+      static_cast<double>(recv_keys.data.size()) /
+          summit::kGpuCountKmersPerSec,
+      summit::kGpuCountOverheadSec);
+}
+
+/// Count phase of the main path: build the k-mer counter on the device.
+void count_gpu_kmers(gpusim::Device& device, const PipelineConfig& config,
+                     const mpisim::AlltoallvResult<std::uint64_t>& received,
+                     gpusim::DeviceBuffer<std::uint64_t>& d_recv,
+                     HostHashTable& local_table, RankMetrics& metrics) {
+  PhaseScope phase(metrics, kPhaseCount, device);
+
+  DeviceHashTable table(device, received.data.size(),
+                        config.table_headroom);
+  if (config.filter_singletons) {
+    DeviceBloomFilter bloom(device, received.data.size());
+    table.count_kmers_filtered(d_recv, received.data.size(), bloom);
+  } else {
+    table.count_kmers(d_recv, received.data.size());
+  }
+  device.free(d_recv);
+
+  for (const auto& [key, count] : table.to_host()) {
+    local_table.add(key, count);
+  }
+  metrics.kmers_received = received.data.size();
+  phase.set_device_floor_charge(
+      static_cast<double>(metrics.kmers_received) /
+          summit::kGpuCountKmersPerSec,
+      summit::kGpuCountOverheadSec);
+}
+
 /// One round of the pipeline (the whole job when it fits in memory).
 RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
                                 const io::ReadBatch& reads,
                                 const PipelineConfig& config,
                                 HostHashTable& local_table) {
   const auto parts = static_cast<std::uint32_t>(comm.size());
-  const io::BaseEncoding enc = config.encoding();
   const bool staged = config.exchange == ExchangeMode::kStaged;
 
   RankMetrics metrics;
   metrics.reads = reads.size();
   metrics.bases = reads.total_bases();
 
-  // --- parse & process k-mers on the device ---
-  std::vector<std::uint32_t> counts(parts);
-  std::vector<std::uint64_t> offsets;
-  gpusim::DeviceBuffer<std::uint64_t> d_out;
-  std::uint64_t total = 0;
-  {
-    PhaseScope phase(metrics, kPhaseParse, device);
+  ParsedKmers parsed = parse_gpu_kmers(device, reads, config, parts, metrics);
 
-    kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
-                                                                 config.k);
-    auto d_bases = device.alloc<char>(staging.bases.size());
-    device.copy_to_device<char>(staging.bases, d_bases);
-
-    auto d_counts = device.alloc<std::uint32_t>(parts, 0u);
-    kernels::parse_count_kmers(device, d_bases, staging.bases.size(),
-                               config.k, enc, parts, d_counts);
-    device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
-
-    total = exclusive_prefix(counts, offsets);
-    DEDUKT_CHECK_MSG(total == staging.total_kmers,
-                     "parse kernel lost k-mers: " << total << " vs "
-                                                  << staging.total_kmers);
-
-    auto d_offsets = device.alloc<std::uint64_t>(parts);
-    device.copy_to_device<std::uint64_t>(offsets, d_offsets);
-    auto d_cursors = device.alloc<std::uint32_t>(parts, 0u);
-    d_out = device.alloc<std::uint64_t>(
-        std::max<std::uint64_t>(total, 1));
-    kernels::parse_fill_kmers(device, d_bases, staging.bases.size(),
-                              config.k, enc, parts, d_offsets, d_cursors,
-                              d_out);
-
-    device.free(d_bases);
-    device.free(d_counts);
-    device.free(d_offsets);
-    device.free(d_cursors);
-
-    metrics.kmers_parsed = total;
-    phase.set_device_floor_charge(
-        static_cast<double>(total) / summit::kGpuParseKmersPerSec,
-        summit::kGpuParseOverheadSec);
-  }
-
-  // --- source-side consolidation (footnote 1, after Georganas) ---
-  // Count locally first and ship (k-mer, count) pairs. Exchanged volume
-  // becomes 12 bytes per locally-distinct k-mer instead of 8 bytes per
-  // occurrence — a win only when the per-rank duplicate multiplicity
-  // exceeds 1.5x, i.e. at small rank counts. See
-  // bench_ablation_consolidation for the crossover.
   if (config.source_consolidation) {
-    std::vector<std::vector<std::uint64_t>> out_keys(parts);
-    std::vector<std::vector<std::uint32_t>> out_key_counts(parts);
-    {
-      PhaseScope phase(metrics, kPhaseParse, device);
-
-      DeviceHashTable local(device, total, config.table_headroom);
-      local.count_kmers(d_out, total);
-      device.free(d_out);
-      for (const auto& [key, count] : local.to_host()) {
-        const std::uint32_t dest = kmer::kmer_partition(key, parts);
-        out_keys[dest].push_back(key);
-        out_key_counts[dest].push_back(count);
-      }
-      // Local pre-counting runs at the count rate; no extra launch
-      // overhead is charged for the fused pass.
-      phase.set_device_floor_charge(
-          static_cast<double>(total) / summit::kGpuCountKmersPerSec,
-          /*overhead_seconds=*/0.0);
-    }
+    ConsolidatedKmers buckets = consolidate_gpu_kmers(
+        device, config, std::move(parsed), parts, metrics);
 
     mpisim::AlltoallvResult<std::uint64_t> recv_keys;
     mpisim::AlltoallvResult<std::uint32_t> recv_key_counts;
@@ -112,8 +198,8 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
       PhaseScope phase(metrics, kPhaseExchange);
       ExchangePlan plan(comm, &device, staged);
 
-      recv_keys = plan.exchange(out_keys);
-      recv_key_counts = plan.exchange(out_key_counts);
+      recv_keys = plan.exchange(buckets.out_keys);
+      recv_key_counts = plan.exchange(buckets.out_key_counts);
       DEDUKT_CHECK(recv_keys.data.size() == recv_key_counts.data.size());
 
       d_recv_keys = plan.stage_in(recv_keys.data);
@@ -121,30 +207,8 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
       phase.commit_exchange(plan, summit::kGpuExchangeOverheadSec);
     }
 
-    {
-      PhaseScope phase(metrics, kPhaseCount, device);
-
-      std::uint64_t kmers_to_count = 0;
-      for (const std::uint32_t count : recv_key_counts.data) {
-        kmers_to_count += count;
-      }
-      DeviceHashTable table(device, recv_keys.data.size(),
-                            config.table_headroom);
-      table.accumulate_pairs(d_recv_keys, d_recv_key_counts,
-                             recv_keys.data.size());
-      device.free(d_recv_keys);
-      device.free(d_recv_key_counts);
-
-      for (const auto& [key, count] : table.to_host()) {
-        local_table.add(key, count);
-      }
-      metrics.kmers_received = kmers_to_count;
-      // Accumulation touches one pair per locally-distinct k-mer.
-      phase.set_device_floor_charge(
-          static_cast<double>(recv_keys.data.size()) /
-              summit::kGpuCountKmersPerSec,
-          summit::kGpuCountOverheadSec);
-    }
+    count_gpu_pairs(device, config, recv_keys, recv_key_counts, d_recv_keys,
+                    d_recv_key_counts, local_table, metrics);
     metrics.unique_kmers = local_table.unique();
     metrics.counted_kmers = local_table.total();
     return metrics;
@@ -157,40 +221,115 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     PhaseScope phase(metrics, kPhaseExchange);
     ExchangePlan plan(comm, &device, staged);
 
-    const std::vector<std::uint64_t> host_out = plan.stage_out(d_out, total);
-    received = plan.exchange(host_out, counts, offsets);
+    const std::vector<std::uint64_t> host_out =
+        plan.stage_out(parsed.d_out, parsed.total);
+    received = plan.exchange(host_out, parsed.counts, parsed.offsets);
     d_recv = plan.stage_in(received.data);
     phase.commit_exchange(plan, summit::kGpuExchangeOverheadSec);
   }
 
-  // --- build the k-mer counter on the device ---
-  {
-    PhaseScope phase(metrics, kPhaseCount, device);
-
-    DeviceHashTable table(device, received.data.size(),
-                          config.table_headroom);
-    if (config.filter_singletons) {
-      DeviceBloomFilter bloom(device, received.data.size());
-      table.count_kmers_filtered(d_recv, received.data.size(), bloom);
-    } else {
-      table.count_kmers(d_recv, received.data.size());
-    }
-    device.free(d_recv);
-
-    for (const auto& [key, count] : table.to_host()) {
-      local_table.add(key, count);
-    }
-    metrics.kmers_received = received.data.size();
-    phase.set_device_floor_charge(
-        static_cast<double>(metrics.kmers_received) /
-            summit::kGpuCountKmersPerSec,
-        summit::kGpuCountOverheadSec);
-  }
+  count_gpu_kmers(device, config, received, d_recv, local_table, metrics);
 
   metrics.unique_kmers = local_table.unique();
   metrics.counted_kmers = local_table.total();
   return metrics;
 }
+
+/// Overlapped-round decomposition of the main (occurrence-on-the-wire)
+/// path; parse and count call the lockstep helpers verbatim.
+struct GpuKmerOverlapStages {
+  using Parsed = ParsedKmers;
+  using Pending = mpisim::Request<std::uint64_t>;
+  struct Received {
+    mpisim::AlltoallvResult<std::uint64_t> result;
+    gpusim::DeviceBuffer<std::uint64_t> d_recv;
+  };
+
+  mpisim::Comm& comm;
+  gpusim::Device& device;
+  const PipelineConfig& config;
+  HostHashTable& local_table;
+
+  Parsed parse(const io::ReadBatch& reads, RankMetrics& metrics) {
+    metrics.reads = reads.size();
+    metrics.bases = reads.total_bases();
+    return parse_gpu_kmers(device, reads, config,
+                           static_cast<std::uint32_t>(comm.size()), metrics);
+  }
+
+  Pending post(Parsed&& parsed, ExchangePlan& plan, RankMetrics&) {
+    const std::vector<std::uint64_t> host_out =
+        plan.stage_out(parsed.d_out, parsed.total);
+    return plan.post(host_out, parsed.counts, parsed.offsets);
+  }
+
+  Received receive(Pending&& request, ExchangePlan& plan, RankMetrics&) {
+    Received received;
+    received.result = request.wait();
+    received.d_recv = plan.stage_in(received.result.data);
+    return received;
+  }
+
+  void count(Received&& received, RankMetrics& metrics) {
+    count_gpu_kmers(device, config, received.result, received.d_recv,
+                    local_table, metrics);
+  }
+};
+
+/// Overlapped-round decomposition of the source-consolidation path: two
+/// requests (keys + counts) in flight per round, waited in posting order.
+struct GpuKmerConsolidatedOverlapStages {
+  using Parsed = ConsolidatedKmers;
+  struct Pending {
+    mpisim::Request<std::uint64_t> keys;
+    mpisim::Request<std::uint32_t> key_counts;
+  };
+  struct Received {
+    mpisim::AlltoallvResult<std::uint64_t> recv_keys;
+    mpisim::AlltoallvResult<std::uint32_t> recv_key_counts;
+    gpusim::DeviceBuffer<std::uint64_t> d_recv_keys;
+    gpusim::DeviceBuffer<std::uint32_t> d_recv_key_counts;
+  };
+
+  mpisim::Comm& comm;
+  gpusim::Device& device;
+  const PipelineConfig& config;
+  HostHashTable& local_table;
+
+  Parsed parse(const io::ReadBatch& reads, RankMetrics& metrics) {
+    metrics.reads = reads.size();
+    metrics.bases = reads.total_bases();
+    const auto parts = static_cast<std::uint32_t>(comm.size());
+    ParsedKmers parsed =
+        parse_gpu_kmers(device, reads, config, parts, metrics);
+    return consolidate_gpu_kmers(device, config, std::move(parsed), parts,
+                                 metrics);
+  }
+
+  Pending post(Parsed&& buckets, ExchangePlan& plan, RankMetrics&) {
+    Pending pending;
+    pending.keys = plan.post(buckets.out_keys);
+    pending.key_counts = plan.post(buckets.out_key_counts);
+    return pending;
+  }
+
+  Received receive(Pending&& pending, ExchangePlan& plan, RankMetrics&) {
+    Received received;
+    received.recv_keys = pending.keys.wait();
+    received.recv_key_counts = pending.key_counts.wait();
+    DEDUKT_CHECK(received.recv_keys.data.size() ==
+                 received.recv_key_counts.data.size());
+    received.d_recv_keys = plan.stage_in(received.recv_keys.data);
+    received.d_recv_key_counts = plan.stage_in(received.recv_key_counts.data);
+    return received;
+  }
+
+  void count(Received&& received, RankMetrics& metrics) {
+    count_gpu_pairs(device, config, received.recv_keys,
+                    received.recv_key_counts, received.d_recv_keys,
+                    received.d_recv_key_counts, local_table, metrics);
+  }
+};
 
 }  // namespace
 
@@ -200,6 +339,18 @@ RankMetrics run_gpu_kmer_rank(mpisim::Comm& comm, gpusim::Device& device,
                               HostHashTable& local_table) {
   config.validate();
   const RoundRunner runner(comm, reads, config);
+  if (config.overlap_rounds) {
+    const bool staged = config.exchange == ExchangeMode::kStaged;
+    const OverlapExchangeSpec spec{&device, staged,
+                                   summit::kGpuExchangeOverheadSec};
+    if (config.source_consolidation) {
+      GpuKmerConsolidatedOverlapStages stages{comm, device, config,
+                                              local_table};
+      return runner.run_overlapped(comm, spec, local_table, stages);
+    }
+    GpuKmerOverlapStages stages{comm, device, config, local_table};
+    return runner.run_overlapped(comm, spec, local_table, stages);
+  }
   return runner.run(local_table, [&](const io::ReadBatch& batch) {
     return run_gpu_kmer_single(comm, device, batch, config, local_table);
   });

@@ -24,13 +24,150 @@ namespace dedukt::core {
 
 namespace {
 
+/// The device-resident parse output: per-destination counts/offsets and the
+/// packed supermer word/length buffers awaiting the exchange.
+template <typename Word>
+struct ParsedSupermers {
+  std::vector<std::uint32_t> counts;
+  std::vector<std::uint64_t> offsets;
+  gpusim::DeviceBuffer<Word> d_words;
+  gpusim::DeviceBuffer<std::uint8_t> d_lens;
+  std::uint64_t total_supermers = 0;
+};
+
+/// parse & process: build supermers on the device (one full parse phase).
+/// Shared verbatim by the lockstep and overlapped paths. Word selects the
+/// supermer packing: std::uint64_t for the paper's single-word regime,
+/// kmer::WideKey for the two-word extension that lifts the window cap of
+/// 15.
+template <typename Word>
+ParsedSupermers<Word> parse_gpu_supermers(
+    gpusim::Device& device, const io::ReadBatch& reads,
+    const PipelineConfig& config, std::uint32_t parts,
+    const kernels::DestinationTable& routing, RankMetrics& metrics) {
+  constexpr bool kWide = std::is_same_v<Word, kmer::WideKey>;
+  const kmer::SupermerConfig smer_config = config.supermer_config();
+
+  ParsedSupermers<Word> parsed;
+  parsed.counts.resize(parts);
+  PhaseScope phase(metrics, kPhaseParse, device);
+
+  kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
+                                                               config.k);
+  metrics.kmers_parsed = staging.total_kmers;
+  const std::vector<kernels::Window> windows =
+      kernels::build_windows(staging, config.k, config.window);
+
+  auto d_bases = device.alloc<char>(staging.bases.size());
+  device.copy_to_device<char>(staging.bases, d_bases);
+  auto d_windows = device.alloc<kernels::Window>(
+      std::max<std::size_t>(windows.size(), 1));
+  device.copy_to_device<kernels::Window>(windows, d_windows);
+
+  auto d_counts = device.alloc<std::uint32_t>(parts, 0u);
+  if constexpr (kWide) {
+    kernels::supermer_count_wide(device, d_bases, d_windows,
+                                 windows.size(), smer_config, parts,
+                                 d_counts, routing);
+  } else {
+    kernels::supermer_count(device, d_bases, d_windows, windows.size(),
+                            smer_config, parts, d_counts, routing);
+  }
+  device.copy_to_host(d_counts, std::span<std::uint32_t>(parsed.counts));
+
+  parsed.total_supermers = exclusive_prefix(parsed.counts, parsed.offsets);
+
+  auto d_offsets = device.alloc<std::uint64_t>(parts);
+  device.copy_to_device<std::uint64_t>(parsed.offsets, d_offsets);
+  auto d_cursors = device.alloc<std::uint32_t>(parts, 0u);
+  parsed.d_words = device.alloc<Word>(
+      std::max<std::uint64_t>(parsed.total_supermers, 1));
+  parsed.d_lens = device.alloc<std::uint8_t>(
+      std::max<std::uint64_t>(parsed.total_supermers, 1));
+  if constexpr (kWide) {
+    kernels::supermer_fill_wide(device, d_bases, d_windows,
+                                windows.size(), smer_config, parts,
+                                d_offsets, d_cursors, parsed.d_words,
+                                parsed.d_lens, routing);
+  } else {
+    kernels::supermer_fill(device, d_bases, d_windows, windows.size(),
+                           smer_config, parts, d_offsets, d_cursors,
+                           parsed.d_words, parsed.d_lens, routing);
+  }
+
+  device.free(d_bases);
+  device.free(d_windows);
+  device.free(d_counts);
+  device.free(d_offsets);
+  device.free(d_cursors);
+
+  metrics.supermers_built = parsed.total_supermers;
+  // Supermer construction costs ~33% over plain k-mer parsing (§V-C).
+  phase.set_device_floor_charge(
+      static_cast<double>(metrics.kmers_parsed) /
+          (summit::kGpuParseKmersPerSec / summit::kSupermerParseOverhead),
+      summit::kGpuParseOverheadSec);
+  return parsed;
+}
+
+/// Count phase: extract k-mers from received supermers and count. Shared
+/// verbatim by the lockstep and overlapped paths.
+template <typename Word>
+void count_gpu_supermers(gpusim::Device& device, const PipelineConfig& config,
+                         const mpisim::AlltoallvResult<Word>& recv_words,
+                         const mpisim::AlltoallvResult<std::uint8_t>& recv_lens,
+                         gpusim::DeviceBuffer<Word>& d_recv_words,
+                         gpusim::DeviceBuffer<std::uint8_t>& d_recv_lens,
+                         HostHashTable& local_table, RankMetrics& metrics) {
+  constexpr bool kWide = std::is_same_v<Word, kmer::WideKey>;
+  PhaseScope phase(metrics, kPhaseCount, device);
+
+  metrics.supermers_received = recv_words.data.size();
+  std::uint64_t kmers_to_count = 0;
+  for (const std::uint8_t len : recv_lens.data) {
+    kmers_to_count += static_cast<std::uint64_t>(len) -
+                      static_cast<std::uint64_t>(config.k) + 1;
+  }
+
+  DeviceHashTable table(device, kmers_to_count, config.table_headroom);
+  if (config.filter_singletons) {
+    DeviceBloomFilter bloom(device, kmers_to_count);
+    if constexpr (kWide) {
+      table.count_wide_supermers_filtered(d_recv_words, d_recv_lens,
+                                          recv_words.data.size(),
+                                          config.k, bloom);
+    } else {
+      table.count_supermers_filtered(d_recv_words, d_recv_lens,
+                                     recv_words.data.size(), config.k,
+                                     bloom);
+    }
+  } else {
+    if constexpr (kWide) {
+      table.count_wide_supermers(d_recv_words, d_recv_lens,
+                                 recv_words.data.size(), config.k);
+    } else {
+      table.count_supermers(d_recv_words, d_recv_lens,
+                            recv_words.data.size(), config.k);
+    }
+  }
+  device.free(d_recv_words);
+  device.free(d_recv_lens);
+
+  for (const auto& [key, count] : table.to_host()) {
+    local_table.add(key, count);
+  }
+  metrics.kmers_received = kmers_to_count;
+  // Counting from supermers costs ~27% over direct counting (§V-C).
+  phase.set_device_floor_charge(
+      static_cast<double>(kmers_to_count) /
+          (summit::kGpuCountKmersPerSec / summit::kSupermerCountOverhead),
+      summit::kGpuCountOverheadSec);
+}
+
 /// One round of the pipeline (the whole job when it fits in memory).
 /// `routing` carries the §VII frequency-balanced table when enabled; it is
 /// built once per job (not per round) so every occurrence of a k-mer
 /// routes to the same rank across rounds.
-/// Word selects the supermer packing: std::uint64_t for the paper's
-/// single-word regime, kmer::WideKey for the two-word extension that lifts
-/// the window cap of 15.
 template <typename Word>
 RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
                                     gpusim::Device& device,
@@ -38,80 +175,15 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
                                     const PipelineConfig& config,
                                     HostHashTable& local_table,
                                     kernels::DestinationTable routing) {
-  constexpr bool kWide = std::is_same_v<Word, kmer::WideKey>;
   const auto parts = static_cast<std::uint32_t>(comm.size());
-  const kmer::SupermerConfig smer_config = config.supermer_config();
   const bool staged = config.exchange == ExchangeMode::kStaged;
 
   RankMetrics metrics;
   metrics.reads = reads.size();
   metrics.bases = reads.total_bases();
 
-  // --- parse & process: build supermers on the device ---
-  std::vector<std::uint32_t> counts(parts);
-  std::vector<std::uint64_t> offsets;
-  gpusim::DeviceBuffer<Word> d_words;
-  gpusim::DeviceBuffer<std::uint8_t> d_lens;
-  std::uint64_t total_supermers = 0;
-  {
-    PhaseScope phase(metrics, kPhaseParse, device);
-
-    kernels::EncodedReads staging = kernels::EncodedReads::build(reads,
-                                                                 config.k);
-    metrics.kmers_parsed = staging.total_kmers;
-    const std::vector<kernels::Window> windows =
-        kernels::build_windows(staging, config.k, config.window);
-
-    auto d_bases = device.alloc<char>(staging.bases.size());
-    device.copy_to_device<char>(staging.bases, d_bases);
-    auto d_windows = device.alloc<kernels::Window>(
-        std::max<std::size_t>(windows.size(), 1));
-    device.copy_to_device<kernels::Window>(windows, d_windows);
-
-    auto d_counts = device.alloc<std::uint32_t>(parts, 0u);
-    if constexpr (kWide) {
-      kernels::supermer_count_wide(device, d_bases, d_windows,
-                                   windows.size(), smer_config, parts,
-                                   d_counts, routing);
-    } else {
-      kernels::supermer_count(device, d_bases, d_windows, windows.size(),
-                              smer_config, parts, d_counts, routing);
-    }
-    device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
-
-    total_supermers = exclusive_prefix(counts, offsets);
-
-    auto d_offsets = device.alloc<std::uint64_t>(parts);
-    device.copy_to_device<std::uint64_t>(offsets, d_offsets);
-    auto d_cursors = device.alloc<std::uint32_t>(parts, 0u);
-    d_words = device.alloc<Word>(
-        std::max<std::uint64_t>(total_supermers, 1));
-    d_lens = device.alloc<std::uint8_t>(
-        std::max<std::uint64_t>(total_supermers, 1));
-    if constexpr (kWide) {
-      kernels::supermer_fill_wide(device, d_bases, d_windows,
-                                  windows.size(), smer_config, parts,
-                                  d_offsets, d_cursors, d_words, d_lens,
-                                  routing);
-    } else {
-      kernels::supermer_fill(device, d_bases, d_windows, windows.size(),
-                             smer_config, parts, d_offsets, d_cursors,
-                             d_words, d_lens, routing);
-    }
-
-    device.free(d_bases);
-    device.free(d_windows);
-    device.free(d_counts);
-    device.free(d_offsets);
-    device.free(d_cursors);
-
-    metrics.supermers_built = total_supermers;
-    // Supermer construction costs ~33% over plain k-mer parsing (§V-C).
-    phase.set_device_floor_charge(
-        static_cast<double>(metrics.kmers_parsed) /
-            (summit::kGpuParseKmersPerSec / summit::kSupermerParseOverhead),
-        summit::kGpuParseOverheadSec);
-  }
+  ParsedSupermers<Word> parsed = parse_gpu_supermers<Word>(
+      device, reads, config, parts, routing, metrics);
 
   // --- exchange supermer words and lengths ---
   mpisim::AlltoallvResult<Word> recv_words;
@@ -123,9 +195,9 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
     ExchangePlan plan(comm, &device, staged);
 
     const std::vector<Word> host_words =
-        plan.stage_out(d_words, total_supermers);
+        plan.stage_out(parsed.d_words, parsed.total_supermers);
     const std::vector<std::uint8_t> host_lens =
-        plan.stage_out(d_lens, total_supermers);
+        plan.stage_out(parsed.d_lens, parsed.total_supermers);
     // Total supermer payload bases (§IV-C compression metric), summed from
     // the host copy of the length buffer — never element-by-element from
     // device memory.
@@ -133,8 +205,8 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
       metrics.supermer_bases += len;
     }
 
-    recv_words = plan.exchange(host_words, counts, offsets);
-    recv_lens = plan.exchange(host_lens, counts, offsets);
+    recv_words = plan.exchange(host_words, parsed.counts, parsed.offsets);
+    recv_lens = plan.exchange(host_lens, parsed.counts, parsed.offsets);
     DEDUKT_CHECK(recv_words.data.size() == recv_lens.data.size());
 
     d_recv_words = plan.stage_in(recv_words.data);
@@ -142,56 +214,76 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
     phase.commit_exchange(plan, summit::kGpuExchangeOverheadSec);
   }
 
-  // --- extract k-mers from received supermers and count ---
-  {
-    PhaseScope phase(metrics, kPhaseCount, device);
-
-    metrics.supermers_received = recv_words.data.size();
-    std::uint64_t kmers_to_count = 0;
-    for (const std::uint8_t len : recv_lens.data) {
-      kmers_to_count += static_cast<std::uint64_t>(len) -
-                        static_cast<std::uint64_t>(config.k) + 1;
-    }
-
-    DeviceHashTable table(device, kmers_to_count, config.table_headroom);
-    if (config.filter_singletons) {
-      DeviceBloomFilter bloom(device, kmers_to_count);
-      if constexpr (kWide) {
-        table.count_wide_supermers_filtered(d_recv_words, d_recv_lens,
-                                            recv_words.data.size(),
-                                            config.k, bloom);
-      } else {
-        table.count_supermers_filtered(d_recv_words, d_recv_lens,
-                                       recv_words.data.size(), config.k,
-                                       bloom);
-      }
-    } else {
-      if constexpr (kWide) {
-        table.count_wide_supermers(d_recv_words, d_recv_lens,
-                                   recv_words.data.size(), config.k);
-      } else {
-        table.count_supermers(d_recv_words, d_recv_lens,
-                              recv_words.data.size(), config.k);
-      }
-    }
-    device.free(d_recv_words);
-    device.free(d_recv_lens);
-
-    for (const auto& [key, count] : table.to_host()) {
-      local_table.add(key, count);
-    }
-    metrics.kmers_received = kmers_to_count;
-    // Counting from supermers costs ~27% over direct counting (§V-C).
-    phase.set_device_floor_charge(
-        static_cast<double>(kmers_to_count) /
-            (summit::kGpuCountKmersPerSec / summit::kSupermerCountOverhead),
-        summit::kGpuCountOverheadSec);
-  }
+  count_gpu_supermers<Word>(device, config, recv_words, recv_lens,
+                            d_recv_words, d_recv_lens, local_table, metrics);
 
   metrics.unique_kmers = local_table.unique();
   metrics.counted_kmers = local_table.total();
   return metrics;
 }
+
+/// Overlapped-round decomposition: two requests (words + lengths) in
+/// flight per round, waited in posting order; parse and count call the
+/// lockstep helpers verbatim.
+template <typename Word>
+struct GpuSupermerOverlapStages {
+  using Parsed = ParsedSupermers<Word>;
+  struct Pending {
+    mpisim::Request<Word> words;
+    mpisim::Request<std::uint8_t> lens;
+  };
+  struct Received {
+    mpisim::AlltoallvResult<Word> recv_words;
+    mpisim::AlltoallvResult<std::uint8_t> recv_lens;
+    gpusim::DeviceBuffer<Word> d_recv_words;
+    gpusim::DeviceBuffer<std::uint8_t> d_recv_lens;
+  };
+
+  mpisim::Comm& comm;
+  gpusim::Device& device;
+  const PipelineConfig& config;
+  HostHashTable& local_table;
+  const kernels::DestinationTable& routing;
+
+  Parsed parse(const io::ReadBatch& reads, RankMetrics& metrics) {
+    metrics.reads = reads.size();
+    metrics.bases = reads.total_bases();
+    return parse_gpu_supermers<Word>(
+        device, reads, config, static_cast<std::uint32_t>(comm.size()),
+        routing, metrics);
+  }
+
+  Pending post(Parsed&& parsed, ExchangePlan& plan, RankMetrics& metrics) {
+    const std::vector<Word> host_words =
+        plan.stage_out(parsed.d_words, parsed.total_supermers);
+    const std::vector<std::uint8_t> host_lens =
+        plan.stage_out(parsed.d_lens, parsed.total_supermers);
+    for (const std::uint8_t len : host_lens) {
+      metrics.supermer_bases += len;
+    }
+    Pending pending;
+    pending.words = plan.post(host_words, parsed.counts, parsed.offsets);
+    pending.lens = plan.post(host_lens, parsed.counts, parsed.offsets);
+    return pending;
+  }
+
+  Received receive(Pending&& pending, ExchangePlan& plan, RankMetrics&) {
+    Received received;
+    received.recv_words = pending.words.wait();
+    received.recv_lens = pending.lens.wait();
+    DEDUKT_CHECK(received.recv_words.data.size() ==
+                 received.recv_lens.data.size());
+    received.d_recv_words = plan.stage_in(received.recv_words.data);
+    received.d_recv_lens = plan.stage_in(received.recv_lens.data);
+    return received;
+  }
+
+  void count(Received&& received, RankMetrics& metrics) {
+    count_gpu_supermers<Word>(device, config, received.recv_words,
+                              received.recv_lens, received.d_recv_words,
+                              received.d_recv_lens, local_table, metrics);
+  }
+};
 
 }  // namespace
 
@@ -231,6 +323,21 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
                          phase.device().modeled_volume_seconds());
   }
 
+  if (config.overlap_rounds) {
+    const bool staged = config.exchange == ExchangeMode::kStaged;
+    const OverlapExchangeSpec spec{&device, staged,
+                                   summit::kGpuExchangeOverheadSec};
+    if (config.wide_supermers) {
+      GpuSupermerOverlapStages<kmer::WideKey> stages{comm, device, config,
+                                                     local_table, routing};
+      return runner.run_overlapped(comm, spec, local_table, stages,
+                                   std::move(setup));
+    }
+    GpuSupermerOverlapStages<std::uint64_t> stages{comm, device, config,
+                                                   local_table, routing};
+    return runner.run_overlapped(comm, spec, local_table, stages,
+                                 std::move(setup));
+  }
   auto run_single = [&](const io::ReadBatch& batch) {
     if (config.wide_supermers) {
       return run_gpu_supermer_single<kmer::WideKey>(

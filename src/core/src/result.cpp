@@ -21,6 +21,7 @@ RankMetrics CountResult::totals() const {
     total.measured.merge(r.measured);
     total.modeled.merge(r.modeled);
     total.modeled_volume.merge(r.modeled_volume);
+    total.overlap_saved_seconds += r.overlap_saved_seconds;
   }
   return total;
 }
@@ -63,6 +64,14 @@ double CountResult::projected_alltoallv_seconds(double scale) const {
 
 double CountResult::modeled_total_seconds() const {
   return modeled_breakdown().total();
+}
+
+double CountResult::overlap_saved_seconds() const {
+  double saved = 0.0;
+  for (const auto& r : ranks) {
+    saved = std::max(saved, r.overlap_saved_seconds);
+  }
+  return saved;
 }
 
 double CountResult::load_imbalance() const {

@@ -22,6 +22,12 @@ struct NetworkModel {
   /// Effective fraction of peak bandwidth achieved by large alltoallv
   /// exchanges (protocol + congestion efficiency on a fat tree).
   double efficiency = 0.85;
+  /// Fraction of an exchange's modeled time that cannot be hidden behind
+  /// concurrently running compute (§III-A round overlap): sender-side
+  /// packing, MPI progression and completion handling stay on the critical
+  /// path even with a fully asynchronous transport. Calibrated against the
+  /// residual exchange exposure of overlapped Summit runs.
+  double nonoverlap_fraction = 0.25;
 
   /// Summit-node defaults (the paper's machine).
   [[nodiscard]] static NetworkModel summit();
@@ -48,6 +54,15 @@ struct NetworkModel {
 
   /// Modeled time of a latency-bound collective (barrier/small allreduce).
   [[nodiscard]] double collective_latency_seconds(int nranks) const;
+
+  /// Modeled time of one overlapped (exchange, compute) pair: the hideable
+  /// share of the communication runs concurrently with the compute — max
+  /// instead of sum — while the non-overlappable share serializes on top:
+  ///   max(comm * (1 - f), compute) + comm * f,   f = nonoverlap_fraction.
+  /// With f = 1 (or compute = 0) this degenerates to comm + compute, the
+  /// lockstep sum.
+  [[nodiscard]] double overlapped_seconds(double comm_seconds,
+                                          double compute_seconds) const;
 };
 
 }  // namespace dedukt::mpisim

@@ -38,4 +38,12 @@ double NetworkModel::collective_latency_seconds(int nranks) const {
   return latency_s * static_cast<double>(levels);
 }
 
+double NetworkModel::overlapped_seconds(double comm_seconds,
+                                        double compute_seconds) const {
+  const double f = std::clamp(nonoverlap_fraction, 0.0, 1.0);
+  const double exposed_floor = comm_seconds * f;
+  const double hideable = comm_seconds - exposed_floor;
+  return std::max(hideable, compute_seconds) + exposed_floor;
+}
+
 }  // namespace dedukt::mpisim

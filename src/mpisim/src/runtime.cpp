@@ -60,7 +60,9 @@ void Runtime::run(const std::function<void(Comm&)>& f) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!first_error) first_error = std::current_exception();
         }
-        board.barrier.abort();
+        // Wake ranks parked in barrier phases *and* ranks blocked in
+        // nonblocking-request waits; either could otherwise deadlock.
+        board.abort();
       }
     });
   }

@@ -29,6 +29,9 @@ enum class Clock : std::uint8_t {
 // static strings so that recording them never allocates.
 inline constexpr const char* kCategoryPhase = "phase";            // core
 inline constexpr const char* kCategoryCollective = "collective";  // mpisim
+// Nonblocking collectives (mpisim): "ialltoallv.post" / "ialltoallv.wait"
+// sub-spans of one logical exchange.
+inline constexpr const char* kCategoryCollectiveAsync = "collective.async";
 inline constexpr const char* kCategoryKernel = "kernel";          // gpusim
 inline constexpr const char* kCategoryTransfer = "transfer";      // gpusim
 inline constexpr const char* kCategoryApp = "app";                // drivers
@@ -54,6 +57,10 @@ struct SpanRecord {
   /// Volume-proportional share of modeled_seconds (see
   /// docs/performance-model.md); used by projected breakdowns.
   double modeled_volume_seconds = 0.0;
+  /// Modeled exchange time this span hid behind overlapped compute
+  /// (overlapped-round mode only; 0 for lockstep spans). Aggregated into
+  /// the per-phase metrics, not added to the modeled clock.
+  double overlap_saved_seconds = 0.0;
   std::vector<SpanArg> args;
 };
 

@@ -74,7 +74,8 @@ void SpanRecorder::add_arg(std::size_t handle, const char* key,
 
 void SpanRecorder::close_span(std::size_t handle, double wall_seconds,
                               double modeled_seconds,
-                              double modeled_volume_seconds) {
+                              double modeled_volume_seconds,
+                              double overlap_saved_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   DEDUKT_CHECK(handle < spans_.size());
   DEDUKT_CHECK_MSG(!open_stack_.empty() && open_stack_.back() == handle,
@@ -97,6 +98,7 @@ void SpanRecorder::close_span(std::size_t handle, double wall_seconds,
     span.modeled_seconds = modeled_now_ - span.modeled_start;
   }
   span.modeled_volume_seconds = modeled_volume_seconds;
+  span.overlap_saved_seconds = overlap_saved_seconds;
 }
 
 void SpanRecorder::advance_modeled(double seconds) {
@@ -146,7 +148,8 @@ ScopedSpan::ScopedSpan(const char* category, const char* name, Track track) {
 
 ScopedSpan::~ScopedSpan() {
   if (recorder_ == nullptr) return;
-  recorder_->close_span(handle_, wall_.seconds(), modeled_, volume_);
+  recorder_->close_span(handle_, wall_.seconds(), modeled_, volume_,
+                        overlap_saved_);
 }
 
 void ScopedSpan::arg_u64(const char* key, std::uint64_t value) {

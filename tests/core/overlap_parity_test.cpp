@@ -1,0 +1,290 @@
+// Overlap-parity battery for --overlap-rounds (PipelineConfig::
+// overlap_rounds): for every pipeline, across both exchange modes and
+// several multi-round shapes, the overlapped schedule must produce
+// bit-identical spectra, global counts, and per-rank work counts to the
+// lockstep schedule — only modeled times may move, and only downward. The
+// trace metrics JSON is compared after scrubbing exactly the fields the
+// overlap is allowed to change (modeled seconds, span counts, and the
+// overlap_saved_seconds fields it introduces); everything else — kernels,
+// byte counters, phase structure — must match byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/trace/trace.hpp"
+
+namespace dedukt::core {
+namespace {
+
+io::ReadBatch parity_reads() {
+  io::GenomeSpec gspec;
+  gspec.length = 5'000;
+  gspec.seed = 42;
+  io::ReadSpec rspec;
+  rspec.coverage = 4.0;
+  rspec.mean_read_length = 400;
+  rspec.min_read_length = 80;
+  rspec.seed = 43;
+  return io::generate_dataset(gspec, rspec);
+}
+
+// --- metrics-JSON scrubbing -------------------------------------------
+// The overlapped run is allowed to differ from lockstep only in modeled
+// times, span counts (the exchange phase splits into post + wait spans),
+// and the overlap_saved_seconds fields it adds. Scrub those; compare the
+// rest byte for byte.
+
+/// Replace the numeric value following every occurrence of `key` with X.
+void scrub_value(std::string& json, const std::string& key) {
+  std::size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    const std::size_t vstart = pos + key.size();
+    std::size_t vend = vstart;
+    while (vend < json.size() && json[vend] != ',' && json[vend] != '}' &&
+           json[vend] != '\n') {
+      ++vend;
+    }
+    json.replace(vstart, vend - vstart, "X");
+    pos = vstart;
+  }
+}
+
+/// Remove `,<ws>"key":value` entirely (the key is only emitted on
+/// overlapped runs, so the lockstep side has nothing to scrub).
+void erase_field(std::string& json, const std::string& key) {
+  std::size_t pos;
+  while ((pos = json.find(key)) != std::string::npos) {
+    const std::size_t begin = json.rfind(',', pos);
+    ASSERT_NE(begin, std::string::npos);
+    std::size_t vend = pos + key.size();
+    while (vend < json.size() && json[vend] != ',' && json[vend] != '}' &&
+           json[vend] != '\n') {
+      ++vend;
+    }
+    json.erase(begin, vend - begin);
+  }
+}
+
+std::string scrub(std::string json) {
+  erase_field(json, "\"overlap_saved_seconds\":");
+  // Quote-prefixed keys cannot match inside longer keys
+  // ("total_spans" vs "spans", "modeled_volume_seconds" vs
+  // "modeled_seconds").
+  scrub_value(json, "\"modeled_seconds\":");
+  scrub_value(json, "\"modeled_volume_seconds\":");
+  scrub_value(json, "\"modeled_total_seconds\":");
+  scrub_value(json, "\"total_spans\":");
+  scrub_value(json, "\"spans\":");
+  const std::string breakdown = "\"modeled_breakdown\":{";
+  const std::size_t pos = json.find(breakdown);
+  if (pos != std::string::npos) {
+    const std::size_t start = pos + breakdown.size();
+    const std::size_t end = json.find('}', start);
+    json.replace(start, end - start, "X");
+  }
+  return json;
+}
+
+// --- deterministic identity rendering ---------------------------------
+
+void append_work_counts(std::ostringstream& out, const RankMetrics& m) {
+  out << " reads=" << m.reads << " bases=" << m.bases
+      << " kmers_parsed=" << m.kmers_parsed
+      << " supermers_built=" << m.supermers_built
+      << " supermer_bases=" << m.supermer_bases
+      << " kmers_received=" << m.kmers_received
+      << " supermers_received=" << m.supermers_received
+      << " bytes_sent=" << m.bytes_sent
+      << " bytes_received=" << m.bytes_received
+      << " unique=" << m.unique_kmers << " counted=" << m.counted_kmers
+      << "\n";
+}
+
+void append_spectrum(std::ostringstream& out,
+                     const std::map<std::uint64_t, std::uint64_t>& spectrum) {
+  out << "spectrum:";
+  for (const auto& [multiplicity, distinct] : spectrum) {
+    out << " " << multiplicity << ":" << distinct;
+  }
+  out << "\n";
+}
+
+struct RunOutcome {
+  std::string identity;      ///< spectrum + counts + work-count fields
+  std::string scrubbed_json; ///< metrics JSON net of allowed divergence
+  double modeled_total = 0.0;
+  double overlap_saved = 0.0;        ///< CountResult::overlap_saved_seconds
+  double trace_overlap_saved = 0.0;  ///< MetricsReport aggregate
+};
+
+RunOutcome run_once(const DriverOptions& options, bool wide) {
+  auto& session = trace::TraceSession::instance();
+  session.reset();
+  session.enable("");
+
+  RunOutcome outcome;
+  std::ostringstream identity;
+  const CountResult* base = nullptr;
+  CountResult narrow_result;
+  WideCountResult wide_result;
+  if (wide) {
+    wide_result = run_distributed_count_wide(parity_reads(), options);
+    base = &wide_result.base;
+    std::map<std::uint64_t, std::uint64_t> spectrum;
+    for (const auto& [key, count] : wide_result.global_counts) {
+      spectrum[count] += 1;
+    }
+    append_spectrum(identity, spectrum);
+    identity << "distinct=" << wide_result.global_counts.size() << "\n";
+  } else {
+    narrow_result = run_distributed_count(parity_reads(), options);
+    base = &narrow_result;
+    append_spectrum(identity, narrow_result.spectrum());
+    identity << "distinct=" << narrow_result.global_counts.size() << "\n";
+    // The global table itself, not just its spectrum.
+    for (const auto& [key, count] : narrow_result.global_counts) {
+      identity << key << ":" << count << "\n";
+    }
+  }
+  for (int r = 0; r < base->nranks; ++r) {
+    identity << "rank " << r << ":";
+    append_work_counts(identity, base->ranks[static_cast<std::size_t>(r)]);
+  }
+
+  outcome.identity = identity.str();
+  outcome.modeled_total = base->modeled_total_seconds();
+  outcome.overlap_saved = base->overlap_saved_seconds();
+  outcome.trace_overlap_saved = session.metrics().overlap_saved_seconds();
+  outcome.scrubbed_json =
+      scrub(session.metrics().to_json(/*include_wall=*/false));
+  session.disable();
+  return outcome;
+}
+
+// --- the matrix --------------------------------------------------------
+
+struct Scenario {
+  const char* name;
+  bool wide;
+  void (*configure)(DriverOptions&);
+};
+
+constexpr Scenario kScenarios[] = {
+    {"cpu", false,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kCpu; }},
+    {"cpu_wide", true,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kCpu;
+       o.pipeline.k = 33;
+     }},
+    {"gpu_kmer", false,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kGpuKmer; }},
+    {"gpu_kmer_consolidated", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuKmer;
+       o.pipeline.source_consolidation = true;
+     }},
+    {"gpu_supermer", false,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kGpuSupermer; }},
+    {"gpu_supermer_wide", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuSupermer;
+       o.pipeline.wide_supermers = true;
+       o.pipeline.window = 40;
+     }},
+    {"gpu_supermer_freq", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuSupermer;
+       o.pipeline.partition = PartitionScheme::kFrequencyBalanced;
+     }},
+};
+
+/// (scenario index, staged exchange, per-round k-mer limit). The limits
+/// drive the collectively-planned round count to roughly 2, 3, and 5.
+class OverlapParity
+    : public ::testing::TestWithParam<std::tuple<int, bool, std::uint64_t>> {
+};
+
+TEST_P(OverlapParity, OverlappedMatchesLockstepExceptModeledTimes) {
+  const auto [scenario_index, staged, limit] = GetParam();
+  const Scenario& scenario = kScenarios[scenario_index];
+
+  DriverOptions options;
+  scenario.configure(options);
+  options.pipeline.exchange =
+      staged ? ExchangeMode::kStaged : ExchangeMode::kGpuDirect;
+  options.pipeline.max_kmers_per_round = limit;
+  options.nranks = 4;
+
+  options.pipeline.overlap_rounds = false;
+  const RunOutcome lockstep = run_once(options, scenario.wide);
+  options.pipeline.overlap_rounds = true;
+  const RunOutcome overlapped = run_once(options, scenario.wide);
+
+  // Bit-identical results and work ledgers.
+  EXPECT_EQ(lockstep.identity, overlapped.identity) << scenario.name;
+  EXPECT_EQ(lockstep.scrubbed_json, overlapped.scrubbed_json)
+      << scenario.name;
+
+  // Lockstep never records savings; the overlapped multi-round run must
+  // record some and spend strictly less modeled time.
+  EXPECT_EQ(lockstep.overlap_saved, 0.0) << scenario.name;
+  EXPECT_EQ(lockstep.trace_overlap_saved, 0.0) << scenario.name;
+  EXPECT_GT(overlapped.overlap_saved, 0.0) << scenario.name;
+  EXPECT_GT(overlapped.trace_overlap_saved, 0.0) << scenario.name;
+  EXPECT_LT(overlapped.modeled_total, lockstep.modeled_total)
+      << scenario.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PipelinesModesRounds, OverlapParity,
+    ::testing::Combine(::testing::Range(0, 7), ::testing::Bool(),
+                       ::testing::Values(3'000u, 1'700u, 1'100u)));
+
+// Degenerate shapes: a single round (nothing to overlap with) and a single
+// rank (no off-rank traffic) must behave like lockstep — identical results
+// and zero claimed savings.
+TEST(OverlapParity, SingleRoundSavesNothing) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.pipeline.k = 17;
+  options.nranks = 4;
+
+  const RunOutcome lockstep = run_once(options, /*wide=*/false);
+  options.pipeline.overlap_rounds = true;
+  const RunOutcome overlapped = run_once(options, /*wide=*/false);
+
+  EXPECT_EQ(lockstep.identity, overlapped.identity);
+  // With one round the exchange has no parse to hide behind: the exposed
+  // time is the full routine and no savings may be claimed.
+  EXPECT_EQ(overlapped.overlap_saved, 0.0);
+  EXPECT_DOUBLE_EQ(overlapped.modeled_total, lockstep.modeled_total);
+}
+
+TEST(OverlapParity, SingleRankSavesNothing) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kCpu;
+  options.pipeline.k = 17;
+  options.pipeline.max_kmers_per_round = 1'500;
+  options.nranks = 1;
+
+  const RunOutcome lockstep = run_once(options, /*wide=*/false);
+  options.pipeline.overlap_rounds = true;
+  const RunOutcome overlapped = run_once(options, /*wide=*/false);
+
+  EXPECT_EQ(lockstep.identity, overlapped.identity);
+  // All traffic is rank-local: the modeled routine time is zero, so there
+  // is nothing to hide and nothing to save.
+  EXPECT_EQ(overlapped.overlap_saved, 0.0);
+  EXPECT_DOUBLE_EQ(overlapped.modeled_total, lockstep.modeled_total);
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -118,5 +118,162 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16),
                        ::testing::Values(1u, 2u, 3u, 4u)));
 
+// --- nonblocking ialltoallv: randomized schedules against the blocking
+// oracle. Payload sizes vary per (src, dst, round); the completion
+// strategy for each round — wait immediately, defer with two requests in
+// flight, or test()-poll — is drawn from a program-level rng so every
+// rank follows the same matched posting order.
+
+std::size_t payload_len(int src, int dst, int round) {
+  return static_cast<std::size_t>((src * 3 + dst * 5 + round) % 7);
+}
+
+std::uint64_t payload_value(int src, int dst, int round, std::size_t j) {
+  return static_cast<std::uint64_t>(src) * 1000003 +
+         static_cast<std::uint64_t>(dst) * 101 +
+         static_cast<std::uint64_t>(round) * 13 + j;
+}
+
+std::vector<std::vector<std::uint64_t>> make_send(int rank, int size,
+                                                  int round) {
+  std::vector<std::vector<std::uint64_t>> send(
+      static_cast<std::size_t>(size));
+  for (int dst = 0; dst < size; ++dst) {
+    auto& bucket = send[static_cast<std::size_t>(dst)];
+    bucket.resize(payload_len(rank, dst, round));
+    for (std::size_t j = 0; j < bucket.size(); ++j) {
+      bucket[j] = payload_value(rank, dst, round, j);
+    }
+  }
+  return send;
+}
+
+void verify_delivery(Comm& comm, const AlltoallvResult<std::uint64_t>& result,
+                     int round) {
+  const int rank = comm.rank();
+  const int size = comm.size();
+  for (int src = 0; src < size; ++src) {
+    const auto slice = result.from(src);
+    ASSERT_EQ(slice.size(), payload_len(src, rank, round))
+        << "round " << round << " src " << src;
+    for (std::size_t j = 0; j < slice.size(); ++j) {
+      ASSERT_EQ(slice[j], payload_value(src, rank, round, j))
+          << "round " << round << " src " << src;
+    }
+  }
+  // The blocking collective with the same send matrix is the oracle for
+  // the full payload, counts, and offsets.
+  const auto blocking = comm.alltoallv(make_send(rank, size, round));
+  ASSERT_EQ(result.data, blocking.data) << "round " << round;
+  ASSERT_EQ(result.counts, blocking.counts) << "round " << round;
+  ASSERT_EQ(result.offsets, blocking.offsets) << "round " << round;
+}
+
+class IalltoallvFuzz
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(IalltoallvFuzz, RandomSchedulesMatchBlockingExchange) {
+  const auto [nranks, seed] = GetParam();
+  Runtime runtime(nranks);
+  runtime.run([&](Comm& comm) {
+    const int rank = comm.rank();
+    const int size = comm.size();
+    // Same rng stream on every rank: the strategy sequence is part of the
+    // collective program, so posting order stays matched.
+    Xoshiro256 rng(seed * 7919 + 1);
+    const int nrounds = 8 + static_cast<int>(rng.below(8));
+
+    struct Deferred {
+      Request<std::uint64_t> request;
+      int round;
+    };
+    std::vector<Deferred> in_flight;
+    auto drain_oldest = [&] {
+      Deferred deferred = std::move(in_flight.front());
+      in_flight.erase(in_flight.begin());
+      const auto result = deferred.request.wait();
+      verify_delivery(comm, result, deferred.round);
+    };
+
+    for (int round = 0; round < nrounds; ++round) {
+      auto request = comm.ialltoallv(make_send(rank, size, round));
+      switch (rng.below(3)) {
+        case 0: {  // wait immediately
+          const auto result = request.wait();
+          verify_delivery(comm, result, round);
+          break;
+        }
+        case 1: {  // defer; at most two requests outstanding
+          in_flight.push_back({std::move(request), round});
+          if (in_flight.size() == 2) drain_oldest();
+          break;
+        }
+        default: {  // test()-poll until complete, then collect
+          while (!request.test()) {
+          }
+          const auto result = request.wait();
+          verify_delivery(comm, result, round);
+          break;
+        }
+      }
+    }
+    while (!in_flight.empty()) drain_oldest();
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksAndSeeds, IalltoallvFuzz,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+// Ranks disagreeing on the element type of a nonblocking collective is a
+// matched-order violation: the board aborts every rank instead of
+// deadlocking or reinterpreting bytes.
+TEST(IalltoallvAbort, MismatchedPostingOrderAbortsAllRanks) {
+  Runtime runtime(2);
+  EXPECT_THROW(
+      runtime.run([&](Comm& comm) {
+        if (comm.rank() == 0) {
+          std::vector<std::vector<std::uint64_t>> send(
+              2, std::vector<std::uint64_t>{1});
+          auto request = comm.ialltoallv(send);
+          (void)request.wait();
+        } else {
+          std::vector<std::vector<std::uint32_t>> send(
+              2, std::vector<std::uint32_t>{1});
+          auto request = comm.ialltoallv(send);
+          (void)request.wait();
+        }
+      }),
+      SimulationError);
+}
+
+// Dropping an armed request without wait()/test() completion is a bug in
+// the caller; the destructor enforces it.
+TEST(IalltoallvAbort, DroppingUncompletedRequestThrows) {
+  Runtime runtime(1);
+  EXPECT_THROW(
+      runtime.run([&](Comm& comm) {
+        std::vector<std::vector<std::uint64_t>> send(
+            1, std::vector<std::uint64_t>{42});
+        auto request = comm.ialltoallv(send);
+        (void)request;  // scope exit without completion
+      }),
+      PreconditionError);
+}
+
+// A completed test() satisfies the completion contract even if the result
+// is never collected through wait().
+TEST(IalltoallvAbort, CompletedTestSatisfiesDestructor) {
+  Runtime runtime(1);
+  runtime.run([&](Comm& comm) {
+    std::vector<std::vector<std::uint64_t>> send(
+        1, std::vector<std::uint64_t>{42});
+    auto request = comm.ialltoallv(send);
+    while (!request.test()) {
+    }
+  });
+}
+
 }  // namespace
 }  // namespace dedukt::mpisim

@@ -45,6 +45,42 @@ TEST(CommTest, AlltoallvDeliversToCorrectRank) {
   });
 }
 
+TEST(CommTest, AlltoallvOffsetsPrecomputedForAllSources) {
+  constexpr int kRanks = 16;
+  Runtime runtime(kRanks);
+  runtime.run([&](Comm& comm) {
+    const int rank = comm.rank();
+    // Rank r sends (r + dst) % 5 elements to dst.
+    std::vector<std::vector<std::uint64_t>> send(kRanks);
+    for (int dst = 0; dst < kRanks; ++dst) {
+      auto& bucket = send[static_cast<std::size_t>(dst)];
+      bucket.resize(static_cast<std::size_t>((rank + dst) % 5));
+      for (std::size_t j = 0; j < bucket.size(); ++j) {
+        bucket[j] = static_cast<std::uint64_t>(rank) * 1000 +
+                    static_cast<std::uint64_t>(dst) * 10 + j;
+      }
+    }
+    const auto result = comm.alltoallv(send);
+
+    // `offsets` is stored at assembly as the exclusive prefix sum of
+    // `counts`, so from() never re-sums the prefix.
+    ASSERT_EQ(result.counts.size(), static_cast<std::size_t>(kRanks));
+    ASSERT_EQ(result.offsets.size(), static_cast<std::size_t>(kRanks));
+    std::uint64_t running = 0;
+    for (int src = 0; src < kRanks; ++src) {
+      EXPECT_EQ(result.offsets[static_cast<std::size_t>(src)], running);
+      running += result.counts[static_cast<std::size_t>(src)];
+      const auto slice = result.from(src);
+      ASSERT_EQ(slice.size(), static_cast<std::size_t>((src + rank) % 5));
+      for (std::size_t j = 0; j < slice.size(); ++j) {
+        EXPECT_EQ(slice[j], static_cast<std::uint64_t>(src) * 1000 +
+                                static_cast<std::uint64_t>(rank) * 10 + j);
+      }
+    }
+    EXPECT_EQ(running, result.data.size());
+  });
+}
+
 TEST(CommTest, AlltoallvEmptyBuffers) {
   Runtime runtime(3);
   runtime.run([&](Comm& comm) {
