@@ -84,6 +84,12 @@ struct PipelineConfig {
   /// exchange exposure changes — max(comm, compute) plus the network
   /// model's non-overlappable fraction, instead of the sum. Off by default.
   bool overlap_rounds = false;
+  /// Two-level counting in the GPU hash-table kernels: each block first
+  /// aggregates its k-mers in a shared-memory table, then flushes unique
+  /// (key, count) pairs to the global table (§III-B3's on-device counting,
+  /// with Gerbil-style block-local pre-aggregation). Pure perf toggle —
+  /// spectra and CountResult are bit-identical either way. On by default.
+  bool smem_agg = true;
   /// Source-side consolidation (the paper's footnote 1, after Georganas):
   /// count k-mers locally on the source rank first and exchange
   /// (k-mer, count) pairs (12 bytes each) instead of one 8-byte word per

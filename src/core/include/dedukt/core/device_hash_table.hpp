@@ -6,6 +6,14 @@
 // a slot and an atomic add to bump the count, with linear probing on
 // collision, exactly as the paper describes. A second kernel variant first
 // extracts the k-mers of each received supermer, then counts them (§IV-B).
+//
+// Two-level counting (smem_agg, on by default): each block first aggregates
+// its k-mers into a small shared-memory open-addressing table, then flushes
+// the unique (key, count) pairs into the global table with one accumulate-
+// style insert per distinct key. Global atomics and probe traffic drop by
+// the within-block duplication factor — the same block-local
+// pre-aggregation Gerbil's GPU counter uses before touching DRAM — while
+// the final table contents stay bit-identical to the per-occurrence path.
 #pragma once
 
 #include <cstdint>
@@ -28,8 +36,11 @@ class DeviceHashTable {
 
   /// Build a table on `device` with capacity for `expected_keys` at the
   /// given headroom factor (capacity is rounded up to a power of two).
+  /// `smem_agg` selects the two-level counting path for the count_*
+  /// kernels (block-local shared-memory aggregation before the global
+  /// insert); spectra are bit-identical either way.
   DeviceHashTable(gpusim::Device& device, std::size_t expected_keys,
-                  double headroom = 2.0);
+                  double headroom = 2.0, bool smem_agg = true);
 
   /// Count kernel: one thread per k-mer in `kmers` (device buffer holding
   /// `n` packed codes). Throws SimulationError if the table fills up.
@@ -78,11 +89,13 @@ class DeviceHashTable {
 
   [[nodiscard]] std::size_t capacity() const { return keys_.size(); }
 
-  /// Distinct keys currently stored (host-side scan of device memory).
-  [[nodiscard]] std::size_t unique() const;
+  /// Distinct keys currently stored. Priced as a block-reduction kernel
+  /// over the key slots plus an 8-byte D2H transfer of the result (hence
+  /// non-const: it advances the device timeline).
+  [[nodiscard]] std::size_t unique();
 
-  /// Sum of all counts.
-  [[nodiscard]] std::uint64_t total() const;
+  /// Sum of all counts. Priced like unique(): reduction kernel + D2H.
+  [[nodiscard]] std::uint64_t total();
 
   /// Copy all (key, count) pairs to the host, priced as a D2H transfer.
   [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint32_t>>
@@ -93,6 +106,7 @@ class DeviceHashTable {
   gpusim::DeviceBuffer<std::uint64_t> keys_;
   gpusim::DeviceBuffer<std::uint32_t> counts_;
   std::size_t mask_ = 0;
+  bool smem_agg_ = true;
 };
 
 }  // namespace dedukt::core

@@ -35,7 +35,7 @@ commands:
            [--order=randomized|kmc2|lexicographic]
            [--canonical] [--filter-singletons] [--wide-supermers]
            [--freq-balanced] [--rounds-limit=N] [--overlap-rounds]
-           [--sim-threads=N]
+           [--smem-agg] [--no-smem-agg] [--sim-threads=N]
            [--trace=trace.json]  (Chrome trace + <base>.metrics.json,
                                   same as DEDUKT_TRACE=<path>)
   histo    --counts=counts.bin [--max-rows=25]
@@ -108,6 +108,8 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
   options.pipeline.max_kmers_per_round =
       static_cast<std::uint64_t>(cli.get_int("rounds-limit", 0));
   options.pipeline.overlap_rounds = cli.get_bool("overlap-rounds", false);
+  options.pipeline.smem_agg =
+      cli.has("no-smem-agg") ? false : cli.get_bool("smem-agg", true);
   options.nranks = static_cast<int>(cli.get_int("ranks", 6));
 
   out << "counting " << format_count(reads.total_bases()) << " bases, k="

@@ -96,7 +96,8 @@ ConsolidatedKmers consolidate_gpu_kmers(gpusim::Device& device,
   buckets.out_key_counts.resize(parts);
   PhaseScope phase(metrics, kPhaseParse, device);
 
-  DeviceHashTable local(device, parsed.total, config.table_headroom);
+  DeviceHashTable local(device, parsed.total, config.table_headroom,
+                        config.smem_agg);
   local.count_kmers(parsed.d_out, parsed.total);
   device.free(parsed.d_out);
   for (const auto& [key, count] : local.to_host()) {
@@ -128,7 +129,7 @@ void count_gpu_pairs(
     kmers_to_count += count;
   }
   DeviceHashTable table(device, recv_keys.data.size(),
-                        config.table_headroom);
+                        config.table_headroom, config.smem_agg);
   table.accumulate_pairs(d_recv_keys, d_recv_key_counts,
                          recv_keys.data.size());
   device.free(d_recv_keys);
@@ -153,7 +154,7 @@ void count_gpu_kmers(gpusim::Device& device, const PipelineConfig& config,
   PhaseScope phase(metrics, kPhaseCount, device);
 
   DeviceHashTable table(device, received.data.size(),
-                        config.table_headroom);
+                        config.table_headroom, config.smem_agg);
   if (config.filter_singletons) {
     DeviceBloomFilter bloom(device, received.data.size());
     table.count_kmers_filtered(d_recv, received.data.size(), bloom);

@@ -129,7 +129,8 @@ void count_gpu_supermers(gpusim::Device& device, const PipelineConfig& config,
                       static_cast<std::uint64_t>(config.k) + 1;
   }
 
-  DeviceHashTable table(device, kmers_to_count, config.table_headroom);
+  DeviceHashTable table(device, kmers_to_count, config.table_headroom,
+                        config.smem_agg);
   if (config.filter_singletons) {
     DeviceBloomFilter bloom(device, kmers_to_count);
     if constexpr (kWide) {

@@ -1,10 +1,14 @@
 // Concurrency contract (audited for block-parallel Device::launch): every
 // cross-thread write in these kernels is a std::atomic_ref CAS/add on the
-// destination counters/cursors, output slots are made exclusive by the
-// atomic cursor claim before the plain store, and no kernel depends on
-// block execution order. Outgoing-buffer *order* within a destination
-// therefore varies with DEDUKT_SIM_THREADS while the per-destination
-// multisets — and everything counted from them — stay bit-identical.
+// destination counters/cursors, and output slots are made exclusive by the
+// atomic cursor claim before the plain store. The count-only kernels are
+// order-insensitive and run block-parallel. The fill kernels use
+// launch_ordered: their output PLACEMENT follows cursor claim order, and
+// now that the two-level counting kernels price work by which occurrences
+// share a block, a scheduling-dependent append order would make modeled
+// time vary with DEDUKT_SIM_THREADS. Pinning the canonical block order
+// keeps outgoing buffers — and all downstream charges — bit-identical for
+// every pool size.
 #include "dedukt/core/kernels.hpp"
 
 #include <atomic>
@@ -196,8 +200,8 @@ gpusim::LaunchStats parse_fill_kmers(
   const std::size_t out_size = out_kmers.size();
 
   const auto shape = device.shape_for(total_len);
-  return device.launch("parse_fill_kmers", shape.grid_dim, shape.block_dim,
-                       [=](gpusim::ThreadCtx& ctx) {
+  return device.launch_ordered("parse_fill_kmers", shape.grid_dim,
+                               shape.block_dim, [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= total_len) return;
     kmer::KmerCode code;
@@ -272,8 +276,8 @@ gpusim::LaunchStats supermer_fill(
   const io::BaseEncoding enc = policy.encoding();
 
   const auto shape = device.shape_for(nwindows);
-  return device.launch("supermer_fill", shape.grid_dim, shape.block_dim,
-                       [=](gpusim::ThreadCtx& ctx) {
+  return device.launch_ordered("supermer_fill", shape.grid_dim,
+                               shape.block_dim, [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= nwindows) return;
     ctx.count_gmem_read(sizeof(Window));
@@ -356,8 +360,8 @@ gpusim::LaunchStats supermer_fill_wide(
   const io::BaseEncoding enc = policy.encoding();
 
   const auto shape = device.shape_for(nwindows);
-  return device.launch("supermer_fill_wide", shape.grid_dim, shape.block_dim,
-                       [=](gpusim::ThreadCtx& ctx) {
+  return device.launch_ordered("supermer_fill_wide", shape.grid_dim,
+                               shape.block_dim, [=](gpusim::ThreadCtx& ctx) {
     const std::uint64_t i = ctx.global_id();
     if (i >= nwindows) return;
     ctx.count_gmem_read(sizeof(Window));

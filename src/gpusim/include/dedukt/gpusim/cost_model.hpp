@@ -3,7 +3,11 @@
 // A kernel's modeled time is the maximum of its memory-traffic time and its
 // ALU time, plus fixed launch overhead; atomics are priced separately since
 // contended atomics, not bandwidth, bound the hash-table build kernel
-// (§III-B3). Inputs are the exact counters the simulated kernels report.
+// (§III-B3). Shared-memory traffic and SM-local atomics carry their own
+// roofline terms at the much higher on-chip rates, so kernels that
+// pre-aggregate in shared memory (the two-level counting path) see their
+// global atomic term shrink while paying a comparatively tiny smem term.
+// Inputs are the exact counters the simulated kernels report.
 #pragma once
 
 #include "dedukt/gpusim/device_props.hpp"

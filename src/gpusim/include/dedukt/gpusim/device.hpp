@@ -156,7 +156,53 @@ class Device {
   template <typename Kernel>
   LaunchStats launch(const char* name, std::uint32_t grid_dim,
                      std::uint32_t block_dim, Kernel&& kernel) {
-    DEDUKT_REQUIRE_MSG(block_dim > 0 && grid_dim > 0,
+    return launch(name, grid_dim, block_dim, /*phases=*/1,
+                  std::forward<Kernel>(kernel));
+  }
+
+  /// Phased launch: each block runs `phases` sequential passes over its
+  /// threads — the simulation analogue of a CUDA kernel split into
+  /// barrier-delimited sections by __syncthreads(). ctx.phase() tells the
+  /// kernel which section it is in, and ctx.shared<T>(n) hands out
+  /// block-scoped __shared__ buffers that persist across phases. A whole
+  /// block (all its phases) executes on one worker, so shared buffers are
+  /// block-private plain memory and every block's side effects and charges
+  /// are independent of the pool size.
+  template <typename Kernel>
+  LaunchStats launch(const char* name, std::uint32_t grid_dim,
+                     std::uint32_t block_dim, std::uint32_t phases,
+                     Kernel&& kernel) {
+    return launch_impl(name, grid_dim, block_dim, phases, /*ordered=*/false,
+                       std::forward<Kernel>(kernel));
+  }
+
+  /// Order-pinned launch: blocks always execute in the canonical
+  /// sequential order 0..grid_dim-1, regardless of DEDUKT_SIM_THREADS.
+  ///
+  /// Required for kernels whose output PLACEMENT is claim-ordered — the
+  /// atomic-cursor append pattern (idx = atomicAdd(cursor), out[idx] = x).
+  /// The real GPU produces a scheduling-dependent order there and no
+  /// consumer of the real pipeline cares; the simulation contract is
+  /// stricter (bit-identical buffers and charges across pool sizes), and
+  /// once a downstream kernel's cost depends on which items share a block
+  /// (two-level counting), a scheduling-dependent append order would leak
+  /// into modeled time. Pinning the producer's block order keeps every
+  /// derived buffer — and everything priced from it — reproducible.
+  /// Charges are identical to the parallel launch; only host wall time
+  /// loses the block-level parallelism.
+  template <typename Kernel>
+  LaunchStats launch_ordered(const char* name, std::uint32_t grid_dim,
+                             std::uint32_t block_dim, Kernel&& kernel) {
+    return launch_impl(name, grid_dim, block_dim, /*phases=*/1,
+                       /*ordered=*/true, std::forward<Kernel>(kernel));
+  }
+
+ private:
+  template <typename Kernel>
+  LaunchStats launch_impl(const char* name, std::uint32_t grid_dim,
+                          std::uint32_t block_dim, std::uint32_t phases,
+                          bool ordered, Kernel&& kernel) {
+    DEDUKT_REQUIRE_MSG(block_dim > 0 && grid_dim > 0 && phases > 0,
                        "empty launch configuration");
     DEDUKT_REQUIRE_MSG(
         block_dim <= static_cast<std::uint32_t>(props_.max_threads_per_block),
@@ -168,9 +214,10 @@ class Device {
     util::ThreadPool& pool = util::ThreadPool::global();
 
     // ~4 ranges per pool thread so an uneven kernel load-balances without
-    // shrinking ranges below useful sizes; one range when sequential.
+    // shrinking ranges below useful sizes; one range when sequential or
+    // when the launch pins the canonical block order.
     std::uint32_t nranges = 1;
-    if (pool.threads() > 1) {
+    if (!ordered && pool.threads() > 1) {
       nranges = static_cast<std::uint32_t>(std::min<std::uint64_t>(
           grid_dim, static_cast<std::uint64_t>(pool.threads()) * 4));
     }
@@ -184,9 +231,15 @@ class Device {
           static_cast<std::uint32_t>(range) * range_blocks;
       const std::uint32_t end = std::min(grid_dim, begin + range_blocks);
       for (std::uint32_t b = begin; b < end; ++b) {
-        for (std::uint32_t t = 0; t < block_dim; ++t) {
-          ThreadCtx ctx(b, t, block_dim, grid_dim, local);
-          kernel(ctx);
+        // The block's simulated shared memory; dies when the block retires.
+        BlockShared arena(props_.smem_bytes_per_block);
+        for (std::uint32_t phase = 0; phase < phases; ++phase) {
+          for (std::uint32_t t = 0; t < block_dim; ++t) {
+            arena.begin_thread();
+            ThreadCtx ctx(b, t, block_dim, grid_dim, local, &arena, phase,
+                          phases);
+            kernel(ctx);
+          }
         }
       }
       range_counters[range] = local;
@@ -216,10 +269,21 @@ class Device {
       span.arg_u64("gmem_write_bytes", counters.gmem_write_bytes);
       span.arg_u64("atomics", counters.atomics);
       span.arg_u64("ops", counters.ops);
+      // Gate the shared-memory args on nonzero so traces of kernels that
+      // never touch shared memory stay byte-identical to before.
+      if (counters.smem_read_bytes != 0 || counters.smem_write_bytes != 0 ||
+          counters.smem_atomics != 0) {
+        span.arg_u64("smem_read_bytes", counters.smem_read_bytes);
+        span.arg_u64("smem_write_bytes", counters.smem_write_bytes);
+        span.arg_u64("smem_atomics", counters.smem_atomics);
+        span.set_smem(counters.smem_read_bytes, counters.smem_write_bytes,
+                      counters.smem_atomics);
+      }
     }
     return stats;
   }
 
+ public:
   /// Pick a standard launch shape covering `n` work items.
   struct LaunchShape {
     std::uint32_t grid_dim;

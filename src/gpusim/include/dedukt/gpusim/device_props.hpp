@@ -28,6 +28,16 @@ struct DeviceProps {
   double int_throughput = 4.0e12;
   /// Global-memory atomic throughput under moderate contention, ops/second.
   double atomic_throughput = 2.5e9;
+  /// Shared memory per block, bytes. V100 SMs carry 96 KB of combined
+  /// L1/shared storage, all of which a kernel may opt into as shared.
+  std::uint64_t smem_bytes_per_block = 96ull << 10;
+  /// Aggregate shared-memory bandwidth, bytes/second. 80 SMs x 32 banks x
+  /// 4 B x 1.53 GHz is ~15.7 TB/s peak; derated for bank conflicts.
+  double smem_bandwidth = 12e12;
+  /// Shared-memory atomic throughput, ops/second. SM-local atomics resolve
+  /// in the SM's own units, roughly an order and a half above the global
+  /// rate under the same moderate contention.
+  double smem_atomic_throughput = 50e9;
   /// Fixed cost per kernel launch, seconds.
   double launch_overhead = 5e-6;
   /// Fixed cost per host<->device transfer, seconds.

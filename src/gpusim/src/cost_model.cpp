@@ -18,9 +18,20 @@ double GpuCostModel::kernel_volume_seconds(
       static_cast<double>(counters.ops) / props_.int_throughput;
   const double atomic_time =
       static_cast<double>(counters.atomics) / props_.atomic_throughput;
+  const double smem_time =
+      static_cast<double>(counters.smem_read_bytes +
+                          counters.smem_write_bytes) /
+      props_.smem_bandwidth;
+  const double smem_atomic_time =
+      static_cast<double>(counters.smem_atomics) /
+      props_.smem_atomic_throughput;
   // Memory and ALU pipelines overlap (roofline max); atomic serialization
   // overlaps poorly with either, so it adds to the bound it exceeds.
-  return std::max({mem_time, alu_time, atomic_time});
+  // Shared-memory traffic and SM-local atomics get their own (much faster)
+  // roofline terms: a kernel that aggregates in shared memory trades global
+  // atomic time for smem atomic time, and the max() decides which dominates.
+  return std::max(
+      {mem_time, alu_time, atomic_time, smem_time, smem_atomic_time});
 }
 
 double GpuCostModel::transfer_seconds(std::uint64_t bytes) const {

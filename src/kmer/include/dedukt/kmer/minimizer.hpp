@@ -19,10 +19,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "dedukt/hash/murmur3.hpp"
 #include "dedukt/io/dna.hpp"
 #include "dedukt/kmer/kmer.hpp"
+#include "dedukt/util/error.hpp"
 
 namespace dedukt::kmer {
 
@@ -70,8 +72,106 @@ class MinimizerPolicy {
 
 /// The minimizer m-mer of a k-mer `code` (packed with policy.encoding(),
 /// holding `k` bases). Returns the m-mer code, not its score.
+///
+/// Rescans all k-m+1 m-mers of the k-mer — O(k) per call. Fine for a
+/// single k-mer; for consecutive k-mers of a fragment use
+/// SlidingMinimizer, which amortizes to O(1) per k-mer.
 [[nodiscard]] KmerCode minimizer_of(KmerCode code, int k,
                                     const MinimizerPolicy& policy);
+
+/// Streaming minimizer over the consecutive k-mers of one fragment.
+///
+/// minimizer_of rescans every m-mer of every k-mer — O(n·k) over a
+/// fragment of n k-mers. Consecutive k-mers overlap in all but one m-mer,
+/// so the classic monotone-deque sliding-window minimum applies: each
+/// m-mer enters the deque once and leaves at most once, O(n) amortized.
+/// The deque is kept score-ascending front to back; pop-back uses a
+/// STRICT comparison so an earlier m-mer outlives an equal-scored later
+/// one, reproducing minimizer_of's leftmost-wins tie break exactly —
+/// push() returns bit-identical minimizers to minimizer_of on every
+/// k-mer.
+///
+/// Feed the fragment's k-mer codes left to right, one push() per k-mer.
+/// reset() rewinds for the next fragment (capacity is retained).
+class SlidingMinimizer {
+ public:
+  SlidingMinimizer(const MinimizerPolicy& policy, int k)
+      : policy_(policy),
+        k_(k),
+        span_(k - policy.m() + 1),
+        mmer_mask_(code_mask(policy.m())),
+        ring_(static_cast<std::size_t>(span_)) {
+    DEDUKT_REQUIRE_MSG(policy.m() < k, "minimizer length must be < k");
+  }
+
+  /// Minimizer of the next k-mer. `code` must be the k-mer starting one
+  /// base after the previous push's (or the fragment's first k-mer after
+  /// construction / reset()).
+  [[nodiscard]] KmerCode push(KmerCode code) {
+    const int m = policy_.m();
+    if (next_kmer_ == 0) {
+      // First k-mer seeds the deque with all of its m-mers.
+      for (int j = 0; j < span_; ++j) {
+        admit(sub_code(code, k_, j, m), static_cast<std::uint64_t>(j));
+      }
+    } else {
+      // Sliding one base: the m-mer starting before the new k-mer falls
+      // out of range, the m-mer ending at its last base enters.
+      if (ring_[head_].pos < next_kmer_) pop_front();
+      admit(code & mmer_mask_, next_kmer_ + span_ - 1);
+    }
+    ++next_kmer_;
+    return ring_[head_].mmer;
+  }
+
+  /// Rewind for a new fragment.
+  void reset() {
+    head_ = tail_ = 0;
+    size_ = 0;
+    next_kmer_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t score;
+    KmerCode mmer;
+    std::uint64_t pos;  // m-mer position == first k-mer that contains it
+  };
+
+  void admit(KmerCode mmer, std::uint64_t pos) {
+    const std::uint64_t score = policy_.score(mmer);
+    // Strict >: an equal-scored earlier entry stays ahead (leftmost wins).
+    while (size_ > 0 && ring_[prev(tail_)].score > score) {
+      tail_ = prev(tail_);
+      --size_;
+    }
+    ring_[tail_] = Entry{score, mmer, pos};
+    tail_ = step(tail_);
+    ++size_;
+  }
+
+  void pop_front() {
+    head_ = step(head_);
+    --size_;
+  }
+
+  [[nodiscard]] std::size_t step(std::size_t i) const {
+    return i + 1 == ring_.size() ? 0 : i + 1;
+  }
+  [[nodiscard]] std::size_t prev(std::size_t i) const {
+    return i == 0 ? ring_.size() - 1 : i - 1;
+  }
+
+  MinimizerPolicy policy_;
+  int k_;
+  int span_;  // m-mers per k-mer = k - m + 1 (the window size)
+  KmerCode mmer_mask_;
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t next_kmer_ = 0;
+};
 
 /// Seed separating the destination hash from the table-probing hash.
 inline constexpr std::uint64_t kDestinationHashSeed = 0xD35Cu;

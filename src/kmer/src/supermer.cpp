@@ -34,11 +34,14 @@ void build_supermers(std::string_view fragment, const SupermerConfig& config,
   const io::BaseEncoding enc = policy.encoding();
 
   // Pre-compute the rolling k-mer codes once; each window's "thread" then
-  // walks its k-mer starts exactly as Algorithm 2 does.
+  // walks its k-mer starts exactly as Algorithm 2 does. Windows advance
+  // left to right over consecutive positions, so one sliding scan serves
+  // every window's minimizer queries in O(1) amortized per k-mer.
   const std::size_t nkmers = fragment.size() - static_cast<std::size_t>(k) + 1;
   std::vector<KmerCode> codes;
   codes.reserve(nkmers);
   for_each_kmer(fragment, k, enc, [&](KmerCode c) { codes.push_back(c); });
+  SlidingMinimizer sliding(policy, k);
 
   const auto window = static_cast<std::size_t>(config.window);
   for (std::size_t wstart = 0; wstart < nkmers; wstart += window) {
@@ -46,10 +49,10 @@ void build_supermers(std::string_view fragment, const SupermerConfig& config,
 
     // First k-mer of the window seeds the supermer (Algorithm 2 lines 4-10).
     PackedSupermer current{codes[wstart], static_cast<std::uint8_t>(k)};
-    KmerCode prev_min = minimizer_of(codes[wstart], k, policy);
+    KmerCode prev_min = sliding.push(codes[wstart]);
 
     for (std::size_t p = wstart + 1; p < wend; ++p) {
-      const KmerCode minimizer = minimizer_of(codes[p], k, policy);
+      const KmerCode minimizer = sliding.push(codes[p]);
       if (minimizer == prev_min) {
         // Same minimizer: extend with the k-mer's last base
         // (Algorithm 2 lines 20-21).
@@ -94,6 +97,7 @@ void build_wide_supermers(std::string_view fragment,
   std::vector<KmerCode> codes;
   codes.reserve(nkmers);
   for_each_kmer(fragment, k, enc, [&](KmerCode c) { codes.push_back(c); });
+  SlidingMinimizer sliding(policy, k);
 
   const auto window = static_cast<std::size_t>(config.window);
   for (std::size_t wstart = 0; wstart < nkmers; wstart += window) {
@@ -101,14 +105,14 @@ void build_wide_supermers(std::string_view fragment,
 
     WideCode current = codes[wstart];
     std::uint8_t len = static_cast<std::uint8_t>(k);
-    KmerCode prev_min = minimizer_of(codes[wstart], k, policy);
+    KmerCode prev_min = sliding.push(codes[wstart]);
 
     auto flush = [&] {
       out.push_back({PackedWideSupermer{to_key(current), len},
                      minimizer_partition(prev_min, parts)});
     };
     for (std::size_t p = wstart + 1; p < wend; ++p) {
-      const KmerCode minimizer = minimizer_of(codes[p], k, policy);
+      const KmerCode minimizer = sliding.push(codes[p]);
       if (minimizer == prev_min) {
         current = wide_append(current,
                               static_cast<io::BaseCode>(codes[p] & 3));
@@ -147,11 +151,12 @@ std::vector<MaximalSupermer> build_supermers_maximal(
   std::vector<KmerCode> codes;
   codes.reserve(nkmers);
   for_each_kmer(fragment, k, enc, [&](KmerCode c) { codes.push_back(c); });
+  SlidingMinimizer sliding(policy, k);
 
   std::size_t start = 0;  // base index where the current supermer starts
-  KmerCode prev_min = minimizer_of(codes[0], k, policy);
+  KmerCode prev_min = sliding.push(codes[0]);
   for (std::size_t p = 1; p < nkmers; ++p) {
-    const KmerCode minimizer = minimizer_of(codes[p], k, policy);
+    const KmerCode minimizer = sliding.push(codes[p]);
     if (minimizer != prev_min) {
       MaximalSupermer smer;
       // Supermer spans base `start` through the last base of k-mer p-1.

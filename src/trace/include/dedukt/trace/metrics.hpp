@@ -33,6 +33,11 @@ struct KernelMetrics {
   std::uint64_t launches = 0;
   double modeled_seconds = 0.0;
   double wall_seconds = 0.0;
+  /// Shared-memory traffic of the kernel's launches (zero — and absent
+  /// from the JSON — for kernels that never touch ctx.shared buffers).
+  std::uint64_t smem_read_bytes = 0;
+  std::uint64_t smem_write_bytes = 0;
+  std::uint64_t smem_atomics = 0;
 };
 
 /// One rank's aggregate.

@@ -62,6 +62,11 @@ class SpanRecorder {
   /// Attach a pre-rendered JSON argument to an open span.
   void add_arg(std::size_t handle, const char* key, std::string json_value);
 
+  /// Record a kernel span's shared-memory traffic (for per-kernel metrics
+  /// aggregation; the Chrome-trace args carry the same numbers).
+  void set_smem(std::size_t handle, std::uint64_t read_bytes,
+                std::uint64_t write_bytes, std::uint64_t atomics);
+
   /// Close a span. `wall_seconds` is the measured host duration.
   /// `modeled_seconds` < 0 means "whatever the cursor advanced by while
   /// the span was open"; >= 0 pins the span's modeled duration and moves
@@ -146,6 +151,9 @@ class ScopedSpan {
   /// Record how much modeled exchange time this span hid behind overlapped
   /// compute (aggregated into per-phase metrics; not part of the clock).
   void set_overlap_saved_seconds(double seconds) { overlap_saved_ = seconds; }
+  /// Record the kernel's shared-memory traffic (per-kernel metrics).
+  void set_smem(std::uint64_t read_bytes, std::uint64_t write_bytes,
+                std::uint64_t atomics);
 
   void arg_u64(const char* key, std::uint64_t value);
   void arg_i64(const char* key, std::int64_t value);

@@ -72,6 +72,9 @@ std::map<std::string, KernelMetrics> MetricsReport::kernel_totals() const {
       slot.launches += kernel.launches;
       slot.modeled_seconds += kernel.modeled_seconds;
       slot.wall_seconds += kernel.wall_seconds;
+      slot.smem_read_bytes += kernel.smem_read_bytes;
+      slot.smem_write_bytes += kernel.smem_write_bytes;
+      slot.smem_atomics += kernel.smem_atomics;
     }
   }
   return totals;
@@ -101,6 +104,14 @@ void append_kernel(std::ostringstream& out, const KernelMetrics& kernel,
                    bool include_wall) {
   out << "{\"launches\":" << kernel.launches
       << ",\"modeled_seconds\":" << json_number(kernel.modeled_seconds);
+  // Gated on nonzero: kernels without shared-memory traffic render exactly
+  // as before, keeping existing goldens/traces byte-identical.
+  if (kernel.smem_read_bytes != 0 || kernel.smem_write_bytes != 0 ||
+      kernel.smem_atomics != 0) {
+    out << ",\"smem_read_bytes\":" << kernel.smem_read_bytes
+        << ",\"smem_write_bytes\":" << kernel.smem_write_bytes
+        << ",\"smem_atomics\":" << kernel.smem_atomics;
+  }
   if (include_wall) {
     out << ",\"wall_seconds\":" << json_number(kernel.wall_seconds);
   }

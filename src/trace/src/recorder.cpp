@@ -72,6 +72,16 @@ void SpanRecorder::add_arg(std::size_t handle, const char* key,
   spans_[handle].args.push_back(SpanArg{key, std::move(json_value)});
 }
 
+void SpanRecorder::set_smem(std::size_t handle, std::uint64_t read_bytes,
+                            std::uint64_t write_bytes, std::uint64_t atomics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DEDUKT_CHECK(handle < spans_.size());
+  SpanRecord& span = spans_[handle];
+  span.smem_read_bytes = read_bytes;
+  span.smem_write_bytes = write_bytes;
+  span.smem_atomics = atomics;
+}
+
 void SpanRecorder::close_span(std::size_t handle, double wall_seconds,
                               double modeled_seconds,
                               double modeled_volume_seconds,
@@ -150,6 +160,12 @@ ScopedSpan::~ScopedSpan() {
   if (recorder_ == nullptr) return;
   recorder_->close_span(handle_, wall_.seconds(), modeled_, volume_,
                         overlap_saved_);
+}
+
+void ScopedSpan::set_smem(std::uint64_t read_bytes, std::uint64_t write_bytes,
+                          std::uint64_t atomics) {
+  if (recorder_ == nullptr) return;
+  recorder_->set_smem(handle_, read_bytes, write_bytes, atomics);
 }
 
 void ScopedSpan::arg_u64(const char* key, std::uint64_t value) {

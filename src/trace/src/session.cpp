@@ -100,6 +100,9 @@ MetricsReport TraceSession::metrics(const SessionMark& since) const {
         slot.launches += 1;
         slot.modeled_seconds += span.modeled_seconds;
         slot.wall_seconds += span.wall_seconds;
+        slot.smem_read_bytes += span.smem_read_bytes;
+        slot.smem_write_bytes += span.smem_write_bytes;
+        slot.smem_atomics += span.smem_atomics;
       }
     }
 

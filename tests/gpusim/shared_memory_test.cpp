@@ -1,0 +1,160 @@
+// Phased launches and block-scoped shared memory: ctx.shared buffers must
+// behave like static __shared__ arrays (persist across phases, block
+// private), charges must land in the smem counters and the smem roofline
+// terms, and both must be identical for every DEDUKT_SIM_THREADS.
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/util/error.hpp"
+#include "dedukt/util/thread_pool.hpp"
+
+namespace dedukt::gpusim {
+namespace {
+
+TEST(SharedMemoryTest, BufferPersistsAcrossPhasesAndIsBlockPrivate) {
+  Device device;
+  constexpr std::uint32_t kGrid = 8;
+  constexpr std::uint32_t kBlock = 32;
+  auto d_out = device.alloc<std::uint64_t>(kGrid);
+
+  // Phase 0: every thread adds its thread_idx into a shared accumulator.
+  // Phase 1: thread 0 writes the block's sum to global memory. A correct
+  // result requires the buffer to survive the phase barrier and to be
+  // private per block.
+  std::uint64_t* out = d_out.data();
+  device.launch("block_sum", kGrid, kBlock, /*phases=*/2,
+                [=](ThreadCtx& ctx) {
+    std::uint64_t* acc = ctx.shared<std::uint64_t>(1);
+    if (ctx.phase() == 0) {
+      acc[0] += ctx.thread_idx() + ctx.block_idx();
+    } else if (ctx.thread_idx() == 0) {
+      out[ctx.block_idx()] = acc[0];
+    }
+  });
+
+  const std::uint64_t base = kBlock * (kBlock - 1) / 2;
+  for (std::uint32_t b = 0; b < kGrid; ++b) {
+    EXPECT_EQ(d_out.data()[b], base + static_cast<std::uint64_t>(b) * kBlock);
+  }
+}
+
+TEST(SharedMemoryTest, FillInitializerAndValueInitBothApply) {
+  Device device;
+  auto d_ok = device.alloc<std::uint32_t>(1);
+  std::uint32_t* ok = d_ok.data();
+  device.launch("init_check", 1, 4, /*phases=*/1, [=](ThreadCtx& ctx) {
+    const std::uint32_t* zeros = ctx.shared<std::uint32_t>(8);
+    const std::uint64_t* filled = ctx.shared<std::uint64_t>(4, ~0ull);
+    bool good = true;
+    for (int i = 0; i < 8; ++i) good = good && zeros[i] == 0;
+    for (int i = 0; i < 4; ++i) good = good && filled[i] == ~0ull;
+    if (good && ctx.thread_idx() == 0) {
+      std::atomic_ref<std::uint32_t>(ok[0]).fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(d_ok.data()[0], 1u);
+}
+
+TEST(SharedMemoryTest, ChargesFlowIntoCountersAndRoofline) {
+  Device device;
+  const auto stats =
+      device.launch("smem_traffic", 4, 64, /*phases=*/1, [](ThreadCtx& ctx) {
+        (void)ctx.shared<std::uint32_t>(16);
+        ctx.count_smem_write(64);
+        ctx.count_smem_read(128);
+        ctx.count_smem_atomic(3);
+      });
+  const std::uint64_t threads = 4ull * 64;
+  EXPECT_EQ(stats.counters.smem_write_bytes, threads * 64);
+  EXPECT_EQ(stats.counters.smem_read_bytes, threads * 128);
+  EXPECT_EQ(stats.counters.smem_atomics, threads * 3);
+
+  // The launch does nothing else, so the smem-atomic roofline term must be
+  // the binding one: atomics / smem_atomic_throughput (plus launch
+  // overhead).
+  const double expected =
+      device.props().launch_overhead +
+      static_cast<double>(threads * 3) / device.props().smem_atomic_throughput;
+  EXPECT_NEAR(stats.modeled_seconds, expected, expected * 1e-9);
+}
+
+TEST(SharedMemoryTest, ExhaustingBlockBudgetThrows) {
+  Device device;
+  const std::size_t over =
+      device.props().smem_bytes_per_block / sizeof(std::uint64_t) + 1;
+  EXPECT_THROW(
+      device.launch("smem_overflow", 1, 1, /*phases=*/1,
+                    [=](ThreadCtx& ctx) {
+                      (void)ctx.shared<std::uint64_t>(over);
+                    }),
+      SimulationError);
+}
+
+TEST(SharedMemoryTest, MismatchedAllocationSequenceIsRejected) {
+  Device device;
+  EXPECT_THROW(device.launch("smem_mismatch", 1, 2, /*phases=*/1,
+                             [](ThreadCtx& ctx) {
+                               // Thread 0 asks for 8 elements, thread 1 for
+                               // 16: not a static __shared__ declaration.
+                               (void)ctx.shared<std::uint32_t>(
+                                   ctx.thread_idx() == 0 ? 8 : 16);
+                             }),
+               PreconditionError);
+}
+
+TEST(SharedMemoryTest, PlainLaunchHasNoArenaOutsidePhasedOverload) {
+  Device device;
+  LaunchCounters counters;
+  ThreadCtx bare(0, 0, 1, 1, counters);
+  EXPECT_THROW((void)bare.shared<std::uint32_t>(1), PreconditionError);
+}
+
+TEST(SharedMemoryTest, PhasedChargesIdenticalAcrossPoolSizes) {
+  // A block-heavy phased kernel whose charges depend on shared-memory
+  // contents must report identical counters for every pool size: blocks
+  // are smem-private and merge deterministically.
+  auto run = [](unsigned pool_threads) {
+    util::ThreadPool::set_global_threads(pool_threads);
+    Device device;
+    auto d_in = device.alloc<std::uint32_t>(4096);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      d_in.data()[i] = static_cast<std::uint32_t>((i * 2654435761u) >> 20);
+    }
+    const std::uint32_t* in = d_in.data();
+    const auto stats = device.launch(
+        "histogram", 16, 256, /*phases=*/2, [=](ThreadCtx& ctx) {
+          std::uint32_t* bins = ctx.shared<std::uint32_t>(64);
+          if (ctx.phase() == 0) {
+            const std::uint64_t i = ctx.global_id();
+            const std::uint32_t v = in[i];
+            ctx.count_gmem_read(4);
+            bins[v % 64] += 1;
+            ctx.count_smem_atomic(1);
+          } else if (ctx.thread_idx() == 0) {
+            std::uint64_t nonzero = 0;
+            for (int b = 0; b < 64; ++b) nonzero += bins[b] != 0 ? 1 : 0;
+            ctx.count_smem_read(64 * 4);
+            ctx.count_ops(nonzero);  // content-dependent charge
+          }
+        });
+    return stats;
+  };
+
+  const auto base = run(1);
+  for (unsigned threads : {2u, 4u}) {
+    const auto stats = run(threads);
+    EXPECT_EQ(stats.counters.smem_atomics, base.counters.smem_atomics);
+    EXPECT_EQ(stats.counters.smem_read_bytes, base.counters.smem_read_bytes);
+    EXPECT_EQ(stats.counters.ops, base.counters.ops);
+    EXPECT_EQ(stats.modeled_seconds, base.modeled_seconds);
+  }
+  util::ThreadPool::set_global_threads(0);  // restore configured default
+}
+
+}  // namespace
+}  // namespace dedukt::gpusim

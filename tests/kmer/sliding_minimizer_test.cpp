@@ -1,0 +1,134 @@
+// SlidingMinimizer must be bit-identical to the O(k)-per-call rescan
+// (minimizer_of) — same m-mer, same leftmost-wins tie breaking — and the
+// supermer builders that now ride on it must emit byte-identical output
+// to a naive builder that still rescans every k-mer.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/kmer/minimizer.hpp"
+#include "dedukt/kmer/supermer.hpp"
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::kmer {
+namespace {
+
+std::string random_fragment(Xoshiro256& rng, std::size_t len,
+                            bool low_entropy) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string seq;
+  seq.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Low-entropy fragments force long equal-score runs, the regime where
+    // a sloppy (non-strict) deque comparison would break leftmost-wins.
+    seq.push_back(kBases[rng.below(low_entropy ? 2 : 4)]);
+  }
+  return seq;
+}
+
+TEST(SlidingMinimizerTest, MatchesRescanOnRandomFragments) {
+  Xoshiro256 rng(401);
+  const MinimizerOrder orders[] = {MinimizerOrder::kLexicographic,
+                                   MinimizerOrder::kKmc2,
+                                   MinimizerOrder::kRandomized};
+  for (int trial = 0; trial < 200; ++trial) {
+    const MinimizerOrder order = orders[rng.below(3)];
+    const int m = 3 + static_cast<int>(rng.below(8));          // 3..10
+    const int k = m + 1 + static_cast<int>(rng.below(20));     // m+1..m+20
+    if (k > kMaxPackedK) continue;
+    const MinimizerPolicy policy(order, m);
+    const std::string seq = random_fragment(
+        rng, static_cast<std::size_t>(k) + rng.below(120), trial % 2 == 0);
+    if (seq.size() < static_cast<std::size_t>(k)) continue;
+
+    SlidingMinimizer sliding(policy, k);
+    for_each_kmer(seq, k, policy.encoding(), [&](KmerCode code) {
+      ASSERT_EQ(sliding.push(code), minimizer_of(code, k, policy))
+          << "order=" << to_string(order) << " k=" << k << " m=" << m
+          << " seq=" << seq;
+    });
+  }
+}
+
+TEST(SlidingMinimizerTest, ResetRewindsForANewFragment) {
+  const MinimizerPolicy policy(MinimizerOrder::kRandomized, 4);
+  const int k = 9;
+  SlidingMinimizer sliding(policy, k);
+  Xoshiro256 rng(402);
+  for (int frag = 0; frag < 20; ++frag) {
+    sliding.reset();
+    const std::string seq = random_fragment(rng, 40, false);
+    for_each_kmer(seq, k, policy.encoding(), [&](KmerCode code) {
+      ASSERT_EQ(sliding.push(code), minimizer_of(code, k, policy));
+    });
+  }
+}
+
+// The windowed builder exactly as it was before the sliding scan: one
+// minimizer_of rescan per k-mer.
+void naive_build_supermers(std::string_view fragment,
+                           const SupermerConfig& config, std::uint32_t parts,
+                           std::vector<DestinedSupermer>& out) {
+  const int k = config.k;
+  if (fragment.size() < static_cast<std::size_t>(k)) return;
+  const MinimizerPolicy policy = config.policy();
+  const std::size_t nkmers =
+      fragment.size() - static_cast<std::size_t>(k) + 1;
+  std::vector<KmerCode> codes;
+  for_each_kmer(fragment, k, policy.encoding(),
+                [&](KmerCode c) { codes.push_back(c); });
+  const auto window = static_cast<std::size_t>(config.window);
+  for (std::size_t wstart = 0; wstart < nkmers; wstart += window) {
+    const std::size_t wend = std::min(wstart + window, nkmers);
+    PackedSupermer current{codes[wstart], static_cast<std::uint8_t>(k)};
+    KmerCode prev_min = minimizer_of(codes[wstart], k, policy);
+    for (std::size_t p = wstart + 1; p < wend; ++p) {
+      const KmerCode minimizer = minimizer_of(codes[p], k, policy);
+      if (minimizer == prev_min) {
+        current.bases = append_base(
+            current.bases, static_cast<io::BaseCode>(codes[p] & 3));
+        current.len += 1;
+      } else {
+        out.push_back({current, minimizer_partition(prev_min, parts)});
+        current = PackedSupermer{codes[p], static_cast<std::uint8_t>(k)};
+        prev_min = minimizer;
+      }
+    }
+    out.push_back({current, minimizer_partition(prev_min, parts)});
+  }
+}
+
+TEST(SlidingMinimizerTest, BuildSupermersBitIdenticalToNaive) {
+  Xoshiro256 rng(403);
+  const MinimizerOrder orders[] = {MinimizerOrder::kLexicographic,
+                                   MinimizerOrder::kKmc2,
+                                   MinimizerOrder::kRandomized};
+  for (int trial = 0; trial < 100; ++trial) {
+    SupermerConfig config;
+    config.order = orders[rng.below(3)];
+    config.m = 3 + static_cast<int>(rng.below(5));           // 3..7
+    config.k = config.m + 2 + static_cast<int>(rng.below(10));
+    config.window = 1 + static_cast<int>(rng.below(15));
+    if (config.max_supermer_bases() > kMaxPackedK) continue;
+    const std::uint32_t parts = 1 + rng.below(8);
+    const std::string seq =
+        random_fragment(rng, static_cast<std::size_t>(config.k) +
+                                 rng.below(200), trial % 2 == 0);
+    if (seq.size() < static_cast<std::size_t>(config.k)) continue;
+
+    std::vector<DestinedSupermer> fast, naive;
+    build_supermers(seq, config, parts, fast);
+    naive_build_supermers(seq, config, parts, naive);
+
+    ASSERT_EQ(fast.size(), naive.size()) << "trial " << trial;
+    for (std::size_t i = 0; i < fast.size(); ++i) {
+      ASSERT_EQ(fast[i].smer, naive[i].smer) << "trial " << trial;
+      ASSERT_EQ(fast[i].dest, naive[i].dest) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dedukt::kmer
