@@ -77,7 +77,7 @@ core::CountResult run_pipeline(const BenchDataset& dataset,
                                core::ExchangeMode exchange,
                                kmer::MinimizerOrder order,
                                std::uint64_t max_kmers_per_round,
-                               bool overlap_rounds) {
+                               bool overlap_rounds, bool hierarchical) {
   core::DriverOptions options;
   options.pipeline.kind = kind;
   options.pipeline.m = m;
@@ -85,6 +85,7 @@ core::CountResult run_pipeline(const BenchDataset& dataset,
   options.pipeline.order = order;
   options.pipeline.max_kmers_per_round = max_kmers_per_round;
   options.pipeline.overlap_rounds = overlap_rounds;
+  options.pipeline.hierarchical_exchange = hierarchical;
   options.nranks = nranks;
   options.collect_counts = false;  // benchmarks only need the metrics
 
@@ -202,6 +203,8 @@ void write_bench_json(const std::string& path,
          << "\"modeled_seconds\": " << json_double(r.modeled_seconds) << ", "
          << "\"overlap_saved_seconds\": "
          << json_double(r.overlap_saved_seconds) << ", "
+         << "\"intra_node_bytes\": " << r.intra_node_bytes << ", "
+         << "\"inter_node_bytes\": " << r.inter_node_bytes << ", "
          << "\"threads\": " << r.threads << "}"
          << (i + 1 < records.size() ? "," : "") << "\n";
   }

@@ -58,13 +58,16 @@ struct BenchDataset {
 /// chunked (see chunk_reads) so every rank gets many work units.
 /// `max_kmers_per_round` > 0 forces multi-round processing;
 /// `overlap_rounds` additionally overlaps round r's exchange with round
-/// r+1's parse (bit-identical counts, lower modeled time).
+/// r+1's parse (bit-identical counts, lower modeled time); `hierarchical`
+/// routes the exchange through the two-level topology-aware path
+/// (bit-identical counts, lower modeled exchange on multi-node shapes).
 [[nodiscard]] core::CountResult run_pipeline(
     const BenchDataset& dataset, core::PipelineKind kind, int nranks,
     int m = 7,
     core::ExchangeMode exchange = core::ExchangeMode::kStaged,
     kmer::MinimizerOrder order = kmer::MinimizerOrder::kRandomized,
-    std::uint64_t max_kmers_per_round = 0, bool overlap_rounds = false);
+    std::uint64_t max_kmers_per_round = 0, bool overlap_rounds = false,
+    bool hierarchical = false);
 
 /// A per-round k-mer budget that makes `run_pipeline` on this dataset
 /// split into roughly `rounds` rounds at `nranks` ranks.
@@ -126,6 +129,10 @@ struct BenchRecord {
   /// Modeled seconds hidden by round overlap (max over ranks); zero for
   /// lockstep runs.
   double overlap_saved_seconds = 0.0;
+  /// Topology split of the exchanged payload (summed over ranks); both
+  /// zero for flat-exchange runs.
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
   unsigned threads = 1;  ///< simulation pool size the record was taken at
 };
 

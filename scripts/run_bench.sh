@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Build (if needed) and run the simulator-parallelism benchmark, writing
-# sequential-vs-pooled numbers to BENCH_micro.json at the repo root.
+# Build (if needed) and run the simulator-parallelism benchmark plus the
+# Fig. 8 exchange ablations, writing sequential-vs-pooled numbers to
+# BENCH_micro.json and the round-overlap / flat-vs-hierarchical exchange
+# records to BENCH_fig8.json at the repo root.
 #
 # Usage: scripts/run_bench.sh [build-dir] [--threads=1,2,4] [--repeats=N]
 # Extra flags are passed through to bench_pool.
@@ -10,9 +12,10 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then shift; fi
 
-if [[ ! -x "$build_dir/bench/bench_pool" ]]; then
+if [[ ! -x "$build_dir/bench/bench_pool" || \
+      ! -x "$build_dir/bench/bench_fig8_alltoallv" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
-  cmake --build "$build_dir" -j --target bench_pool
+  cmake --build "$build_dir" -j --target bench_pool bench_fig8_alltoallv
 fi
 
 "$build_dir/bench/bench_pool" \
@@ -20,4 +23,7 @@ fi
   --json="$repo_root/BENCH_micro.json" \
   "$@"
 
-echo "results: $repo_root/BENCH_micro.json"
+"$build_dir/bench/bench_fig8_alltoallv" \
+  --json="$repo_root/BENCH_fig8.json"
+
+echo "results: $repo_root/BENCH_micro.json $repo_root/BENCH_fig8.json"

@@ -39,11 +39,16 @@ enum class ExchangeMode { kStaged, kGpuDirect };
 enum class PartitionScheme {
   kMinimizerHash,      ///< the paper's scheme: hash(minimizer) mod P
   kFrequencyBalanced,  ///< §VII extension: sampled-weight LPT assignment
+  kNodeAware,          ///< two-pass LPT: buckets -> nodes, then within node
 };
 
 [[nodiscard]] inline std::string to_string(PartitionScheme scheme) {
-  return scheme == PartitionScheme::kMinimizerHash ? "minimizer-hash"
-                                                   : "freq-balanced";
+  switch (scheme) {
+    case PartitionScheme::kMinimizerHash: return "minimizer-hash";
+    case PartitionScheme::kFrequencyBalanced: return "freq-balanced";
+    case PartitionScheme::kNodeAware: return "node-balanced";
+  }
+  return "?";
 }
 
 struct PipelineConfig {
@@ -84,6 +89,15 @@ struct PipelineConfig {
   /// exchange exposure changes — max(comm, compute) plus the network
   /// model's non-overlappable fraction, instead of the sum. Off by default.
   bool overlap_rounds = false;
+  /// Two-level topology-aware exchange (ROADMAP item 3): payloads to
+  /// same-node peers move over the intra-node link while off-node payloads
+  /// stage through the node leaders and cross the NIC once, priced by
+  /// NetworkModel::hierarchical_seconds. Delivered payloads — and therefore
+  /// spectra and CountResult — are bit-identical to the flat exchange; only
+  /// the modeled exchange time and the intra/inter byte split change.
+  /// Composes with overlap_rounds (only the inter-node hop overlaps with
+  /// parse; the intra-node staging stays exposed). Off by default.
+  bool hierarchical_exchange = false;
   /// Two-level counting in the GPU hash-table kernels: each block first
   /// aggregates its k-mers in a shared-memory table, then flushes unique
   /// (key, count) pairs to the global table (§III-B3's on-device counting,

@@ -46,8 +46,15 @@ class ExchangePlan {
  public:
   /// `device` may be null for host-only pipelines (no staging steps, zero
   /// staging charge). `staged` selects priced host staging vs GPUDirect.
-  ExchangePlan(mpisim::Comm& comm, gpusim::Device* device, bool staged)
-      : comm_(comm), device_(device), staged_(staged), comm_capture_(comm) {
+  /// `hierarchical` routes step 3 through the two-level topology-aware
+  /// exchange (Comm::hierarchical_alltoallv) instead of the flat one.
+  ExchangePlan(mpisim::Comm& comm, gpusim::Device* device, bool staged,
+               bool hierarchical = false)
+      : comm_(comm),
+        device_(device),
+        staged_(staged),
+        hierarchical_(hierarchical),
+        comm_capture_(comm) {
     if (device_ != nullptr) device_capture_.emplace(*device_);
   }
 
@@ -87,7 +94,8 @@ class ExchangePlan {
           staged_flat.begin() + static_cast<std::ptrdiff_t>(offsets[dest]) +
               counts[dest]);
     }
-    return comm_.alltoallv(outgoing);
+    return hierarchical_ ? comm_.hierarchical_alltoallv(outgoing)
+                         : comm_.alltoallv(outgoing);
   }
 
   /// Step 3 for pipelines that bucket per destination while parsing (the
@@ -95,7 +103,8 @@ class ExchangePlan {
   template <typename T>
   [[nodiscard]] mpisim::AlltoallvResult<T> exchange(
       const std::vector<std::vector<T>>& outgoing) {
-    return comm_.alltoallv(outgoing);
+    return hierarchical_ ? comm_.hierarchical_alltoallv(outgoing)
+                         : comm_.alltoallv(outgoing);
   }
 
   /// Nonblocking variant of step 3 (overlap_rounds): post the exchange and
@@ -116,14 +125,14 @@ class ExchangePlan {
           staged_flat.begin() + static_cast<std::ptrdiff_t>(offsets[dest]) +
               counts[dest]);
     }
-    return comm_.ialltoallv(outgoing);
+    return comm_.ialltoallv(outgoing, hierarchical_);
   }
 
   /// Nonblocking step 3 for per-destination-bucketed payloads.
   template <typename T>
   [[nodiscard]] mpisim::Request<T> post(
       const std::vector<std::vector<T>>& outgoing) {
-    return comm_.ialltoallv(outgoing);
+    return comm_.ialltoallv(outgoing, hierarchical_);
   }
 
   /// Step 4: move a received payload onto the device (at least one slot so
@@ -148,6 +157,25 @@ class ExchangePlan {
   }
   [[nodiscard]] std::uint64_t bytes_received() const {
     return comm_capture_.bytes_received();
+  }
+
+  /// Topology split of bytes_sent() under the hierarchical exchange: bytes
+  /// whose destination shares the sender's node vs bytes that cross the
+  /// NIC. Their sum equals bytes_sent(); both zero on the flat path.
+  [[nodiscard]] std::uint64_t intra_node_bytes() const {
+    return comm_capture_.intra_node_bytes();
+  }
+  [[nodiscard]] std::uint64_t inter_node_bytes() const {
+    return comm_capture_.inter_node_bytes();
+  }
+
+  /// The intra-node (NVLink) share of alltoallv_seconds() — zero on the
+  /// flat path. RoundRunner overlaps only the inter-node remainder.
+  [[nodiscard]] double hier_intra_seconds() const {
+    return comm_capture_.modeled_intra_seconds();
+  }
+  [[nodiscard]] double hier_intra_volume_seconds() const {
+    return comm_capture_.modeled_intra_volume_seconds();
   }
 
   /// Modeled time of the communication routines alone — no staging copies,
@@ -185,6 +213,7 @@ class ExchangePlan {
   mpisim::Comm& comm_;
   gpusim::Device* device_;
   const bool staged_;
+  const bool hierarchical_ = false;
   mpisim::CommCapture comm_capture_;
   std::optional<gpusim::DeviceCapture> device_capture_;
 };
@@ -193,6 +222,8 @@ inline void PhaseScope::commit_exchange(const ExchangePlan& plan,
                                         double overhead_seconds) {
   metrics_.bytes_sent = plan.bytes_sent();
   metrics_.bytes_received = plan.bytes_received();
+  metrics_.intra_node_bytes = plan.intra_node_bytes();
+  metrics_.inter_node_bytes = plan.inter_node_bytes();
   metrics_.modeled_alltoallv_seconds = plan.alltoallv_seconds();
   metrics_.modeled_alltoallv_volume_seconds = plan.alltoallv_volume_seconds();
   set_charge(plan.charge_seconds(overhead_seconds),

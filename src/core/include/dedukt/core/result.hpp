@@ -57,6 +57,12 @@ struct RankMetrics {
   std::uint64_t supermers_received = 0;
   std::uint64_t bytes_sent = 0;          ///< off-rank exchange payload
   std::uint64_t bytes_received = 0;
+  /// Topology split of bytes_sent under --hierarchical-exchange: payload
+  /// whose destination shares the sender's node vs payload that crosses
+  /// the NIC. intra + inter == bytes_sent on that path; both 0 on the flat
+  /// exchange.
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
   std::uint64_t unique_kmers = 0;        ///< distinct keys in the local table
   std::uint64_t counted_kmers = 0;       ///< total count in the local table
 

@@ -58,6 +58,8 @@ inline void accumulate_round(RankMetrics& total, const RankMetrics& round) {
   total.supermers_received += round.supermers_received;
   total.bytes_sent += round.bytes_sent;
   total.bytes_received += round.bytes_received;
+  total.intra_node_bytes += round.intra_node_bytes;
+  total.inter_node_bytes += round.inter_node_bytes;
   total.measured.merge(round.measured);
   total.modeled.merge(round.modeled);
   total.modeled_volume.merge(round.modeled_volume);
@@ -75,6 +77,11 @@ struct OverlapExchangeSpec {
   gpusim::Device* device = nullptr;
   bool staged = false;
   double overhead_seconds = 0.0;
+  /// Route the posted exchanges through the two-level topology-aware path
+  /// (PipelineConfig::hierarchical_exchange). Overlap then prices only the
+  /// inter-node hop against the in-flight parse; the intra-node staging
+  /// stays exposed (it shares the NVLink with the parse's own traffic).
+  bool hierarchical = false;
 };
 
 class RoundRunner {
@@ -168,7 +175,7 @@ class RoundRunner {
     // routine cost is charged at completion in receive_and_count.
     auto post = [&](Slot& slot) {
       PhaseScope phase(slot.metrics, kPhaseExchange);
-      ExchangePlan plan(comm, spec.device, spec.staged);
+      ExchangePlan plan(comm, spec.device, spec.staged, spec.hierarchical);
       slot.pending.emplace(
           stages.post(std::move(*slot.parsed), plan, slot.metrics));
       slot.parsed.reset();
@@ -183,26 +190,38 @@ class RoundRunner {
       std::optional<typename S::Received> received;
       {
         PhaseScope phase(slot.metrics, kPhaseExchange);
-        ExchangePlan plan(comm, spec.device, spec.staged);
+        ExchangePlan plan(comm, spec.device, spec.staged, spec.hierarchical);
         received.emplace(
             stages.receive(std::move(*slot.pending), plan, slot.metrics));
         slot.pending.reset();
 
         const double routine = plan.alltoallv_seconds();
         const double routine_volume = plan.alltoallv_volume_seconds();
-        const double exposed =
-            comm.network().overlapped_seconds(routine, compute_seconds) -
+        // Only the inter-node hop hides behind the in-flight parse; the
+        // intra-node staging share (zero on the flat path, where these
+        // expressions reduce bit-for-bit to the pre-hierarchical math)
+        // stays exposed.
+        const double intra = plan.hier_intra_seconds();
+        const double intra_volume = plan.hier_intra_volume_seconds();
+        const double inter = routine - intra;
+        const double inter_volume = routine_volume - intra_volume;
+        const double exposed_inter =
+            comm.network().overlapped_seconds(inter, compute_seconds) -
             compute_seconds;
-        const double saved = routine - exposed;
+        const double exposed = intra + exposed_inter;
+        const double saved = inter - exposed_inter;
 
         slot.metrics.bytes_sent = plan.bytes_sent();
         slot.metrics.bytes_received = plan.bytes_received();
+        slot.metrics.intra_node_bytes = plan.intra_node_bytes();
+        slot.metrics.inter_node_bytes = plan.inter_node_bytes();
         // Fig. 8's metric keeps seeing the full routine time; only the
         // phase's exposure shrinks.
         slot.metrics.modeled_alltoallv_seconds = routine;
         slot.metrics.modeled_alltoallv_volume_seconds = routine_volume;
         const double exposed_volume =
-            routine > 0.0 ? routine_volume * (exposed / routine) : 0.0;
+            intra_volume +
+            (inter > 0.0 ? inter_volume * (exposed_inter / inter) : 0.0);
         phase.set_charge(
             exposed + plan.staging_seconds() + spec.overhead_seconds,
             exposed_volume + plan.staging_volume_seconds());

@@ -34,7 +34,8 @@ commands:
            [--pipeline=gpu-supermer|gpu-kmer|cpu]
            [--order=randomized|kmc2|lexicographic]
            [--canonical] [--filter-singletons] [--wide-supermers]
-           [--freq-balanced] [--rounds-limit=N] [--overlap-rounds]
+           [--freq-balanced] [--node-balanced] [--rounds-limit=N]
+           [--overlap-rounds] [--hierarchical-exchange]
            [--smem-agg] [--no-smem-agg] [--sim-threads=N]
            [--trace=trace.json]  (Chrome trace + <base>.metrics.json,
                                   same as DEDUKT_TRACE=<path>)
@@ -105,9 +106,14 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
   if (cli.get_bool("freq-balanced", false)) {
     options.pipeline.partition = PartitionScheme::kFrequencyBalanced;
   }
+  if (cli.get_bool("node-balanced", false)) {
+    options.pipeline.partition = PartitionScheme::kNodeAware;
+  }
   options.pipeline.max_kmers_per_round =
       static_cast<std::uint64_t>(cli.get_int("rounds-limit", 0));
   options.pipeline.overlap_rounds = cli.get_bool("overlap-rounds", false);
+  options.pipeline.hierarchical_exchange =
+      cli.get_bool("hierarchical-exchange", false);
   options.pipeline.smem_agg =
       cli.has("no-smem-agg") ? false : cli.get_bool("smem-agg", true);
   options.nranks = static_cast<int>(cli.get_int("ranks", 6));

@@ -122,7 +122,8 @@ RankMetrics run_cpu_single(mpisim::Comm& comm, const io::ReadBatch& reads,
   mpisim::AlltoallvResult<typename Traits::Wire> received;
   {
     PhaseScope phase(metrics, kPhaseExchange);
-    ExchangePlan plan(comm, /*device=*/nullptr, /*staged=*/false);
+    ExchangePlan plan(comm, /*device=*/nullptr, /*staged=*/false,
+                      config.hierarchical_exchange);
     received = plan.exchange(outgoing);
     phase.commit_exchange(plan);
   }
@@ -177,8 +178,10 @@ RankMetrics run_cpu_pipeline(mpisim::Comm& comm, const io::ReadBatch& reads,
   if (config.overlap_rounds) {
     CpuOverlapStages<Traits> stages{
         config, static_cast<std::uint32_t>(comm.size()), local_table};
-    return runner.run_overlapped(comm, OverlapExchangeSpec{}, local_table,
-                                 stages);
+    const OverlapExchangeSpec spec{/*device=*/nullptr, /*staged=*/false,
+                                   /*overhead_seconds=*/0.0,
+                                   config.hierarchical_exchange};
+    return runner.run_overlapped(comm, spec, local_table, stages);
   }
   return runner.run(local_table, [&](const io::ReadBatch& batch) {
     return run_cpu_single<Traits>(comm, batch, config, local_table);

@@ -197,7 +197,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
     gpusim::DeviceBuffer<std::uint32_t> d_recv_key_counts;
     {
       PhaseScope phase(metrics, kPhaseExchange);
-      ExchangePlan plan(comm, &device, staged);
+      ExchangePlan plan(comm, &device, staged, config.hierarchical_exchange);
 
       recv_keys = plan.exchange(buckets.out_keys);
       recv_key_counts = plan.exchange(buckets.out_key_counts);
@@ -220,7 +220,7 @@ RankMetrics run_gpu_kmer_single(mpisim::Comm& comm, gpusim::Device& device,
   gpusim::DeviceBuffer<std::uint64_t> d_recv;
   {
     PhaseScope phase(metrics, kPhaseExchange);
-    ExchangePlan plan(comm, &device, staged);
+    ExchangePlan plan(comm, &device, staged, config.hierarchical_exchange);
 
     const std::vector<std::uint64_t> host_out =
         plan.stage_out(parsed.d_out, parsed.total);
@@ -343,7 +343,8 @@ RankMetrics run_gpu_kmer_rank(mpisim::Comm& comm, gpusim::Device& device,
   if (config.overlap_rounds) {
     const bool staged = config.exchange == ExchangeMode::kStaged;
     const OverlapExchangeSpec spec{&device, staged,
-                                   summit::kGpuExchangeOverheadSec};
+                                   summit::kGpuExchangeOverheadSec,
+                                   config.hierarchical_exchange};
     if (config.source_consolidation) {
       GpuKmerConsolidatedOverlapStages stages{comm, device, config,
                                               local_table};

@@ -193,7 +193,7 @@ RankMetrics run_gpu_supermer_single(mpisim::Comm& comm,
   gpusim::DeviceBuffer<std::uint8_t> d_recv_lens;
   {
     PhaseScope phase(metrics, kPhaseExchange);
-    ExchangePlan plan(comm, &device, staged);
+    ExchangePlan plan(comm, &device, staged, config.hierarchical_exchange);
 
     const std::vector<Word> host_words =
         plan.stage_out(parsed.d_words, parsed.total_supermers);
@@ -304,11 +304,12 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
   RankMetrics setup;
   kernels::DestinationTable routing;
   gpusim::DeviceBuffer<std::uint32_t> d_routing;
-  if (config.partition == PartitionScheme::kFrequencyBalanced) {
+  if (config.partition != PartitionScheme::kMinimizerHash) {
     PhaseScope phase(setup, kPhaseParse, comm, device);
 
     const MinimizerAssignment assignment = MinimizerAssignment::build(
-        comm, reads, config.supermer_config(), /*sample_stride=*/4);
+        comm, reads, config.supermer_config(), /*sample_stride=*/4,
+        config.partition == PartitionScheme::kNodeAware);
     d_routing = device.alloc<std::uint32_t>(assignment.buckets());
     device.copy_to_device<std::uint32_t>(assignment.table(), d_routing);
     routing.bucket_to_rank = d_routing.data();
@@ -327,7 +328,8 @@ RankMetrics run_gpu_supermer_rank(mpisim::Comm& comm, gpusim::Device& device,
   if (config.overlap_rounds) {
     const bool staged = config.exchange == ExchangeMode::kStaged;
     const OverlapExchangeSpec spec{&device, staged,
-                                   summit::kGpuExchangeOverheadSec};
+                                   summit::kGpuExchangeOverheadSec,
+                                   config.hierarchical_exchange};
     if (config.wide_supermers) {
       GpuSupermerOverlapStages<kmer::WideKey> stages{comm, device, config,
                                                      local_table, routing};

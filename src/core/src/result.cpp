@@ -16,6 +16,8 @@ RankMetrics CountResult::totals() const {
     total.supermers_received += r.supermers_received;
     total.bytes_sent += r.bytes_sent;
     total.bytes_received += r.bytes_received;
+    total.intra_node_bytes += r.intra_node_bytes;
+    total.inter_node_bytes += r.inter_node_bytes;
     total.unique_kmers += r.unique_kmers;
     total.counted_kmers += r.counted_kmers;
     total.measured.merge(r.measured);

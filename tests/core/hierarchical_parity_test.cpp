@@ -1,0 +1,250 @@
+// Hierarchical-exchange parity battery (ctest -L exchange) for
+// --hierarchical-exchange (PipelineConfig::hierarchical_exchange): across
+// every pipeline and both exchange modes, the two-level exchange must
+// produce bit-identical spectra, global counts, and per-rank work ledgers
+// to the flat exchange — on a multi-node shape the modeled exchange time
+// must strictly drop and the intra/inter byte split must sum to the flat
+// path's bytes; on a single-node shape the whole run must be bit-identical
+// including modeled times. Also covers the composition with
+// --overlap-rounds and the node-aware partition scheme.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/io/synthetic.hpp"
+
+namespace dedukt::core {
+namespace {
+
+io::ReadBatch parity_reads() {
+  io::GenomeSpec gspec;
+  gspec.length = 5'000;
+  gspec.seed = 42;
+  io::ReadSpec rspec;
+  rspec.coverage = 4.0;
+  rspec.mean_read_length = 400;
+  rspec.min_read_length = 80;
+  rspec.seed = 43;
+  return io::generate_dataset(gspec, rspec);
+}
+
+void append_work_counts(std::ostringstream& out, const RankMetrics& m) {
+  out << " reads=" << m.reads << " bases=" << m.bases
+      << " kmers_parsed=" << m.kmers_parsed
+      << " supermers_built=" << m.supermers_built
+      << " supermer_bases=" << m.supermer_bases
+      << " kmers_received=" << m.kmers_received
+      << " supermers_received=" << m.supermers_received
+      << " bytes_sent=" << m.bytes_sent
+      << " bytes_received=" << m.bytes_received
+      << " unique=" << m.unique_kmers << " counted=" << m.counted_kmers
+      << "\n";
+}
+
+struct RunOutcome {
+  std::string identity;  ///< spectrum + global counts + work-count fields
+  double modeled_total = 0.0;
+  double modeled_exchange = 0.0;
+  double overlap_saved = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t intra_node_bytes = 0;
+  std::uint64_t inter_node_bytes = 0;
+};
+
+RunOutcome run_once(const DriverOptions& options, bool wide) {
+  RunOutcome outcome;
+  std::ostringstream identity;
+  const CountResult* base = nullptr;
+  CountResult narrow_result;
+  WideCountResult wide_result;
+  if (wide) {
+    wide_result = run_distributed_count_wide(parity_reads(), options);
+    base = &wide_result.base;
+    std::map<std::uint64_t, std::uint64_t> spectrum;
+    for (const auto& [key, count] : wide_result.global_counts) {
+      spectrum[count] += 1;
+    }
+    identity << "spectrum:";
+    for (const auto& [m, d] : spectrum) identity << " " << m << ":" << d;
+    identity << "\ndistinct=" << wide_result.global_counts.size() << "\n";
+  } else {
+    narrow_result = run_distributed_count(parity_reads(), options);
+    base = &narrow_result;
+    identity << "spectrum:";
+    for (const auto& [m, d] : narrow_result.spectrum()) {
+      identity << " " << m << ":" << d;
+    }
+    identity << "\ndistinct=" << narrow_result.global_counts.size() << "\n";
+    for (const auto& [key, count] : narrow_result.global_counts) {
+      identity << key << ":" << count << "\n";
+    }
+  }
+  for (int r = 0; r < base->nranks; ++r) {
+    identity << "rank " << r << ":";
+    append_work_counts(identity, base->ranks[static_cast<std::size_t>(r)]);
+  }
+  outcome.identity = identity.str();
+  outcome.modeled_total = base->modeled_total_seconds();
+  outcome.modeled_exchange = base->modeled_breakdown().get(kPhaseExchange);
+  outcome.overlap_saved = base->overlap_saved_seconds();
+  const RankMetrics totals = base->totals();
+  outcome.bytes_sent = totals.bytes_sent;
+  outcome.intra_node_bytes = totals.intra_node_bytes;
+  outcome.inter_node_bytes = totals.inter_node_bytes;
+  return outcome;
+}
+
+struct Scenario {
+  const char* name;
+  bool wide;
+  void (*configure)(DriverOptions&);
+};
+
+constexpr Scenario kScenarios[] = {
+    {"cpu", false,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kCpu; }},
+    {"cpu_wide", true,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kCpu;
+       o.pipeline.k = 33;
+     }},
+    {"gpu_kmer", false,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kGpuKmer; }},
+    {"gpu_kmer_consolidated", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuKmer;
+       o.pipeline.source_consolidation = true;
+     }},
+    {"gpu_supermer", false,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kGpuSupermer; }},
+    {"gpu_supermer_wide", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuSupermer;
+       o.pipeline.wide_supermers = true;
+       o.pipeline.window = 40;
+     }},
+    {"gpu_supermer_freq", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuSupermer;
+       o.pipeline.partition = PartitionScheme::kFrequencyBalanced;
+     }},
+};
+
+/// (scenario index, staged exchange).
+class HierarchicalParity
+    : public ::testing::TestWithParam<std::tuple<int, bool>> {};
+
+TEST_P(HierarchicalParity, MultiNodeIdenticalResultsLowerExchange) {
+  const auto [scenario_index, staged] = GetParam();
+  const Scenario& scenario = kScenarios[scenario_index];
+
+  DriverOptions options;
+  scenario.configure(options);
+  options.pipeline.exchange =
+      staged ? ExchangeMode::kStaged : ExchangeMode::kGpuDirect;
+  options.nranks = 12;
+  options.ranks_per_node = 6;  // two modeled nodes
+
+  options.pipeline.hierarchical_exchange = false;
+  const RunOutcome flat = run_once(options, scenario.wide);
+  options.pipeline.hierarchical_exchange = true;
+  const RunOutcome hier = run_once(options, scenario.wide);
+
+  // Bit-identical spectra, global counts, and per-rank work ledgers.
+  EXPECT_EQ(flat.identity, hier.identity) << scenario.name;
+
+  // The split classifies exactly the flat path's payload bytes.
+  EXPECT_EQ(flat.intra_node_bytes, 0u) << scenario.name;
+  EXPECT_EQ(flat.inter_node_bytes, 0u) << scenario.name;
+  EXPECT_EQ(hier.intra_node_bytes + hier.inter_node_bytes, flat.bytes_sent)
+      << scenario.name;
+  EXPECT_GT(hier.inter_node_bytes, 0u) << scenario.name;
+
+  // Two modeled nodes: the NIC hop runs at full injection bandwidth, so
+  // the modeled exchange must strictly drop.
+  EXPECT_LT(hier.modeled_exchange, flat.modeled_exchange) << scenario.name;
+  EXPECT_LT(hier.modeled_total, flat.modeled_total) << scenario.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(PipelinesModes, HierarchicalParity,
+                         ::testing::Combine(::testing::Range(0, 7),
+                                            ::testing::Bool()));
+
+TEST(HierarchicalParity, SingleNodeBitIdenticalIncludingModeledTimes) {
+  for (int scenario_index = 0; scenario_index < 7; ++scenario_index) {
+    const Scenario& scenario = kScenarios[scenario_index];
+    DriverOptions options;
+    scenario.configure(options);
+    options.nranks = 4;  // one modeled node at 6 ranks/node
+
+    options.pipeline.hierarchical_exchange = false;
+    const RunOutcome flat = run_once(options, scenario.wide);
+    options.pipeline.hierarchical_exchange = true;
+    const RunOutcome hier = run_once(options, scenario.wide);
+
+    EXPECT_EQ(flat.identity, hier.identity) << scenario.name;
+    // One node: the hierarchical path delegates to the flat charge.
+    EXPECT_EQ(hier.modeled_total, flat.modeled_total) << scenario.name;
+    EXPECT_EQ(hier.modeled_exchange, flat.modeled_exchange) << scenario.name;
+    EXPECT_EQ(hier.intra_node_bytes, flat.bytes_sent) << scenario.name;
+    EXPECT_EQ(hier.inter_node_bytes, 0u) << scenario.name;
+  }
+}
+
+TEST(HierarchicalParity, ComposesWithOverlapRounds) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.pipeline.max_kmers_per_round = 1'700;  // several rounds
+  options.nranks = 12;
+  options.ranks_per_node = 6;
+
+  options.pipeline.hierarchical_exchange = true;
+  options.pipeline.overlap_rounds = false;
+  const RunOutcome lockstep = run_once(options, /*wide=*/false);
+  options.pipeline.overlap_rounds = true;
+  const RunOutcome overlapped = run_once(options, /*wide=*/false);
+
+  // Identical counts; overlap hides part of the inter-node hop on top of
+  // the hierarchical win.
+  EXPECT_EQ(lockstep.identity, overlapped.identity);
+  EXPECT_EQ(lockstep.intra_node_bytes, overlapped.intra_node_bytes);
+  EXPECT_EQ(lockstep.inter_node_bytes, overlapped.inter_node_bytes);
+  EXPECT_GT(overlapped.overlap_saved, 0.0);
+  EXPECT_LT(overlapped.modeled_total, lockstep.modeled_total);
+
+  // The savings cannot exceed what the inter-node hop costs: the exposed
+  // exchange keeps at least the intra-node staging share.
+  options.pipeline.overlap_rounds = false;
+  options.pipeline.hierarchical_exchange = false;
+  const RunOutcome flat = run_once(options, /*wide=*/false);
+  EXPECT_LT(lockstep.modeled_exchange, flat.modeled_exchange);
+}
+
+TEST(HierarchicalParity, NodeAwarePartitionKeepsSpectrum) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 12;
+  options.ranks_per_node = 6;
+  options.pipeline.partition = PartitionScheme::kMinimizerHash;
+  const RunOutcome hash = run_once(options, /*wide=*/false);
+  options.pipeline.partition = PartitionScheme::kNodeAware;
+  options.pipeline.hierarchical_exchange = true;
+  const RunOutcome node_aware = run_once(options, /*wide=*/false);
+
+  // Routing moves k-mers between ranks but never changes what is counted:
+  // the global spectrum line (first line of the identity) must agree.
+  const std::string hash_spectrum =
+      hash.identity.substr(0, hash.identity.find('\n'));
+  const std::string node_spectrum =
+      node_aware.identity.substr(0, node_aware.identity.find('\n'));
+  EXPECT_EQ(hash_spectrum, node_spectrum);
+}
+
+}  // namespace
+}  // namespace dedukt::core

@@ -10,6 +10,7 @@
 #include "dedukt/kmer/extract.hpp"
 #include "dedukt/mpisim/runtime.hpp"
 #include "dedukt/util/stats.hpp"
+#include "dedukt/util/thread_pool.hpp"
 
 namespace dedukt::core {
 namespace {
@@ -63,6 +64,58 @@ TEST(LptAssignTest, BeatsHashAssignmentOnSkewedWeights) {
   }
   EXPECT_LT(load_imbalance(lpt_loads), 1.02);
   EXPECT_GT(load_imbalance(hash_loads), load_imbalance(lpt_loads));
+}
+
+TEST(LptAssignNodeAwareTest, DegeneratesToRankOnlyLptOnFlatTopology) {
+  std::vector<std::uint64_t> weights;
+  for (int i = 1; i <= 64; ++i) {
+    weights.push_back(static_cast<std::uint64_t>(10000.0 / i));
+  }
+  // One rank per node and one node covering everything are both flat.
+  EXPECT_EQ(lpt_assign_node_aware(weights, 8, 1), lpt_assign(weights, 8));
+  EXPECT_EQ(lpt_assign_node_aware(weights, 8, 8), lpt_assign(weights, 8));
+  EXPECT_EQ(lpt_assign_node_aware(weights, 8, 16), lpt_assign(weights, 8));
+}
+
+TEST(LptAssignNodeAwareTest, SpreadsHeavyBucketsAcrossNodes) {
+  // Four dominant buckets on 8 ranks / 4 nodes of 2: rank-only LPT gives
+  // each heavy bucket its own *rank* (ranks 0..3 = nodes 0 and 1), piling
+  // two heavy buckets per node; the node-aware pass gives each its own
+  // node.
+  std::vector<std::uint64_t> weights(40, 1);
+  weights[0] = weights[1] = weights[2] = weights[3] = 1000;
+  constexpr std::uint32_t kRanks = 8, kPerNode = 2;
+  const std::uint32_t nnodes = kRanks / kPerNode;
+
+  const auto node_loads = [&](const std::vector<std::uint32_t>& assignment) {
+    std::vector<std::uint64_t> loads(nnodes, 0);
+    for (std::size_t b = 0; b < weights.size(); ++b) {
+      loads[assignment[b] / kPerNode] += weights[b];
+    }
+    return loads;
+  };
+
+  const auto rank_only = node_loads(lpt_assign(weights, kRanks));
+  const auto node_aware =
+      node_loads(lpt_assign_node_aware(weights, kRanks, kPerNode));
+  EXPECT_LT(load_imbalance(node_aware), load_imbalance(rank_only));
+  // Every node holds exactly one heavy bucket, so no node-level load can
+  // reach two heavies' worth.
+  for (const auto load : node_aware) EXPECT_LT(load, 2000u);
+}
+
+TEST(LptAssignNodeAwareTest, PartialLastNodeGetsProportionalShare) {
+  // 5 ranks at 2 per node: nodes of capacity {2, 2, 1}. With uniform
+  // weights the half-size node must receive roughly half a full node's
+  // load, and within-node LPT must keep the per-rank loads balanced.
+  std::vector<std::uint64_t> weights(20, 10);
+  const auto assignment = lpt_assign_node_aware(weights, 5, 2);
+  std::vector<std::uint64_t> rank_loads(5, 0);
+  for (std::size_t b = 0; b < weights.size(); ++b) {
+    ASSERT_LT(assignment[b], 5u);
+    rank_loads[assignment[b]] += weights[b];
+  }
+  for (const auto load : rank_loads) EXPECT_EQ(load, 40u);
 }
 
 TEST(MinimizerAssignmentTest, RejectsOutOfRangeRanks) {
@@ -131,6 +184,74 @@ TEST_F(AssignmentBuildTest, EveryRankOwnsSomeBuckets) {
   });
 }
 
+TEST_F(AssignmentBuildTest, SampleStrideInvariantOnUniformReads) {
+  // Uniform input: every read is identical, so a batch of stride * 2
+  // copies sampled at `stride` always yields the same two reads — the
+  // reduced weight vector, and therefore the broadcast table, must be
+  // bit-identical whatever the stride.
+  constexpr int kRanks = 3;
+  std::vector<std::vector<std::uint32_t>> tables;
+  for (const int stride : {1, 2, 4}) {
+    io::ReadBatch uniform;
+    uniform.reads.assign(static_cast<std::size_t>(stride) * 2,
+                         reads_.reads.front());
+    mpisim::Runtime runtime(kRanks);
+    std::vector<std::uint32_t> table;
+    runtime.run([&](mpisim::Comm& comm) {
+      const auto assignment = MinimizerAssignment::build(
+          comm, uniform, kmer::SupermerConfig{}, stride);
+      if (comm.rank() == 0) table = assignment.table();
+    });
+    tables.push_back(std::move(table));
+  }
+  EXPECT_EQ(tables[1], tables[0]) << "stride 2 vs 1";
+  EXPECT_EQ(tables[2], tables[0]) << "stride 4 vs 1";
+}
+
+TEST_F(AssignmentBuildTest, DeterministicAcrossSimThreads) {
+  struct PoolGuard {
+    ~PoolGuard() { util::ThreadPool::set_global_threads(1); }
+  } guard;
+  constexpr int kRanks = 4;
+  const auto batches = io::partition_by_bases(reads_, kRanks);
+  auto build_at = [&](unsigned threads) {
+    util::ThreadPool::set_global_threads(threads);
+    std::vector<std::uint32_t> table;
+    mpisim::Runtime runtime(kRanks);
+    runtime.run([&](mpisim::Comm& comm) {
+      const auto assignment = MinimizerAssignment::build(
+          comm, batches[static_cast<std::size_t>(comm.rank())],
+          kmer::SupermerConfig{});
+      if (comm.rank() == 0) table = assignment.table();
+    });
+    return table;
+  };
+  const auto sequential = build_at(1);
+  EXPECT_EQ(build_at(2), sequential);
+  EXPECT_EQ(build_at(8), sequential);
+}
+
+TEST_F(AssignmentBuildTest, NodeAwareTableAgreesAcrossRanks) {
+  constexpr int kRanks = 6;  // two modeled nodes of 3
+  const auto batches = io::partition_by_bases(reads_, kRanks);
+  mpisim::NetworkModel network = mpisim::NetworkModel::summit();
+  network.ranks_per_node = 3;
+  std::vector<std::vector<std::uint32_t>> tables(kRanks);
+  mpisim::Runtime runtime(kRanks, network);
+  runtime.run([&](mpisim::Comm& comm) {
+    const auto assignment = MinimizerAssignment::build(
+        comm, batches[static_cast<std::size_t>(comm.rank())],
+        kmer::SupermerConfig{}, /*sample_stride=*/4, /*node_aware=*/true);
+    tables[static_cast<std::size_t>(comm.rank())] = assignment.table();
+  });
+  for (int r = 1; r < kRanks; ++r) {
+    EXPECT_EQ(tables[static_cast<std::size_t>(r)], tables[0]);
+  }
+  for (const auto rank : tables[0]) {
+    EXPECT_LT(rank, static_cast<std::uint32_t>(kRanks));
+  }
+}
+
 TEST(FrequencyBalancedPipelineTest, CountsStillMatchReference) {
   io::GenomeSpec gspec;
   gspec.length = 8'000;
@@ -188,6 +309,7 @@ TEST(FrequencyBalancedPipelineTest, ImprovesLoadBalanceOnSkewedInput) {
 TEST(PartitionSchemeTest, ToString) {
   EXPECT_EQ(to_string(PartitionScheme::kMinimizerHash), "minimizer-hash");
   EXPECT_EQ(to_string(PartitionScheme::kFrequencyBalanced), "freq-balanced");
+  EXPECT_EQ(to_string(PartitionScheme::kNodeAware), "node-balanced");
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Topology + hierarchical-exchange battery (ctest -L exchange): Comm's
+// node layout queries, hierarchical_alltoallv payload parity with the flat
+// exchange, the intra/inter byte-ledger split, the two-hop pricing, and
+// the blocking/nonblocking agreement of the hierarchical charge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dedukt/mpisim/comm.hpp"
+#include "dedukt/mpisim/runtime.hpp"
+
+namespace dedukt::mpisim {
+namespace {
+
+NetworkModel summit_like(int ranks_per_node) {
+  NetworkModel m;
+  m.latency_s = 5e-6;
+  m.node_injection_bw = 23e9;
+  m.ranks_per_node = ranks_per_node;
+  m.efficiency = 0.045;
+  m.intra_node_bw = 25e9;
+  return m;
+}
+
+/// Deterministic skewed payload: rank r sends (r + dst) % 4 + 1 copies of
+/// a rank/dst-tagged value to every other rank.
+std::vector<std::vector<std::uint64_t>> make_send(int rank, int nranks) {
+  std::vector<std::vector<std::uint64_t>> send(
+      static_cast<std::size_t>(nranks));
+  for (int dst = 0; dst < nranks; ++dst) {
+    if (dst == rank) continue;
+    send[static_cast<std::size_t>(dst)].assign(
+        static_cast<std::size_t>((rank + dst) % 4 + 1),
+        static_cast<std::uint64_t>(rank) * 1000 +
+            static_cast<std::uint64_t>(dst));
+  }
+  return send;
+}
+
+TEST(TopologyTest, NodeLayoutQueries) {
+  Runtime runtime(8, summit_like(3));
+  runtime.run([&](Comm& comm) {
+    EXPECT_EQ(comm.ranks_per_node(), 3);
+    EXPECT_EQ(comm.nodes(), 3);  // 3 + 3 + 2: the last node is partial
+    EXPECT_EQ(comm.node_of(0), 0);
+    EXPECT_EQ(comm.node_of(2), 0);
+    EXPECT_EQ(comm.node_of(3), 1);
+    EXPECT_EQ(comm.node_of(7), 2);
+    EXPECT_EQ(comm.node_leader(0), 0);
+    EXPECT_EQ(comm.node_leader(2), 6);
+    EXPECT_EQ(comm.is_node_leader(),
+              comm.rank() == 0 || comm.rank() == 3 || comm.rank() == 6);
+    EXPECT_EQ(comm.node_ranks(0), (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(comm.node_ranks(2), (std::vector<int>{6, 7}));
+  });
+}
+
+TEST(TopologyTest, RanksPerNodeClampedToCommSize) {
+  // A 4-rank world under the 6-per-node Summit model is one node.
+  Runtime runtime(4, summit_like(6));
+  runtime.run([&](Comm& comm) {
+    EXPECT_EQ(comm.ranks_per_node(), 4);
+    EXPECT_EQ(comm.nodes(), 1);
+    EXPECT_TRUE(comm.is_node_leader() == (comm.rank() == 0));
+  });
+}
+
+TEST(TopologyTest, NetworkModelNodesFor) {
+  const NetworkModel m = summit_like(6);
+  EXPECT_EQ(m.nodes_for(1), 1);
+  EXPECT_EQ(m.nodes_for(6), 1);
+  EXPECT_EQ(m.nodes_for(7), 2);
+  EXPECT_EQ(m.nodes_for(12), 2);
+  EXPECT_EQ(m.nodes_for(96), 16);
+}
+
+TEST(TopologyTest, HierarchicalDeliversIdenticalPayloads) {
+  constexpr int kRanks = 9;  // 3 nodes of 3
+  Runtime flat(kRanks, summit_like(3));
+  Runtime hier(kRanks, summit_like(3));
+  std::vector<AlltoallvResult<std::uint64_t>> flat_results(kRanks);
+  std::vector<AlltoallvResult<std::uint64_t>> hier_results(kRanks);
+  flat.run([&](Comm& comm) {
+    flat_results[static_cast<std::size_t>(comm.rank())] =
+        comm.alltoallv(make_send(comm.rank(), kRanks));
+  });
+  hier.run([&](Comm& comm) {
+    hier_results[static_cast<std::size_t>(comm.rank())] =
+        comm.hierarchical_alltoallv(make_send(comm.rank(), kRanks));
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    const auto& a = flat_results[static_cast<std::size_t>(r)];
+    const auto& b = hier_results[static_cast<std::size_t>(r)];
+    EXPECT_EQ(a.data, b.data) << "rank " << r;
+    EXPECT_EQ(a.counts, b.counts) << "rank " << r;
+    EXPECT_EQ(a.offsets, b.offsets) << "rank " << r;
+  }
+}
+
+TEST(TopologyTest, ByteSplitSumsToFlatTotal) {
+  constexpr int kRanks = 8;  // 3 + 3 + 2
+  Runtime flat(kRanks, summit_like(3));
+  Runtime hier(kRanks, summit_like(3));
+  flat.run([&](Comm& comm) {
+    (void)comm.alltoallv(make_send(comm.rank(), kRanks));
+  });
+  hier.run([&](Comm& comm) {
+    (void)comm.hierarchical_alltoallv(make_send(comm.rank(), kRanks));
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    const CommStats& f = flat.stats()[static_cast<std::size_t>(r)];
+    const CommStats& h = hier.stats()[static_cast<std::size_t>(r)];
+    // The split is a classification of the same payload bytes.
+    EXPECT_EQ(h.bytes_sent, f.bytes_sent) << "rank " << r;
+    EXPECT_EQ(h.bytes_received, f.bytes_received) << "rank " << r;
+    EXPECT_EQ(h.intra_node_bytes + h.inter_node_bytes, f.bytes_sent)
+        << "rank " << r;
+    // Flat never touches the split ledger.
+    EXPECT_EQ(f.intra_node_bytes, 0u) << "rank " << r;
+    EXPECT_EQ(f.inter_node_bytes, 0u) << "rank " << r;
+  }
+}
+
+TEST(TopologyTest, ByteSplitClassifiesByDestinationNode) {
+  constexpr int kRanks = 4;  // 2 nodes of 2
+  Runtime hier(kRanks, summit_like(2));
+  hier.run([&](Comm& comm) {
+    // One 8-byte word to every other rank: 1 same-node peer, 2 off-node.
+    std::vector<std::vector<std::uint64_t>> send(kRanks);
+    for (int dst = 0; dst < kRanks; ++dst) {
+      if (dst != comm.rank()) send[static_cast<std::size_t>(dst)] = {7};
+    }
+    (void)comm.hierarchical_alltoallv(send);
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    const CommStats& s = hier.stats()[static_cast<std::size_t>(r)];
+    EXPECT_EQ(s.intra_node_bytes, 8u) << "rank " << r;
+    EXPECT_EQ(s.inter_node_bytes, 16u) << "rank " << r;
+  }
+}
+
+TEST(TopologyTest, HierarchicalModeledTimeStrictlyLowerMultiNode) {
+  // Two Summit shapes from the paper's sweeps: 2 and 16 nodes of 6 GPUs.
+  for (const int kRanks : {12, 96}) {
+    Runtime flat(kRanks, summit_like(6));
+    Runtime hier(kRanks, summit_like(6));
+    flat.run([&](Comm& comm) {
+      (void)comm.alltoallv(make_send(comm.rank(), kRanks));
+    });
+    hier.run([&](Comm& comm) {
+      (void)comm.hierarchical_alltoallv(make_send(comm.rank(), kRanks));
+    });
+    EXPECT_LT(hier.total_stats().modeled_seconds,
+              flat.total_stats().modeled_seconds)
+        << kRanks << " ranks";
+    // The intra-node share is part of, not on top of, the total.
+    const CommStats& h = hier.stats()[0];
+    EXPECT_GT(h.modeled_intra_seconds, 0.0);
+    EXPECT_LT(h.modeled_intra_seconds, h.modeled_seconds);
+  }
+}
+
+TEST(TopologyTest, SingleNodeDelegatesToFlatCharge) {
+  constexpr int kRanks = 4;  // one node at 6 ranks/node
+  Runtime flat(kRanks, summit_like(6));
+  Runtime hier(kRanks, summit_like(6));
+  std::vector<AlltoallvResult<std::uint64_t>> flat_results(kRanks);
+  std::vector<AlltoallvResult<std::uint64_t>> hier_results(kRanks);
+  flat.run([&](Comm& comm) {
+    flat_results[static_cast<std::size_t>(comm.rank())] =
+        comm.alltoallv(make_send(comm.rank(), kRanks));
+  });
+  hier.run([&](Comm& comm) {
+    hier_results[static_cast<std::size_t>(comm.rank())] =
+        comm.hierarchical_alltoallv(make_send(comm.rank(), kRanks));
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    const CommStats& f = flat.stats()[static_cast<std::size_t>(r)];
+    const CommStats& h = hier.stats()[static_cast<std::size_t>(r)];
+    EXPECT_EQ(flat_results[static_cast<std::size_t>(r)].data,
+              hier_results[static_cast<std::size_t>(r)].data);
+    // Bit-identical modeled charge — the hierarchical path IS the flat
+    // path on one node; the only extra ledger is the intra classification.
+    EXPECT_EQ(h.modeled_seconds, f.modeled_seconds) << "rank " << r;
+    EXPECT_EQ(h.modeled_volume_seconds, f.modeled_volume_seconds);
+    EXPECT_EQ(h.bytes_sent, f.bytes_sent);
+    EXPECT_EQ(h.intra_node_bytes, f.bytes_sent);
+    EXPECT_EQ(h.inter_node_bytes, 0u);
+    EXPECT_EQ(h.modeled_intra_seconds, 0.0);
+  }
+}
+
+TEST(TopologyTest, NonblockingHierarchicalMatchesBlocking) {
+  constexpr int kRanks = 6;  // 2 nodes of 3
+  Runtime blocking(kRanks, summit_like(3));
+  Runtime nonblocking(kRanks, summit_like(3));
+  std::vector<AlltoallvResult<std::uint64_t>> block_results(kRanks);
+  std::vector<AlltoallvResult<std::uint64_t>> async_results(kRanks);
+  blocking.run([&](Comm& comm) {
+    block_results[static_cast<std::size_t>(comm.rank())] =
+        comm.hierarchical_alltoallv(make_send(comm.rank(), kRanks));
+  });
+  nonblocking.run([&](Comm& comm) {
+    auto request =
+        comm.ialltoallv(make_send(comm.rank(), kRanks), /*hierarchical=*/true);
+    async_results[static_cast<std::size_t>(comm.rank())] = request.wait();
+  });
+  for (int r = 0; r < kRanks; ++r) {
+    const CommStats& b = blocking.stats()[static_cast<std::size_t>(r)];
+    const CommStats& n = nonblocking.stats()[static_cast<std::size_t>(r)];
+    EXPECT_EQ(block_results[static_cast<std::size_t>(r)].data,
+              async_results[static_cast<std::size_t>(r)].data);
+    EXPECT_EQ(n.modeled_seconds, b.modeled_seconds) << "rank " << r;
+    EXPECT_EQ(n.modeled_intra_seconds, b.modeled_intra_seconds);
+    EXPECT_EQ(n.intra_node_bytes, b.intra_node_bytes);
+    EXPECT_EQ(n.inter_node_bytes, b.inter_node_bytes);
+  }
+}
+
+TEST(TopologyTest, MismatchedFlatAndHierarchicalPostsAbort) {
+  Runtime runtime(2, summit_like(1));
+  EXPECT_THROW(
+      runtime.run([&](Comm& comm) {
+        auto request = comm.ialltoallv(make_send(comm.rank(), 2),
+                                       /*hierarchical=*/comm.rank() == 0);
+        (void)request.wait();
+      }),
+      SimulationError);
+}
+
+}  // namespace
+}  // namespace dedukt::mpisim
