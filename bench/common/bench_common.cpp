@@ -205,7 +205,16 @@ void write_bench_json(const std::string& path,
          << json_double(r.overlap_saved_seconds) << ", "
          << "\"intra_node_bytes\": " << r.intra_node_bytes << ", "
          << "\"inter_node_bytes\": " << r.inter_node_bytes << ", "
-         << "\"threads\": " << r.threads << "}"
+         << "\"threads\": " << r.threads << ", "
+         << "\"queries\": " << r.queries << ", "
+         << "\"qps\": "
+         << json_double(r.modeled_seconds > 0.0
+                            ? static_cast<double>(r.queries) /
+                                  r.modeled_seconds
+                            : 0.0)
+         << ", "
+         << "\"p50_seconds\": " << json_double(r.p50_seconds) << ", "
+         << "\"p99_seconds\": " << json_double(r.p99_seconds) << "}"
          << (i + 1 < records.size() ? "," : "") << "\n";
   }
   body << "]\n";

@@ -134,6 +134,11 @@ struct BenchRecord {
   std::uint64_t intra_node_bytes = 0;
   std::uint64_t inter_node_bytes = 0;
   unsigned threads = 1;  ///< simulation pool size the record was taken at
+  /// Query-serving records (bench_qps): batched lookups executed, and the
+  /// modeled per-batch latency percentiles. All zero for counting records.
+  std::uint64_t queries = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
 };
 
 /// Write records as a JSON array of objects to `path` (overwrites).

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Build (if needed) and run the simulator-parallelism benchmark plus the
-# Fig. 8 exchange ablations, writing sequential-vs-pooled numbers to
-# BENCH_micro.json and the round-overlap / flat-vs-hierarchical exchange
-# records to BENCH_fig8.json at the repo root.
+# Build (if needed) and run the simulator-parallelism benchmark, the
+# Fig. 8 exchange ablations, and the serving-store QPS sweep, writing
+# sequential-vs-pooled numbers to BENCH_micro.json, the round-overlap /
+# flat-vs-hierarchical exchange records to BENCH_fig8.json, and the
+# Zipf-traffic query-throughput records to BENCH_qps.json at the repo
+# root. bench_qps self-checks with DEDUKT_CHECK that every query answer is
+# bit-identical to the flat counts dump and that the cached configuration
+# beats the uncached modeled QPS at skew >= 1.0, so a serving regression
+# fails this script.
 #
 # Usage: scripts/run_bench.sh [build-dir] [--threads=1,2,4] [--repeats=N]
 # Extra flags are passed through to bench_pool.
@@ -13,9 +18,11 @@ build_dir="${1:-$repo_root/build}"
 if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then shift; fi
 
 if [[ ! -x "$build_dir/bench/bench_pool" || \
-      ! -x "$build_dir/bench/bench_fig8_alltoallv" ]]; then
+      ! -x "$build_dir/bench/bench_fig8_alltoallv" || \
+      ! -x "$build_dir/bench/bench_qps" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
-  cmake --build "$build_dir" -j --target bench_pool bench_fig8_alltoallv
+  cmake --build "$build_dir" -j \
+    --target bench_pool bench_fig8_alltoallv bench_qps
 fi
 
 "$build_dir/bench/bench_pool" \
@@ -26,4 +33,8 @@ fi
 "$build_dir/bench/bench_fig8_alltoallv" \
   --json="$repo_root/BENCH_fig8.json"
 
-echo "results: $repo_root/BENCH_micro.json $repo_root/BENCH_fig8.json"
+"$build_dir/bench/bench_qps" \
+  --json="$repo_root/BENCH_qps.json"
+
+echo "results: $repo_root/BENCH_micro.json $repo_root/BENCH_fig8.json" \
+  "$repo_root/BENCH_qps.json"

@@ -7,6 +7,11 @@
 //    (packed k-mer, count) pairs as little-endian u64s. Compact and exact.
 //  * TSV — "<ASCII k-mer>\t<count>\n" rows, for interop with KMC/Jellyfish
 //    style dumps and shell tooling.
+//
+// Readers validate everything they consume — header fields, key range and
+// sort order, nonzero counts, strict decimal count fields, and (for the
+// file variants) the absence of trailing bytes — and raise ParseError on
+// any violation rather than returning partial or garbage data.
 #pragma once
 
 #include <cstdint>

@@ -6,10 +6,16 @@
 #include <string>
 #include <vector>
 
+#include <filesystem>
+
 #include "dedukt/core/counts_io.hpp"
 #include "dedukt/core/debruijn.hpp"
 #include "dedukt/core/driver.hpp"
 #include "dedukt/core/spectrum.hpp"
+#include "dedukt/core/store_export.hpp"
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/store/query.hpp"
+#include "dedukt/store/store.hpp"
 #include "dedukt/io/datasets.hpp"
 #include "dedukt/io/fasta.hpp"
 #include "dedukt/io/fastq.hpp"
@@ -29,7 +35,7 @@ usage: dedukt <command> [flags]
 
 commands:
   count    --input=reads.fastq|genome.fa | --synthetic=<preset> [--scale=N]
-           --output=counts.bin|counts.tsv
+           --output=counts.bin|counts.tsv [--store-out=<dir>]
            [--k=17] [--m=7] [--window=15] [--ranks=6]
            [--pipeline=gpu-supermer|gpu-kmer|cpu]
            [--order=randomized|kmc2|lexicographic]
@@ -44,6 +50,7 @@ commands:
   dump     --counts=counts.bin [--output=counts.tsv]
   info     --counts=counts.bin
   compare  --a=a.bin --b=b.bin
+  query    --store=<dir> --kmers=ACGT...,TTGA... [--cache-shards=N]
 
 synthetic presets: ecoli30x paeruginosa30x vvulnificus30x abaumannii30x
                    celegans40x hsapiens54x
@@ -156,6 +163,56 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
     out << "wrote " << file.counts.size() << " entries to " << output
         << "\n";
   }
+
+  const std::string store_out = cli.get("store-out");
+  if (!store_out.empty()) {
+    std::filesystem::create_directories(store_out);
+    const store::Manifest manifest =
+        write_store_from_result(store_out, result);
+    out << "wrote store: " << manifest.routing.shards() << " shards, "
+        << format_count(manifest.total_entries()) << " entries ("
+        << to_string(manifest.routing.mode()) << " routing) to "
+        << store_out << "\n";
+  }
+  return 0;
+}
+
+int cmd_query(const CliParser& cli, std::ostream& out) {
+  const std::string dir = cli.get("store");
+  DEDUKT_REQUIRE_MSG(!dir.empty(), "query needs --store=<dir>");
+  const std::string kmers = cli.get("kmers");
+  DEDUKT_REQUIRE_MSG(!kmers.empty(),
+                     "query needs --kmers=<comma-separated k-mers>");
+
+  const store::KmerStore kmer_store = store::KmerStore::open(dir);
+  std::vector<std::string> names;
+  std::vector<std::uint64_t> keys;
+  std::size_t begin = 0;
+  while (begin <= kmers.size()) {
+    const std::size_t comma = std::min(kmers.find(',', begin), kmers.size());
+    const std::string name = kmers.substr(begin, comma - begin);
+    begin = comma + 1;
+    if (name.empty()) continue;
+    DEDUKT_REQUIRE_MSG(name.size() == static_cast<std::size_t>(
+                                          kmer_store.k()),
+                       "k-mer '" << name << "' is not " << kmer_store.k()
+                                 << " bases long");
+    names.push_back(name);
+    keys.push_back(kmer::pack(name, kmer_store.encoding()));
+  }
+
+  gpusim::Device device;
+  store::QueryEngineConfig config;
+  config.cache_shards =
+      static_cast<std::uint32_t>(cli.get_int("cache-shards", 0));
+  store::QueryEngine engine(kmer_store, device, config);
+  const std::vector<std::uint64_t> counts = engine.lookup(keys);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    out << names[i] << "\t" << counts[i] << "\n";
+  }
+  out << "queried " << names.size() << " k-mers across "
+      << kmer_store.shards() << " shards, modeled "
+      << format_seconds(engine.stats().modeled_seconds) << "\n";
   return 0;
 }
 
@@ -337,6 +394,7 @@ int run_app(int argc, const char* const* argv, std::ostream& out,
     if (command == "graph") return cmd_graph(cli, out);
     if (command == "info") return cmd_info(cli, out);
     if (command == "compare") return cmd_compare(cli, out);
+    if (command == "query") return cmd_query(cli, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 1;
   } catch (const PreconditionError& e) {

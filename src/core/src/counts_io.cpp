@@ -1,5 +1,6 @@
 #include "dedukt/core/counts_io.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -39,6 +40,33 @@ void check(const CountsFile& file) {
                      "counts file k out of range: " << file.k);
 }
 
+// Bounded reserve for on-disk entry counts: a corrupt header must surface
+// as the typed ParseError its truncated payload raises, not a bad_alloc
+// from trusting a garbage length for the allocation.
+constexpr std::uint64_t kMaxReserve = 1u << 20;
+
+// Strict decimal u64: the whole field must be digits, no sign, no
+// trailing garbage, no overflow. strtoull accepted "-1", "7x" and
+// silently saturated on overflow — all of which are corrupt rows.
+std::uint64_t parse_count_field(const std::string& row, std::size_t begin) {
+  std::size_t end = row.size();
+  if (end > begin && row[end - 1] == '\r') --end;  // CRLF interop
+  if (begin >= end) throw ParseError("TSV counts row with empty count: " + row);
+  std::uint64_t value = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    const char c = row[i];
+    if (c < '0' || c > '9') {
+      throw ParseError("TSV counts row with bad count: " + row);
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      throw ParseError("TSV counts row with overflowing count: " + row);
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
 }  // namespace
 
 void write_counts_binary(std::ostream& out, const CountsFile& file) {
@@ -75,16 +103,29 @@ CountsFile read_counts_binary(std::istream& in) {
   }
   CountsFile file;
   file.k = static_cast<int>(read_u32(in));
+  // Corrupt input raises ParseError, not the writer-side precondition.
+  if (file.k < 1 || file.k > kmer::kMaxPackedK) {
+    throw ParseError("counts file k out of range: " +
+                     std::to_string(file.k));
+  }
   const std::uint32_t encoding = read_u32(in);
   if (encoding > 1) throw ParseError("bad encoding tag in counts file");
   file.encoding = encoding == 0 ? io::BaseEncoding::kStandard
                                 : io::BaseEncoding::kRandomized;
-  check(file);
   const std::uint64_t n = read_u64(in);
-  file.counts.reserve(n);
+  file.counts.reserve(std::min(n, kMaxReserve));
+  const std::uint64_t mask = kmer::code_mask(file.k);
   for (std::uint64_t i = 0; i < n; ++i) {
     const std::uint64_t key = read_u64(in);
     const std::uint64_t count = read_u64(in);
+    if (key > mask) {
+      throw ParseError("counts file key wider than 2k bits: " +
+                       std::to_string(key));
+    }
+    if (count == 0) throw ParseError("counts file entry with zero count");
+    if (!file.counts.empty() && file.counts.back().first >= key) {
+      throw ParseError("counts file keys are not strictly increasing");
+    }
     file.counts.emplace_back(key, count);
   }
   return file;
@@ -93,7 +134,11 @@ CountsFile read_counts_binary(std::istream& in) {
 CountsFile read_counts_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw ParseError("cannot open counts file: " + path);
-  return read_counts_binary(in);
+  CountsFile file = read_counts_binary(in);
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw ParseError("trailing bytes after counts payload: " + path);
+  }
+  return file;
 }
 
 void write_counts_tsv(std::ostream& out, const CountsFile& file) {
@@ -124,15 +169,15 @@ CountsFile read_counts_tsv(std::istream& in, io::BaseEncoding encoding) {
     const std::string kmer_str = line.substr(0, tab);
     if (file.k == 0) {
       file.k = static_cast<int>(kmer_str.size());
-      check(file);
+      if (file.k < 1 || file.k > kmer::kMaxPackedK) {
+        throw ParseError("TSV counts k-mer length out of range: " + line);
+      }
     } else if (kmer_str.size() != static_cast<std::size_t>(file.k)) {
       throw ParseError("TSV counts rows have mixed k-mer lengths");
     }
-    char* end = nullptr;
-    const std::uint64_t count =
-        std::strtoull(line.c_str() + tab + 1, &end, 10);
-    if (end == line.c_str() + tab + 1) {
-      throw ParseError("TSV counts row with bad count: " + line);
+    const std::uint64_t count = parse_count_field(line, tab + 1);
+    if (count == 0) {
+      throw ParseError("TSV counts row with zero count: " + line);
     }
     file.counts.emplace_back(kmer::pack(kmer_str, encoding), count);
   }

@@ -1,0 +1,60 @@
+#include "dedukt/core/store_export.hpp"
+
+#include "dedukt/store/store.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+store::StoreRouting store_routing_for(const PipelineConfig& config,
+                                      std::uint32_t nranks) {
+  if (config.kind == PipelineKind::kGpuSupermer) {
+    return store::StoreRouting::minimizer_hash(nranks, config.k, config.m,
+                                               config.order);
+  }
+  return store::StoreRouting::kmer_hash(nranks, config.k);
+}
+
+store::StoreRouting store_routing_for(const PipelineConfig& config,
+                                      std::uint32_t nranks,
+                                      const MinimizerAssignment& assignment) {
+  DEDUKT_REQUIRE_MSG(config.kind == PipelineKind::kGpuSupermer &&
+                         config.partition != PartitionScheme::kMinimizerHash,
+                     "an assignment table only routes the table-based "
+                     "supermer partition schemes");
+  return store::StoreRouting::assignment_table(assignment.table(), nranks,
+                                               config.k, config.m,
+                                               config.order);
+}
+
+namespace {
+
+store::Manifest write_with_routing(const std::string& dir,
+                                   const CountResult& result,
+                                   const store::StoreRouting& routing) {
+  DEDUKT_REQUIRE_MSG(!result.global_counts.empty() || result.nranks > 0,
+                     "store export needs a collected CountResult");
+  return store::write_store(dir, result.global_counts,
+                            result.config.encoding(), routing);
+}
+
+}  // namespace
+
+store::Manifest write_store_from_result(const std::string& dir,
+                                        const CountResult& result) {
+  return write_with_routing(
+      dir, result,
+      store_routing_for(result.config,
+                        static_cast<std::uint32_t>(result.nranks)));
+}
+
+store::Manifest write_store_from_result(
+    const std::string& dir, const CountResult& result,
+    const MinimizerAssignment& assignment) {
+  return write_with_routing(
+      dir, result,
+      store_routing_for(result.config,
+                        static_cast<std::uint32_t>(result.nranks),
+                        assignment));
+}
+
+}  // namespace dedukt::core

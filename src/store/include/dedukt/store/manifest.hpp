@@ -1,0 +1,68 @@
+// Store-level manifest: the one file that makes a shard directory
+// self-describing.
+//
+// File layout ("DKSM", all integers little-endian, written with the same
+// primitive framing as the counts_io binary format):
+//
+//   magic            4 bytes  "DKSM"
+//   version          u32
+//   k                u32
+//   encoding         u32      0 = standard, 1 = randomized (counts_io tag)
+//   routing mode     u32      store::RoutingMode
+//   shards           u32
+//   m                u32      0 in kmer-hash mode
+//   order            u32      kmer::MinimizerOrder (minimizer modes only)
+//   buckets          u32      bucket-table length; 0 unless table mode
+//   bucket table     buckets × u32
+//   shard table      shards × (entries u64, total u64, file_bytes u64)
+//
+// The shard table is the integrity anchor: KmerStore::open cross-checks
+// every shard file's entry count, summed count, and byte size against it,
+// so a swapped or truncated shard fails loudly instead of serving wrong
+// counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dedukt/io/dna.hpp"
+#include "dedukt/store/routing.hpp"
+
+namespace dedukt::store {
+
+inline constexpr char kManifestMagic[4] = {'D', 'K', 'S', 'M'};
+inline constexpr std::uint32_t kManifestVersion = 1;
+
+/// Name of the manifest file inside a store directory.
+inline constexpr const char* kManifestFilename = "MANIFEST.dksm";
+
+/// Fixed shard filename for shard index i: "shard_0000.dksh" etc.
+[[nodiscard]] std::string shard_filename(std::uint32_t shard);
+
+/// Per-shard summary recorded in the manifest.
+struct ShardInfo {
+  std::uint64_t entries = 0;      ///< distinct keys in the shard
+  std::uint64_t total_count = 0;  ///< sum of the shard's counts
+  std::uint64_t file_bytes = 0;   ///< exact shard file size
+
+  friend bool operator==(const ShardInfo&, const ShardInfo&) = default;
+};
+
+struct Manifest {
+  int k = 0;
+  io::BaseEncoding encoding = io::BaseEncoding::kStandard;
+  StoreRouting routing;  ///< routing.shards() == shards.size()
+  std::vector<ShardInfo> shards;
+
+  [[nodiscard]] std::uint64_t total_entries() const;
+  [[nodiscard]] std::uint64_t total_count() const;
+};
+
+void write_manifest_file(const std::string& path, const Manifest& manifest);
+
+/// Read and validate a manifest; malformed or truncated input raises
+/// ParseError.
+[[nodiscard]] Manifest read_manifest_file(const std::string& path);
+
+}  // namespace dedukt::store

@@ -1,0 +1,76 @@
+// One shard of the persistent store: the sorted (key, count) table of one
+// rank partition, laid out mmap-friendly.
+//
+// File layout ("DKSH", all integers little-endian, fixed offsets so a
+// reader can map the file and address each array directly):
+//
+//   magic            4 bytes  "DKSH"
+//   version          u32
+//   k                u32
+//   encoding         u32      0 = standard, 1 = randomized (counts_io tag)
+//   fanout           u32      prefix-index buckets = 4^min(4, k)
+//   entries          u64
+//   index            (fanout+1) × u64   entry offsets (see below)
+//   keys             entries × u64      strictly increasing packed k-mers
+//   counts           entries × u64      counts[i] belongs to keys[i]
+//
+// The prefix index is the store's on-disk analogue of the lookup kernels'
+// SortedTableView: bucket b covers the keys whose first min(4, k) bases —
+// the top 2·min(4, k) bits of the 2k-bit code — equal b, and
+// index[b]..index[b+1] bound that bucket's slice of the key array, so a
+// point lookup binary-searches ~entries/fanout keys instead of the whole
+// shard. index[0] == 0, index[fanout] == entries, monotone throughout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dedukt/io/dna.hpp"
+
+namespace dedukt::store {
+
+inline constexpr char kShardMagic[4] = {'D', 'K', 'S', 'H'};
+inline constexpr std::uint32_t kShardVersion = 1;
+
+/// Bases covered by the prefix index (min(4, k) ⇒ fanout ≤ 256).
+[[nodiscard]] int shard_prefix_bases(int k);
+
+/// Prefix-index fanout for a given k: 4^shard_prefix_bases(k).
+[[nodiscard]] std::uint32_t shard_fanout(int k);
+
+/// Right-shift mapping a packed key to its prefix bucket:
+/// bucket = key >> shard_prefix_shift(k).
+[[nodiscard]] int shard_prefix_shift(int k);
+
+/// In-memory image of one shard file.
+struct ShardFile {
+  int k = 0;
+  io::BaseEncoding encoding = io::BaseEncoding::kStandard;
+  std::vector<std::uint64_t> keys;    ///< sorted, strictly increasing
+  std::vector<std::uint64_t> counts;  ///< parallel to keys, all nonzero
+  std::vector<std::uint64_t> index;   ///< fanout+1 prefix offsets
+
+  [[nodiscard]] std::size_t entries() const { return keys.size(); }
+  [[nodiscard]] std::uint64_t total_count() const;
+  /// Exact on-disk size of this shard, for the manifest's shard table.
+  [[nodiscard]] std::uint64_t file_bytes() const;
+};
+
+/// Build the fanout+1 offset array for sorted `keys` (validates order).
+[[nodiscard]] std::vector<std::uint64_t> build_prefix_index(
+    const std::vector<std::uint64_t>& keys, int k);
+
+/// Assemble a shard from sorted (key, count) entries: splits columns,
+/// builds the prefix index, validates keys against k.
+[[nodiscard]] ShardFile make_shard(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries,
+    int k, io::BaseEncoding encoding);
+
+void write_shard_file(const std::string& path, const ShardFile& shard);
+
+/// Read and fully validate a shard file; any truncation, trailing bytes,
+/// or inconsistent header/index/keys raise ParseError.
+[[nodiscard]] ShardFile read_shard_file(const std::string& path);
+
+}  // namespace dedukt::store

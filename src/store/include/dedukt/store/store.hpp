@@ -1,0 +1,64 @@
+// The persistent sharded k-mer store: a directory of one manifest plus one
+// shard file per partition of the counting run that produced it (KMC 2's
+// disk-bin organization, with the bins being the pipeline's own rank
+// partitions).
+//
+//   <dir>/MANIFEST.dksm      store-level manifest (see manifest.hpp)
+//   <dir>/shard_0000.dksh    shard 0: rank 0's sorted (key, count) table
+//   <dir>/shard_0001.dksh    ...
+//
+// write_store splits a flat sorted (key, count) dump by the routing and
+// writes the directory; KmerStore::open reads the manifest, loads every
+// shard, and cross-checks each against its manifest ShardInfo. scan_all()
+// merges the shards back into the flat dump — the round-trip identity the
+// store tests pin down bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dedukt/io/dna.hpp"
+#include "dedukt/store/manifest.hpp"
+#include "dedukt/store/routing.hpp"
+#include "dedukt/store/shard.hpp"
+
+namespace dedukt::store {
+
+/// Shard a flat sorted (key, count) dump and write the store directory
+/// (which must already exist). Returns the manifest that was written.
+Manifest write_store(
+    const std::string& dir,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts,
+    io::BaseEncoding encoding, const StoreRouting& routing);
+
+/// An opened store: manifest + all shards, host-resident and validated.
+class KmerStore {
+ public:
+  [[nodiscard]] static KmerStore open(const std::string& dir);
+
+  [[nodiscard]] const Manifest& manifest() const { return manifest_; }
+  [[nodiscard]] const StoreRouting& routing() const {
+    return manifest_.routing;
+  }
+  [[nodiscard]] int k() const { return manifest_.k; }
+  [[nodiscard]] io::BaseEncoding encoding() const {
+    return manifest_.encoding;
+  }
+  [[nodiscard]] std::uint32_t shards() const {
+    return manifest_.routing.shards();
+  }
+  [[nodiscard]] const ShardFile& shard(std::uint32_t i) const;
+
+  /// All entries merged back to one sorted flat dump (shards partition the
+  /// key space by hash, so a k-way merge of sorted shards re-sorts it).
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  scan_all() const;
+
+ private:
+  Manifest manifest_;
+  std::vector<ShardFile> shards_;
+};
+
+}  // namespace dedukt::store

@@ -1,0 +1,189 @@
+#include "dedukt/store/manifest.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::store {
+
+namespace {
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in, const char* what) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) {
+    throw ParseError(std::string("truncated manifest (") + what + ")");
+  }
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) {
+    throw ParseError(std::string("truncated manifest (") + what + ")");
+  }
+  return v;
+}
+
+kmer::MinimizerOrder order_from_tag(std::uint32_t tag) {
+  switch (tag) {
+    case 0: return kmer::MinimizerOrder::kLexicographic;
+    case 1: return kmer::MinimizerOrder::kKmc2;
+    case 2: return kmer::MinimizerOrder::kRandomized;
+    default: throw ParseError("bad minimizer-order tag in manifest");
+  }
+}
+
+std::uint32_t order_tag(kmer::MinimizerOrder order) {
+  switch (order) {
+    case kmer::MinimizerOrder::kLexicographic: return 0;
+    case kmer::MinimizerOrder::kKmc2: return 1;
+    case kmer::MinimizerOrder::kRandomized: return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
+std::string shard_filename(std::uint32_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard_%04u.dksh", shard);
+  return name;
+}
+
+std::uint64_t Manifest::total_entries() const {
+  std::uint64_t total = 0;
+  for (const ShardInfo& shard : shards) total += shard.entries;
+  return total;
+}
+
+std::uint64_t Manifest::total_count() const {
+  std::uint64_t total = 0;
+  for (const ShardInfo& shard : shards) total += shard.total_count;
+  return total;
+}
+
+void write_manifest_file(const std::string& path, const Manifest& manifest) {
+  manifest.routing.validate();
+  DEDUKT_REQUIRE_MSG(manifest.shards.size() == manifest.routing.shards(),
+                     "manifest shard table size "
+                         << manifest.shards.size()
+                         << " != routing shard count "
+                         << manifest.routing.shards());
+  DEDUKT_REQUIRE_MSG(manifest.k == manifest.routing.k(),
+                     "manifest k disagrees with routing k");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  out.write(kManifestMagic, sizeof(kManifestMagic));
+  write_u32(out, kManifestVersion);
+  write_u32(out, static_cast<std::uint32_t>(manifest.k));
+  write_u32(out,
+            manifest.encoding == io::BaseEncoding::kStandard ? 0u : 1u);
+  write_u32(out, static_cast<std::uint32_t>(manifest.routing.mode()));
+  write_u32(out, manifest.routing.shards());
+  write_u32(out, static_cast<std::uint32_t>(manifest.routing.m()));
+  write_u32(out, order_tag(manifest.routing.order()));
+  const auto& table = manifest.routing.bucket_table();
+  write_u32(out, static_cast<std::uint32_t>(table.size()));
+  for (const std::uint32_t shard : table) write_u32(out, shard);
+  for (const ShardInfo& shard : manifest.shards) {
+    write_u64(out, shard.entries);
+    write_u64(out, shard.total_count);
+    write_u64(out, shard.file_bytes);
+  }
+  if (!out) throw ParseError("failed writing manifest: " + path);
+}
+
+Manifest read_manifest_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open manifest: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kManifestMagic, sizeof(magic)) != 0) {
+    throw ParseError("not a DEDUKT store manifest (bad magic): " + path);
+  }
+  const std::uint32_t version = read_u32(in, "version");
+  if (version != kManifestVersion) {
+    throw ParseError("unsupported manifest version " +
+                     std::to_string(version));
+  }
+  Manifest manifest;
+  manifest.k = static_cast<int>(read_u32(in, "k"));
+  if (manifest.k < 1 || manifest.k > kmer::kMaxPackedK) {
+    throw ParseError("manifest k out of range: " +
+                     std::to_string(manifest.k));
+  }
+  const std::uint32_t encoding_tag = read_u32(in, "encoding");
+  if (encoding_tag > 1) throw ParseError("bad encoding tag in manifest");
+  manifest.encoding = encoding_tag == 0 ? io::BaseEncoding::kStandard
+                                        : io::BaseEncoding::kRandomized;
+  const std::uint32_t mode_tag = read_u32(in, "routing mode");
+  if (mode_tag > static_cast<std::uint32_t>(RoutingMode::kAssignmentTable)) {
+    throw ParseError("bad routing-mode tag in manifest");
+  }
+  const auto mode = static_cast<RoutingMode>(mode_tag);
+  const std::uint32_t shards = read_u32(in, "shard count");
+  const std::uint32_t m = read_u32(in, "m");
+  const kmer::MinimizerOrder order = order_from_tag(read_u32(in, "order"));
+  const std::uint32_t buckets = read_u32(in, "bucket count");
+  // Same bounded-allocation discipline as the shard reader: the table and
+  // shard counts come from disk, so cap what a corrupt header can reserve.
+  if (shards > (1u << 24) || buckets > (1u << 24)) {
+    throw ParseError("implausible manifest shard/bucket count");
+  }
+  std::vector<std::uint32_t> table;
+  table.reserve(buckets);
+  for (std::uint32_t b = 0; b < buckets; ++b) {
+    table.push_back(read_u32(in, "bucket table"));
+  }
+  try {
+    switch (mode) {
+      case RoutingMode::kKmerHash:
+        manifest.routing = StoreRouting::kmer_hash(shards, manifest.k);
+        break;
+      case RoutingMode::kMinimizerHash:
+        manifest.routing = StoreRouting::minimizer_hash(
+            shards, manifest.k, static_cast<int>(m), order);
+        break;
+      case RoutingMode::kAssignmentTable:
+        manifest.routing = StoreRouting::assignment_table(
+            std::move(table), shards, manifest.k, static_cast<int>(m),
+            order);
+        break;
+    }
+  } catch (const PreconditionError& e) {
+    // Surface routing inconsistencies in a corrupt manifest as the parse
+    // errors they are, not precondition bugs in the caller.
+    throw ParseError(std::string("inconsistent manifest routing: ") +
+                     e.what());
+  }
+  if (mode != RoutingMode::kAssignmentTable && buckets != 0) {
+    throw ParseError("manifest bucket table present outside table mode");
+  }
+  manifest.shards.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    ShardInfo info;
+    info.entries = read_u64(in, "shard entries");
+    info.total_count = read_u64(in, "shard total");
+    info.file_bytes = read_u64(in, "shard bytes");
+    manifest.shards.push_back(info);
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw ParseError("trailing bytes after manifest payload: " + path);
+  }
+  return manifest;
+}
+
+}  // namespace dedukt::store

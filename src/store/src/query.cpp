@@ -1,0 +1,182 @@
+#include "dedukt/store/query.hpp"
+
+#include "dedukt/gpusim/lookup.hpp"
+#include "dedukt/trace/trace.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::store {
+
+QueryEngine::QueryEngine(const KmerStore& store, gpusim::Device& device,
+                         QueryEngineConfig config)
+    : store_(store), device_(device), config_(config) {
+  DEDUKT_REQUIRE_MSG(config_.histogram_bins >= 2,
+                     "histogram needs at least an exact bin and a tail bin");
+}
+
+gpusim::SortedTableView QueryEngine::table_view(
+    const ResidentShard& resident, const ShardFile& shard) const {
+  gpusim::SortedTableView view;
+  view.keys = &resident.keys;
+  view.values = &resident.counts;
+  view.offsets = &resident.index;
+  view.entries = shard.entries();
+  view.fanout = shard_fanout(shard.k);
+  view.prefix_shift = shard_prefix_shift(shard.k);
+  return view;
+}
+
+QueryEngine::ResidentShard& QueryEngine::ensure_resident(
+    std::uint32_t shard_id) {
+  ++touch_clock_;
+  auto it = resident_.find(shard_id);
+  if (it != resident_.end()) {
+    stats_.cache_hits += 1;
+    it->second.last_touch = touch_clock_;
+    return it->second;
+  }
+  stats_.cache_misses += 1;
+  if (config_.cache_shards > 0) {
+    while (resident_.size() >= config_.cache_shards) evict_lru();
+  }
+  const ShardFile& shard = store_.shard(shard_id);
+  ResidentShard resident;
+  resident.keys = device_.alloc<std::uint64_t>(shard.keys.size());
+  resident.counts = device_.alloc<std::uint64_t>(shard.counts.size());
+  resident.index = device_.alloc<std::uint64_t>(shard.index.size());
+  device_.copy_to_device<std::uint64_t>(shard.keys, resident.keys);
+  device_.copy_to_device<std::uint64_t>(shard.counts, resident.counts);
+  device_.copy_to_device<std::uint64_t>(shard.index, resident.index);
+  stats_.staged_bytes +=
+      (shard.keys.size() + shard.counts.size() + shard.index.size()) *
+      sizeof(std::uint64_t);
+  resident.last_touch = touch_clock_;
+  auto [pos, inserted] = resident_.emplace(shard_id, std::move(resident));
+  DEDUKT_CHECK(inserted);
+  return pos->second;
+}
+
+void QueryEngine::release(std::uint32_t shard_id) {
+  auto it = resident_.find(shard_id);
+  if (it == resident_.end()) return;
+  device_.free(it->second.keys);
+  device_.free(it->second.counts);
+  device_.free(it->second.index);
+  resident_.erase(it);
+}
+
+void QueryEngine::evict_lru() {
+  DEDUKT_CHECK(!resident_.empty());
+  // Oldest touch wins; the ordered map makes any (impossible, the clock is
+  // strictly increasing) tie fall to the lowest shard id.
+  auto victim = resident_.begin();
+  for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+    if (it->second.last_touch < victim->second.last_touch) victim = it;
+  }
+  device_.free(victim->second.keys);
+  device_.free(victim->second.counts);
+  device_.free(victim->second.index);
+  resident_.erase(victim);
+  stats_.evictions += 1;
+}
+
+template <typename Launch>
+void QueryEngine::run_batch(std::span<const std::uint64_t> keys,
+                            Launch&& launch) {
+  trace::ScopedSpan span(trace::kCategoryApp, "store_query_batch");
+  gpusim::DeviceCapture capture(device_);
+  // Route and group: one kernel launch per touched shard, shards visited
+  // in ascending id so residency traffic is a pure function of the stream.
+  std::map<std::uint32_t, std::vector<std::size_t>> by_shard;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    by_shard[store_.routing().shard_of(keys[i])].push_back(i);
+  }
+  for (const auto& [shard_id, positions] : by_shard) {
+    const ShardFile& shard = store_.shard(shard_id);
+    ResidentShard& resident = ensure_resident(shard_id);
+    std::vector<std::uint64_t> shard_queries;
+    shard_queries.reserve(positions.size());
+    for (const std::size_t pos : positions) {
+      shard_queries.push_back(keys[pos]);
+    }
+    auto queries_dev = device_.alloc<std::uint64_t>(shard_queries.size());
+    device_.copy_to_device<std::uint64_t>(shard_queries, queries_dev);
+    launch(table_view(resident, shard), queries_dev, shard_queries.size(),
+           positions);
+    device_.free(queries_dev);
+    if (config_.cache_shards == 0) release(shard_id);
+  }
+  stats_.batches += 1;
+  stats_.queries += keys.size();
+  last_batch_seconds_ = capture.modeled_seconds();
+  stats_.modeled_seconds += capture.modeled_seconds();
+  stats_.transfer_seconds += capture.transfer_seconds();
+  if (span.active()) {
+    span.set_modeled_seconds(capture.modeled_seconds());
+    span.arg_u64("queries", keys.size());
+    span.arg_u64("shards_touched", by_shard.size());
+  }
+}
+
+std::vector<std::uint64_t> QueryEngine::lookup(
+    std::span<const std::uint64_t> keys) {
+  std::vector<std::uint64_t> results(keys.size(), 0);
+  run_batch(keys, [&](const gpusim::SortedTableView& table,
+                      const gpusim::DeviceBuffer<std::uint64_t>& queries,
+                      std::size_t n, const std::vector<std::size_t>& pos) {
+    auto out_dev = device_.alloc<std::uint64_t>(n);
+    gpusim::lookup_sorted(device_, table, queries, n, out_dev);
+    std::vector<std::uint64_t> out_host(n);
+    device_.copy_to_host(out_dev, std::span<std::uint64_t>(out_host));
+    device_.free(out_dev);
+    for (std::size_t i = 0; i < n; ++i) {
+      results[pos[i]] = out_host[i];
+      if (out_host[i] != 0) stats_.found += 1;
+    }
+  });
+  return results;
+}
+
+std::vector<std::uint8_t> QueryEngine::contains(
+    std::span<const std::uint64_t> keys) {
+  std::vector<std::uint8_t> results(keys.size(), 0);
+  run_batch(keys, [&](const gpusim::SortedTableView& table,
+                      const gpusim::DeviceBuffer<std::uint64_t>& queries,
+                      std::size_t n, const std::vector<std::size_t>& pos) {
+    auto out_dev = device_.alloc<std::uint8_t>(n);
+    gpusim::member_sorted(device_, table, queries, n, out_dev);
+    std::vector<std::uint8_t> out_host(n);
+    device_.copy_to_host(out_dev, std::span<std::uint8_t>(out_host));
+    device_.free(out_dev);
+    for (std::size_t i = 0; i < n; ++i) {
+      results[pos[i]] = out_host[i];
+    }
+  });
+  return results;
+}
+
+std::vector<std::uint64_t> QueryEngine::histogram() {
+  trace::ScopedSpan span(trace::kCategoryApp, "store_histogram");
+  gpusim::DeviceCapture capture(device_);
+  auto bins_dev =
+      device_.alloc<std::uint64_t>(config_.histogram_bins, std::uint64_t{0});
+  for (std::uint32_t s = 0; s < store_.shards(); ++s) {
+    const ShardFile& shard = store_.shard(s);
+    if (shard.entries() == 0) continue;
+    ResidentShard& resident = ensure_resident(s);
+    gpusim::value_histogram(device_, resident.counts, shard.entries(),
+                            config_.histogram_bins, bins_dev);
+    if (config_.cache_shards == 0) release(s);
+  }
+  std::vector<std::uint64_t> bins(config_.histogram_bins, 0);
+  device_.copy_to_host(bins_dev, std::span<std::uint64_t>(bins));
+  device_.free(bins_dev);
+  stats_.modeled_seconds += capture.modeled_seconds();
+  stats_.transfer_seconds += capture.transfer_seconds();
+  if (span.active()) {
+    span.set_modeled_seconds(capture.modeled_seconds());
+    span.arg_u64("bins", config_.histogram_bins);
+  }
+  return bins;
+}
+
+}  // namespace dedukt::store

@@ -1,0 +1,94 @@
+#include "dedukt/store/routing.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::store {
+
+const char* to_string(RoutingMode mode) {
+  switch (mode) {
+    case RoutingMode::kKmerHash: return "kmer-hash";
+    case RoutingMode::kMinimizerHash: return "minimizer-hash";
+    case RoutingMode::kAssignmentTable: return "assignment-table";
+  }
+  return "?";
+}
+
+StoreRouting StoreRouting::kmer_hash(std::uint32_t shards, int k) {
+  StoreRouting r;
+  r.mode_ = RoutingMode::kKmerHash;
+  r.shards_ = shards;
+  r.k_ = k;
+  r.validate();
+  return r;
+}
+
+StoreRouting StoreRouting::minimizer_hash(std::uint32_t shards, int k, int m,
+                                          kmer::MinimizerOrder order) {
+  StoreRouting r;
+  r.mode_ = RoutingMode::kMinimizerHash;
+  r.shards_ = shards;
+  r.k_ = k;
+  r.m_ = m;
+  r.order_ = order;
+  r.validate();
+  return r;
+}
+
+StoreRouting StoreRouting::assignment_table(
+    std::vector<std::uint32_t> bucket_to_shard, std::uint32_t shards, int k,
+    int m, kmer::MinimizerOrder order) {
+  StoreRouting r;
+  r.mode_ = RoutingMode::kAssignmentTable;
+  r.bucket_to_shard_ = std::move(bucket_to_shard);
+  r.shards_ = shards;
+  r.k_ = k;
+  r.m_ = m;
+  r.order_ = order;
+  r.validate();
+  return r;
+}
+
+std::uint32_t StoreRouting::shard_of(std::uint64_t key) const {
+  if (mode_ == RoutingMode::kKmerHash) {
+    return kmer::kmer_partition(key, shards_);
+  }
+  const kmer::KmerCode minimizer =
+      kmer::minimizer_of(key, k_, kmer::MinimizerPolicy(order_, m_));
+  if (mode_ == RoutingMode::kMinimizerHash) {
+    return kmer::minimizer_partition(minimizer, shards_);
+  }
+  // Bucket-table mode replays MinimizerAssignment::rank_of: the same
+  // destination hash into the persisted table's bucket count.
+  const std::uint32_t bucket = hash::to_partition(
+      hash::hash_u64(minimizer, kmer::kDestinationHashSeed),
+      static_cast<std::uint32_t>(bucket_to_shard_.size()));
+  return bucket_to_shard_[bucket];
+}
+
+void StoreRouting::validate() const {
+  DEDUKT_REQUIRE_MSG(shards_ >= 1, "store needs at least one shard");
+  DEDUKT_REQUIRE_MSG(k_ >= 1 && k_ <= kmer::kMaxPackedK,
+                     "store routing k out of range: " << k_);
+  if (mode_ == RoutingMode::kKmerHash) {
+    DEDUKT_REQUIRE_MSG(m_ == 0 && bucket_to_shard_.empty(),
+                       "kmer-hash routing carries no minimizer state");
+    return;
+  }
+  DEDUKT_REQUIRE_MSG(m_ >= 1 && m_ < k_,
+                     "store routing needs 1 <= m < k, got m=" << m_);
+  if (mode_ == RoutingMode::kAssignmentTable) {
+    DEDUKT_REQUIRE_MSG(!bucket_to_shard_.empty(),
+                       "assignment-table routing needs a bucket table");
+    for (const std::uint32_t shard : bucket_to_shard_) {
+      DEDUKT_REQUIRE_MSG(shard < shards_,
+                         "bucket table entry " << shard
+                                               << " out of range for "
+                                               << shards_ << " shards");
+    }
+  } else {
+    DEDUKT_REQUIRE_MSG(bucket_to_shard_.empty(),
+                       "minimizer-hash routing carries no bucket table");
+  }
+}
+
+}  // namespace dedukt::store

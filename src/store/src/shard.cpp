@@ -1,0 +1,204 @@
+#include "dedukt/store/shard.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::store {
+
+namespace {
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint32_t read_u32(std::istream& in, const char* what) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw ParseError(std::string("truncated shard file (") + what + ")");
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in, const char* what) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw ParseError(std::string("truncated shard file (") + what + ")");
+  return v;
+}
+
+// Bounded reserve: never trust an on-disk count for an allocation size —
+// a corrupt header would otherwise turn into a bad_alloc instead of the
+// typed ParseError the per-element reads raise on the (inevitably)
+// truncated payload.
+constexpr std::uint64_t kMaxReserve = 1u << 20;
+
+void check_header(int k, std::uint32_t encoding_tag, std::uint32_t fanout) {
+  if (k < 1 || k > kmer::kMaxPackedK) {
+    throw ParseError("shard file k out of range: " + std::to_string(k));
+  }
+  if (encoding_tag > 1) throw ParseError("bad encoding tag in shard file");
+  if (fanout != shard_fanout(k)) {
+    throw ParseError("shard file fanout " + std::to_string(fanout) +
+                     " does not match k=" + std::to_string(k));
+  }
+}
+
+}  // namespace
+
+int shard_prefix_bases(int k) { return std::min(4, k); }
+
+std::uint32_t shard_fanout(int k) {
+  return 1u << (2 * shard_prefix_bases(k));
+}
+
+int shard_prefix_shift(int k) { return 2 * (k - shard_prefix_bases(k)); }
+
+std::uint64_t ShardFile::total_count() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  return total;
+}
+
+std::uint64_t ShardFile::file_bytes() const {
+  return sizeof(kShardMagic) + 4 * sizeof(std::uint32_t) +
+         sizeof(std::uint64_t) +
+         (index.size() + keys.size() + counts.size()) * sizeof(std::uint64_t);
+}
+
+std::vector<std::uint64_t> build_prefix_index(
+    const std::vector<std::uint64_t>& keys, int k) {
+  const std::uint32_t fanout = shard_fanout(k);
+  const int shift = shard_prefix_shift(k);
+  std::vector<std::uint64_t> index(fanout + 1, 0);
+  std::uint64_t prev_bucket = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    DEDUKT_REQUIRE_MSG(i == 0 || keys[i - 1] < keys[i],
+                       "shard keys must be strictly increasing");
+    const std::uint64_t bucket = keys[i] >> shift;
+    DEDUKT_REQUIRE_MSG(bucket < fanout,
+                       "shard key wider than 2k bits: " << keys[i]);
+    // Sorted keys visit buckets in order; open every bucket between the
+    // previous key's and this one at the current entry position.
+    for (std::uint64_t b = prev_bucket + 1; b <= bucket; ++b) index[b] = i;
+    prev_bucket = bucket;
+  }
+  for (std::uint64_t b = prev_bucket + 1; b <= fanout; ++b) {
+    index[b] = keys.size();
+  }
+  return index;
+}
+
+ShardFile make_shard(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& entries,
+    int k, io::BaseEncoding encoding) {
+  DEDUKT_REQUIRE_MSG(k >= 1 && k <= kmer::kMaxPackedK,
+                     "shard k out of range: " << k);
+  ShardFile shard;
+  shard.k = k;
+  shard.encoding = encoding;
+  shard.keys.reserve(entries.size());
+  shard.counts.reserve(entries.size());
+  const std::uint64_t mask = kmer::code_mask(k);
+  for (const auto& [key, count] : entries) {
+    DEDUKT_REQUIRE_MSG(key <= mask, "shard key wider than 2k bits: " << key);
+    DEDUKT_REQUIRE_MSG(count != 0, "shard entry with zero count");
+    shard.keys.push_back(key);
+    shard.counts.push_back(count);
+  }
+  shard.index = build_prefix_index(shard.keys, k);
+  return shard;
+}
+
+void write_shard_file(const std::string& path, const ShardFile& shard) {
+  DEDUKT_REQUIRE_MSG(shard.counts.size() == shard.keys.size(),
+                     "shard key/count columns differ in length");
+  DEDUKT_REQUIRE_MSG(shard.index.size() ==
+                         static_cast<std::size_t>(shard_fanout(shard.k)) + 1,
+                     "shard index size does not match fanout");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw ParseError("cannot open for writing: " + path);
+  out.write(kShardMagic, sizeof(kShardMagic));
+  write_u32(out, kShardVersion);
+  write_u32(out, static_cast<std::uint32_t>(shard.k));
+  write_u32(out, shard.encoding == io::BaseEncoding::kStandard ? 0u : 1u);
+  write_u32(out, shard_fanout(shard.k));
+  write_u64(out, shard.keys.size());
+  for (const std::uint64_t v : shard.index) write_u64(out, v);
+  for (const std::uint64_t v : shard.keys) write_u64(out, v);
+  for (const std::uint64_t v : shard.counts) write_u64(out, v);
+  if (!out) throw ParseError("failed writing shard file: " + path);
+}
+
+ShardFile read_shard_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open shard file: " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kShardMagic, sizeof(magic)) != 0) {
+    throw ParseError("not a DEDUKT shard file (bad magic): " + path);
+  }
+  const std::uint32_t version = read_u32(in, "version");
+  if (version != kShardVersion) {
+    throw ParseError("unsupported shard file version " +
+                     std::to_string(version));
+  }
+  ShardFile shard;
+  shard.k = static_cast<int>(read_u32(in, "k"));
+  const std::uint32_t encoding_tag = read_u32(in, "encoding");
+  const std::uint32_t fanout = read_u32(in, "fanout");
+  check_header(shard.k, encoding_tag, fanout);
+  shard.encoding = encoding_tag == 0 ? io::BaseEncoding::kStandard
+                                     : io::BaseEncoding::kRandomized;
+  const std::uint64_t n = read_u64(in, "entry count");
+
+  shard.index.reserve(fanout + 1);
+  for (std::uint64_t b = 0; b <= fanout; ++b) {
+    shard.index.push_back(read_u64(in, "index"));
+  }
+  if (shard.index.front() != 0 || shard.index.back() != n) {
+    throw ParseError("shard prefix index does not span the entry array");
+  }
+  for (std::size_t b = 1; b < shard.index.size(); ++b) {
+    if (shard.index[b - 1] > shard.index[b]) {
+      throw ParseError("shard prefix index is not monotone");
+    }
+  }
+
+  const std::uint64_t mask = kmer::code_mask(shard.k);
+  const int shift = shard_prefix_shift(shard.k);
+  shard.keys.reserve(std::min(n, kMaxReserve));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t key = read_u64(in, "key");
+    if (key > mask) {
+      throw ParseError("shard key wider than 2k bits: " + std::to_string(key));
+    }
+    if (!shard.keys.empty() && shard.keys.back() >= key) {
+      throw ParseError("shard keys are not strictly increasing");
+    }
+    const std::uint64_t bucket = key >> shift;
+    if (i < shard.index[bucket] || i >= shard.index[bucket + 1]) {
+      throw ParseError("shard key outside its prefix-index bucket");
+    }
+    shard.keys.push_back(key);
+  }
+  shard.counts.reserve(std::min(n, kMaxReserve));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t count = read_u64(in, "count");
+    if (count == 0) throw ParseError("shard entry with zero count");
+    shard.counts.push_back(count);
+  }
+  if (in.peek() != std::ifstream::traits_type::eof()) {
+    throw ParseError("trailing bytes after shard payload: " + path);
+  }
+  return shard;
+}
+
+}  // namespace dedukt::store

@@ -1,0 +1,113 @@
+#include "dedukt/store/store.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::store {
+
+namespace {
+
+std::string join(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace
+
+Manifest write_store(
+    const std::string& dir,
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts,
+    io::BaseEncoding encoding, const StoreRouting& routing) {
+  routing.validate();
+  // One pass splits the sorted dump into per-shard entry lists; each list
+  // inherits the dump's sort order, so the shard files are sorted too.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      per_shard(routing.shards());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    DEDUKT_REQUIRE_MSG(i == 0 || counts[i - 1].first < counts[i].first,
+                       "store input must be sorted with unique keys");
+    per_shard[routing.shard_of(counts[i].first)].push_back(counts[i]);
+  }
+
+  Manifest manifest;
+  manifest.k = routing.k();
+  manifest.encoding = encoding;
+  manifest.routing = routing;
+  manifest.shards.reserve(routing.shards());
+  for (std::uint32_t s = 0; s < routing.shards(); ++s) {
+    const ShardFile shard = make_shard(per_shard[s], routing.k(), encoding);
+    write_shard_file(join(dir, shard_filename(s)), shard);
+    ShardInfo info;
+    info.entries = shard.entries();
+    info.total_count = shard.total_count();
+    info.file_bytes = shard.file_bytes();
+    manifest.shards.push_back(info);
+  }
+  write_manifest_file(join(dir, kManifestFilename), manifest);
+  return manifest;
+}
+
+KmerStore KmerStore::open(const std::string& dir) {
+  KmerStore store;
+  store.manifest_ = read_manifest_file(join(dir, kManifestFilename));
+  const Manifest& manifest = store.manifest_;
+  store.shards_.reserve(manifest.shards.size());
+  for (std::uint32_t s = 0; s < manifest.shards.size(); ++s) {
+    const std::string path = join(dir, shard_filename(s));
+    ShardFile shard = read_shard_file(path);
+    const ShardInfo& info = manifest.shards[s];
+    if (shard.k != manifest.k ||
+        shard.encoding != manifest.encoding) {
+      throw ParseError("shard header disagrees with manifest: " + path);
+    }
+    if (shard.entries() != info.entries ||
+        shard.total_count() != info.total_count ||
+        shard.file_bytes() != info.file_bytes) {
+      throw ParseError("shard does not match its manifest entry: " + path);
+    }
+    store.shards_.push_back(std::move(shard));
+  }
+  return store;
+}
+
+const ShardFile& KmerStore::shard(std::uint32_t i) const {
+  DEDUKT_REQUIRE_MSG(i < shards_.size(),
+                     "shard index " << i << " out of range");
+  return shards_[i];
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> KmerStore::scan_all()
+    const {
+  // k-way merge of the sorted shards, smallest key first. Keys are unique
+  // across shards (each key routes to exactly one shard), so no tie logic.
+  struct Cursor {
+    std::uint32_t shard;
+    std::size_t pos;
+  };
+  auto greater = [this](const Cursor& a, const Cursor& b) {
+    return shards_[a.shard].keys[a.pos] > shards_[b.shard].keys[b.pos];
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(greater)> heap(
+      greater);
+  std::size_t total = 0;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    total += shards_[s].entries();
+    if (shards_[s].entries() > 0) heap.push(Cursor{s, 0});
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    const Cursor top = heap.top();
+    heap.pop();
+    const ShardFile& shard = shards_[top.shard];
+    merged.emplace_back(shard.keys[top.pos], shard.counts[top.pos]);
+    if (top.pos + 1 < shard.entries()) {
+      heap.push(Cursor{top.shard, top.pos + 1});
+    }
+  }
+  return merged;
+}
+
+}  // namespace dedukt::store

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "dedukt/core/driver.hpp"
 #include "dedukt/io/synthetic.hpp"
@@ -66,6 +70,90 @@ TEST(CountsBinaryTest, BadKRejected) {
   EXPECT_THROW(write_counts_binary(buffer, file), PreconditionError);
 }
 
+TEST(CountsBinaryTest, TruncationAtEveryOffsetRejected) {
+  std::stringstream buffer;
+  write_counts_binary(buffer, sample_file());
+  const std::string bytes = buffer.str();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream truncated(bytes.substr(0, len));
+    EXPECT_THROW(read_counts_binary(truncated), ParseError)
+        << "at length " << len;
+  }
+}
+
+TEST(CountsBinaryTest, GarbageEntryCountIsTypedErrorNotBadAlloc) {
+  std::stringstream buffer;
+  write_counts_binary(buffer, sample_file());
+  std::string bytes = buffer.str();
+  // entries u64 sits after magic(4) + version/k/encoding u32s.
+  const std::uint64_t huge = ~0ull;
+  std::memcpy(bytes.data() + 4 + 3 * 4, &huge, sizeof(huge));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_counts_binary(corrupt), ParseError);
+}
+
+TEST(CountsBinaryTest, KeyWiderThanKRejected) {
+  std::stringstream buffer;
+  write_counts_binary(buffer, sample_file());
+  std::string bytes = buffer.str();
+  const std::uint64_t wide = kmer::code_mask(5) + 1;  // 2k+2 bits for k=5
+  std::memcpy(bytes.data() + 4 + 3 * 4 + 8, &wide, sizeof(wide));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_counts_binary(corrupt), ParseError);
+}
+
+TEST(CountsBinaryTest, ZeroCountRejected) {
+  std::stringstream buffer;
+  write_counts_binary(buffer, sample_file());
+  std::string bytes = buffer.str();
+  const std::uint64_t zero = 0;
+  std::memcpy(bytes.data() + bytes.size() - 8, &zero, sizeof(zero));
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_counts_binary(corrupt), ParseError);
+}
+
+TEST(CountsBinaryTest, NonIncreasingKeysRejected) {
+  CountsFile file = sample_file();
+  std::swap(file.counts[0], file.counts[1]);  // unsorted on disk
+  std::stringstream buffer;
+  write_counts_binary(buffer, file);
+  EXPECT_THROW(read_counts_binary(buffer), ParseError);
+
+  CountsFile dup = sample_file();
+  dup.counts[1] = dup.counts[0];  // duplicate key
+  std::stringstream dup_buffer;
+  write_counts_binary(dup_buffer, dup);
+  EXPECT_THROW(read_counts_binary(dup_buffer), ParseError);
+}
+
+TEST(CountsBinaryTest, EveryFlippedByteFailsTypedOrRoundTrips) {
+  // Fuzz-ish sweep: any single corrupted byte must either parse (count
+  // bytes, say) or raise ParseError — never crash or escape untyped.
+  std::stringstream buffer;
+  write_counts_binary(buffer, sample_file());
+  const std::string bytes = buffer.str();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    std::stringstream in(mutated);
+    try {
+      (void)read_counts_binary(in);
+    } catch (const ParseError&) {
+      // typed rejection is the expected outcome for most positions
+    }
+  }
+}
+
+TEST(CountsIoTest, TrailingBytesInFileRejected) {
+  const std::string path = testing::TempDir() + "/dedukt_trailing.bin";
+  write_counts_binary_file(path, sample_file());
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("x", 1);
+  }
+  EXPECT_THROW(read_counts_binary_file(path), ParseError);
+}
+
 TEST(CountsTsvTest, RoundTrip) {
   const CountsFile original = sample_file();
   std::stringstream buffer;
@@ -92,6 +180,48 @@ TEST(CountsTsvTest, MissingTabRejected) {
   std::stringstream buffer("ACGT 7\n");
   EXPECT_THROW(read_counts_tsv(buffer, io::BaseEncoding::kStandard),
                ParseError);
+}
+
+TEST(CountsTsvTest, MalformedCountFieldsRejected) {
+  const std::vector<std::string> bad_rows = {
+      "ACGT\t\n",                      // empty count
+      "ACGT\t7x\n",                    // trailing garbage
+      "ACGT\t-1\n",                    // sign not allowed
+      "ACGT\t+3\n",                    // sign not allowed
+      "ACGT\t 7\n",                    // interior whitespace
+      "ACGT\t0\n",                     // zero count
+      "ACGT\t18446744073709551616\n",  // UINT64_MAX + 1 overflows
+      "ACGT\t99999999999999999999999999\n",
+  };
+  for (const std::string& row : bad_rows) {
+    std::stringstream buffer(row);
+    EXPECT_THROW(read_counts_tsv(buffer, io::BaseEncoding::kStandard),
+                 ParseError)
+        << "row: " << row;
+  }
+}
+
+TEST(CountsTsvTest, OverlongKmerRejected) {
+  std::stringstream buffer(std::string(40, 'A') + "\t1\n");
+  EXPECT_THROW(read_counts_tsv(buffer, io::BaseEncoding::kStandard),
+               ParseError);
+}
+
+TEST(CountsTsvTest, CrlfRowsAccepted) {
+  std::stringstream buffer("ACGT\t7\r\nCGTA\t2\r\n");
+  const CountsFile loaded =
+      read_counts_tsv(buffer, io::BaseEncoding::kStandard);
+  ASSERT_EQ(loaded.counts.size(), 2u);
+  EXPECT_EQ(loaded.counts[0].second, 7u);
+  EXPECT_EQ(loaded.counts[1].second, 2u);
+}
+
+TEST(CountsTsvTest, Uint64MaxCountAccepted) {
+  std::stringstream buffer("ACGT\t18446744073709551615\n");
+  const CountsFile loaded =
+      read_counts_tsv(buffer, io::BaseEncoding::kStandard);
+  ASSERT_EQ(loaded.counts.size(), 1u);
+  EXPECT_EQ(loaded.counts[0].second, UINT64_MAX);
 }
 
 TEST(CountsIoTest, PipelineResultRoundTripsThroughDisk) {

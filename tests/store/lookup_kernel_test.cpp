@@ -1,0 +1,223 @@
+// Direct tests of the priced gpusim lookup kernels: results against a host
+// linear scan, and charge/modeled-time invariance across pool sizes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/gpusim/lookup.hpp"
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/store/shard.hpp"
+#include "dedukt/util/rng.hpp"
+#include "dedukt/util/thread_pool.hpp"
+
+namespace dedukt::gpusim {
+namespace {
+
+/// Device-resident copy of a shard, exposing a SortedTableView.
+struct DeviceTable {
+  DeviceTable(Device& device, const store::ShardFile& shard)
+      : device_(device),
+        keys_(device.alloc<std::uint64_t>(std::max<std::size_t>(
+            shard.entries(), 1))),
+        values_(device.alloc<std::uint64_t>(std::max<std::size_t>(
+            shard.entries(), 1))),
+        offsets_(device.alloc<std::uint64_t>(shard.index.size())) {
+    if (shard.entries() > 0) {
+      device.copy_to_device<std::uint64_t>(shard.keys, keys_);
+      device.copy_to_device<std::uint64_t>(shard.counts, values_);
+    }
+    device.copy_to_device<std::uint64_t>(shard.index, offsets_);
+    view_.keys = &keys_;
+    view_.values = &values_;
+    view_.offsets = &offsets_;
+    view_.entries = shard.entries();
+    view_.fanout = store::shard_fanout(shard.k);
+    view_.prefix_shift = store::shard_prefix_shift(shard.k);
+  }
+  ~DeviceTable() {
+    device_.free(keys_);
+    device_.free(values_);
+    device_.free(offsets_);
+  }
+
+  Device& device_;
+  DeviceBuffer<std::uint64_t> keys_, values_, offsets_;
+  SortedTableView view_;
+};
+
+store::ShardFile sample_shard(int k, std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.below(kmer::code_mask(k) + 1));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  for (const std::uint64_t key : keys) {
+    entries.emplace_back(key, (key % 61) + 1);
+  }
+  return store::make_shard(entries, k, io::BaseEncoding::kStandard);
+}
+
+std::vector<std::uint64_t> mixed_queries(const store::ShardFile& shard,
+                                         std::size_t n,
+                                         std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> queries;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.below(2) == 0 && !shard.keys.empty()) {
+      queries.push_back(shard.keys[rng.below(shard.keys.size())]);
+    } else {
+      queries.push_back(rng.below(kmer::code_mask(shard.k) + 1));
+    }
+  }
+  return queries;
+}
+
+TEST(LookupKernelTest, LookupMatchesHostLinearScan) {
+  const store::ShardFile shard = sample_shard(11, 4000, 0x11);
+  Device device;
+  DeviceTable table(device, shard);
+  const std::vector<std::uint64_t> queries = mixed_queries(shard, 2000, 0x22);
+
+  auto d_queries = device.alloc<std::uint64_t>(queries.size());
+  device.copy_to_device<std::uint64_t>(queries, d_queries);
+  auto d_out = device.alloc<std::uint64_t>(queries.size());
+  const LaunchStats stats =
+      lookup_sorted(device, table.view_, d_queries, queries.size(), d_out);
+  std::vector<std::uint64_t> out(queries.size());
+  device.copy_to_host<std::uint64_t>(d_out, out);
+  device.free(d_queries);
+  device.free(d_out);
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    std::uint64_t expected = 0;
+    const auto it = std::lower_bound(shard.keys.begin(), shard.keys.end(),
+                                     queries[i]);
+    if (it != shard.keys.end() && *it == queries[i]) {
+      expected = shard.counts[static_cast<std::size_t>(
+          it - shard.keys.begin())];
+    }
+    ASSERT_EQ(out[i], expected) << "query " << i;
+  }
+  EXPECT_GE(stats.counters.threads, queries.size());  // grid is block-padded
+  EXPECT_GT(stats.counters.gmem_read_bytes, 0u);
+  EXPECT_EQ(stats.counters.gmem_write_bytes, queries.size() * 8);
+  EXPECT_EQ(stats.counters.atomics, 0u);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+TEST(LookupKernelTest, MemberMatchesLookup) {
+  const store::ShardFile shard = sample_shard(9, 1500, 0x33);
+  Device device;
+  DeviceTable table(device, shard);
+  const std::vector<std::uint64_t> queries = mixed_queries(shard, 800, 0x44);
+
+  auto d_queries = device.alloc<std::uint64_t>(queries.size());
+  device.copy_to_device<std::uint64_t>(queries, d_queries);
+  auto d_values = device.alloc<std::uint64_t>(queries.size());
+  auto d_member = device.alloc<std::uint8_t>(queries.size());
+  (void)lookup_sorted(device, table.view_, d_queries, queries.size(),
+                      d_values);
+  const LaunchStats stats =
+      member_sorted(device, table.view_, d_queries, queries.size(), d_member);
+  std::vector<std::uint64_t> values(queries.size());
+  std::vector<std::uint8_t> member(queries.size());
+  device.copy_to_host<std::uint64_t>(d_values, values);
+  device.copy_to_host<std::uint8_t>(d_member, member);
+  device.free(d_queries);
+  device.free(d_values);
+  device.free(d_member);
+
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(member[i], values[i] != 0 ? 1 : 0);
+  }
+  EXPECT_EQ(stats.counters.gmem_write_bytes, queries.size() * 1);
+}
+
+TEST(LookupKernelTest, EmptyTableFindsNothing) {
+  const store::ShardFile shard =
+      store::make_shard({}, 7, io::BaseEncoding::kStandard);
+  Device device;
+  DeviceTable table(device, shard);
+  const std::vector<std::uint64_t> queries = {0, 1, 42};
+  auto d_queries = device.alloc<std::uint64_t>(queries.size());
+  device.copy_to_device<std::uint64_t>(queries, d_queries);
+  auto d_out = device.alloc<std::uint64_t>(queries.size(), 7u);
+  (void)lookup_sorted(device, table.view_, d_queries, queries.size(), d_out);
+  std::vector<std::uint64_t> out(queries.size());
+  device.copy_to_host<std::uint64_t>(d_out, out);
+  device.free(d_queries);
+  device.free(d_out);
+  for (const std::uint64_t v : out) EXPECT_EQ(v, 0u);
+}
+
+TEST(LookupKernelTest, HistogramMatchesHostAndCapsLastBin) {
+  const store::ShardFile shard = sample_shard(13, 6000, 0x55);
+  Device device;
+  const std::size_t nbins = 32;
+
+  auto d_values = device.alloc<std::uint64_t>(shard.counts.size());
+  device.copy_to_device<std::uint64_t>(shard.counts, d_values);
+  auto d_bins = device.alloc<std::uint64_t>(nbins, 0u);
+  const LaunchStats stats =
+      value_histogram(device, d_values, shard.counts.size(), nbins, d_bins);
+  std::vector<std::uint64_t> bins(nbins);
+  device.copy_to_host<std::uint64_t>(d_bins, bins);
+  device.free(d_values);
+  device.free(d_bins);
+
+  std::vector<std::uint64_t> expected(nbins, 0);
+  for (const std::uint64_t count : shard.counts) {
+    expected[std::min<std::uint64_t>(count, nbins - 1)] += 1;
+  }
+  EXPECT_EQ(bins, expected);
+  // Block-local aggregation: global atomics bounded by blocks * nbins,
+  // far below one per value.
+  EXPECT_LT(stats.counters.atomics, shard.counts.size());
+  EXPECT_GT(stats.counters.smem_atomics, 0u);
+}
+
+TEST(LookupKernelTest, ChargesInvariantAcrossSimThreads) {
+  const store::ShardFile shard = sample_shard(11, 3000, 0x66);
+  const std::vector<std::uint64_t> queries = mixed_queries(shard, 1024, 0x77);
+
+  auto run = [&](unsigned threads) {
+    util::ThreadPool::set_global_threads(threads);
+    Device device;
+    DeviceTable table(device, shard);
+    auto d_queries = device.alloc<std::uint64_t>(queries.size());
+    device.copy_to_device<std::uint64_t>(queries, d_queries);
+    auto d_out = device.alloc<std::uint64_t>(queries.size());
+    auto d_bins = device.alloc<std::uint64_t>(16, 0u);
+    const LaunchStats lookup = lookup_sorted(device, table.view_, d_queries,
+                                             queries.size(), d_out);
+    const LaunchStats histo = value_histogram(
+        device, table.values_, shard.counts.size(), 16, d_bins);
+    device.free(d_queries);
+    device.free(d_out);
+    device.free(d_bins);
+    return std::make_pair(lookup, histo);
+  };
+
+  const auto [lookup1, histo1] = run(1);
+  const auto [lookup4, histo4] = run(4);
+  util::ThreadPool::set_global_threads(0);
+
+  EXPECT_EQ(lookup1.counters.gmem_read_bytes, lookup4.counters.gmem_read_bytes);
+  EXPECT_EQ(lookup1.counters.gmem_write_bytes,
+            lookup4.counters.gmem_write_bytes);
+  EXPECT_EQ(lookup1.counters.ops, lookup4.counters.ops);
+  EXPECT_EQ(lookup1.modeled_seconds, lookup4.modeled_seconds);
+  EXPECT_EQ(histo1.counters.atomics, histo4.counters.atomics);
+  EXPECT_EQ(histo1.counters.smem_atomics, histo4.counters.smem_atomics);
+  EXPECT_EQ(histo1.counters.smem_read_bytes, histo4.counters.smem_read_bytes);
+  EXPECT_EQ(histo1.modeled_seconds, histo4.modeled_seconds);
+}
+
+}  // namespace
+}  // namespace dedukt::gpusim
