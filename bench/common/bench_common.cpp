@@ -214,7 +214,11 @@ void write_bench_json(const std::string& path,
                             : 0.0)
          << ", "
          << "\"p50_seconds\": " << json_double(r.p50_seconds) << ", "
-         << "\"p99_seconds\": " << json_double(r.p99_seconds) << "}"
+         << "\"p99_seconds\": " << json_double(r.p99_seconds) << ", "
+         << "\"spill_bytes\": " << r.spill_bytes << ", "
+         << "\"peak_resident_bytes\": " << r.peak_resident_bytes << ", "
+         << "\"disk_seconds\": " << json_double(r.disk_seconds) << ", "
+         << "\"compute_seconds\": " << json_double(r.compute_seconds) << "}"
          << (i + 1 < records.size() ? "," : "") << "\n";
   }
   body << "]\n";

@@ -139,6 +139,15 @@ struct BenchRecord {
   std::uint64_t queries = 0;
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
+  /// Out-of-core records (bench_spill): run payload spilled to disk bins
+  /// (== bytes reloaded in pass 2), the per-rank peak resident footprint,
+  /// and the modeled split of the critical path into disk phases
+  /// (spill + reload) vs compute phases (parse/exchange/count). All zero
+  /// for in-memory, whole-input records.
+  std::uint64_t spill_bytes = 0;
+  std::uint64_t peak_resident_bytes = 0;
+  double disk_seconds = 0.0;
+  double compute_seconds = 0.0;
 };
 
 /// Write records as a JSON array of objects to `path` (overwrites).

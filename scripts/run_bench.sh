@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
 # Build (if needed) and run the simulator-parallelism benchmark, the
-# Fig. 8 exchange ablations, and the serving-store QPS sweep, writing
-# sequential-vs-pooled numbers to BENCH_micro.json, the round-overlap /
-# flat-vs-hierarchical exchange records to BENCH_fig8.json, and the
-# Zipf-traffic query-throughput records to BENCH_qps.json at the repo
-# root. bench_qps self-checks with DEDUKT_CHECK that every query answer is
-# bit-identical to the flat counts dump and that the cached configuration
-# beats the uncached modeled QPS at skew >= 1.0, so a serving regression
-# fails this script.
+# Fig. 8 exchange ablations, the serving-store QPS sweep, and the
+# out-of-core batch x spill sweep, writing sequential-vs-pooled numbers to
+# BENCH_micro.json, the round-overlap / flat-vs-hierarchical exchange
+# records to BENCH_fig8.json, the Zipf-traffic query-throughput records to
+# BENCH_qps.json, and the peak-footprint / spill-volume / disk-vs-compute
+# records to BENCH_spill.json at the repo root. bench_qps self-checks with
+# DEDUKT_CHECK that every query answer is bit-identical to the flat counts
+# dump and that the cached configuration beats the uncached modeled QPS at
+# skew >= 1.0; bench_spill self-checks that every streamed/spilled
+# configuration's counts are bit-identical to the in-memory run, that
+# spilled bytes equal reloaded bytes, and that the streamed peak resident
+# footprint is monotone in batch size — so a serving or out-of-core
+# regression fails this script.
 #
 # Usage: scripts/run_bench.sh [build-dir] [--threads=1,2,4] [--repeats=N]
 # Extra flags are passed through to bench_pool.
@@ -19,10 +24,11 @@ if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then shift; fi
 
 if [[ ! -x "$build_dir/bench/bench_pool" || \
       ! -x "$build_dir/bench/bench_fig8_alltoallv" || \
-      ! -x "$build_dir/bench/bench_qps" ]]; then
+      ! -x "$build_dir/bench/bench_qps" || \
+      ! -x "$build_dir/bench/bench_spill" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j \
-    --target bench_pool bench_fig8_alltoallv bench_qps
+    --target bench_pool bench_fig8_alltoallv bench_qps bench_spill
 fi
 
 "$build_dir/bench/bench_pool" \
@@ -36,5 +42,8 @@ fi
 "$build_dir/bench/bench_qps" \
   --json="$repo_root/BENCH_qps.json"
 
+"$build_dir/bench/bench_spill" \
+  --json="$repo_root/BENCH_spill.json"
+
 echo "results: $repo_root/BENCH_micro.json $repo_root/BENCH_fig8.json" \
-  "$repo_root/BENCH_qps.json"
+  "$repo_root/BENCH_qps.json $repo_root/BENCH_spill.json"

@@ -1,0 +1,58 @@
+// Out-of-core two-pass counting (--ooc-spill).
+//
+// Pass 1 streams read batches through the pipeline's parse machinery and
+// appends destination-tagged runs of packed payload (k-mer keys or
+// supermers, matching what the selected pipeline puts on the wire) to
+// per-rank spill-bin files — the bin is a pure function of the k-mer key
+// or supermer minimizer, so pass 2 can process bins independently.
+// Pass 2 replays one bin at a time through the staged exchange/count
+// framework against the persistent per-rank tables, bounding the exchange
+// working set by 1/bins of the dataset instead of the whole input.
+//
+// Spectra, global counts and (for hash routing) per-rank tallies are
+// bit-identical to the in-memory path: every occurrence of a key follows
+// the same destination function, only grouped differently in time. Disk
+// traffic is priced by io::DiskModel into the two out-of-core-only phases
+// (kPhaseSpill / kPhaseReload).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/hash/murmur3.hpp"
+
+namespace dedukt::core {
+
+/// Seed of the spill-bin hash — distinct from kDestinationHashSeed (rank
+/// routing) and the tables' probe seed, so bins do not inherit either
+/// partition's structure.
+inline constexpr std::uint64_t kSpillBinSeed = 0x5B1Du;
+
+/// Spill bin of a 64-bit key/minimizer (stable, independent of nranks).
+[[nodiscard]] inline std::uint32_t spill_bin_of(std::uint64_t value,
+                                                std::uint32_t bins) {
+  return hash::to_partition(hash::hash_u64(value, kSpillBinSeed), bins);
+}
+
+/// Two-pass out-of-core run (options.ooc.enabled() must hold). Called by
+/// run_distributed_count; not a public entry point.
+[[nodiscard]] CountResult run_ooc_count(io::ReadBatchStream& stream,
+                                        const DriverOptions& options);
+
+/// Wide-key variant (CPU pipeline, 31 < k <= 63).
+[[nodiscard]] WideCountResult run_ooc_count_wide(io::ReadBatchStream& stream,
+                                                 const DriverOptions& options);
+
+namespace detail {
+
+/// Sort gathered (key, count) pairs and sum duplicate keys (defined in
+/// driver.cpp, shared with the streamed in-memory path).
+void merge_gathered_counts(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts);
+void merge_gathered_counts_wide(
+    std::vector<std::pair<kmer::WideKey, std::uint64_t>>& counts);
+
+}  // namespace detail
+
+}  // namespace dedukt::core

@@ -24,6 +24,13 @@ inline constexpr const char* kPhaseParse = "parse";
 inline constexpr const char* kPhaseExchange = "exchange";
 inline constexpr const char* kPhaseCount = "count";
 
+/// Out-of-core-only phases: pass 1 appending supermer/k-mer runs to spill
+/// bins, pass 2 replaying them. Deliberately NOT in kPhaseLegend /
+/// kPhaseOrder — in-memory breakdowns keep printing exactly the Figure 3/7
+/// rows; out-of-core consumers use kOocPhaseOrder below.
+inline constexpr const char* kPhaseSpill = "spill";
+inline constexpr const char* kPhaseReload = "reload";
+
 /// One legend entry: internal phase name + the label the paper's figures
 /// print for it.
 struct PhaseLegendEntry {
@@ -45,6 +52,19 @@ inline constexpr PhaseLegendEntry kPhaseLegend[] = {
 inline constexpr const char* kPhaseOrder[] = {kPhaseParse, kPhaseExchange,
                                               kPhaseCount};
 
+/// Legend / phase order for out-of-core runs: the Figure 3/7 phases plus
+/// the two disk phases in dataflow order.
+inline constexpr PhaseLegendEntry kOocPhaseLegend[] = {
+    {kPhaseParse, "parse & process"},
+    {kPhaseSpill, "spill"},
+    {kPhaseReload, "reload"},
+    {kPhaseExchange, "exchange"},
+    {kPhaseCount, "kmer counter"},
+};
+
+inline constexpr const char* kOocPhaseOrder[] = {
+    kPhaseParse, kPhaseSpill, kPhaseReload, kPhaseExchange, kPhaseCount};
+
 /// Per-rank ledger of one counting run.
 struct RankMetrics {
   // Work counts.
@@ -65,6 +85,14 @@ struct RankMetrics {
   std::uint64_t inter_node_bytes = 0;
   std::uint64_t unique_kmers = 0;        ///< distinct keys in the local table
   std::uint64_t counted_kmers = 0;       ///< total count in the local table
+  /// Out-of-core ledger: bytes this rank appended to / replayed from spill
+  /// bins. 0 on the in-memory path.
+  std::uint64_t spill_bytes_written = 0;
+  std::uint64_t spill_bytes_read = 0;
+  /// Peak resident input + exchange bytes across batches/bins (streamed and
+  /// out-of-core runs; 0 when the driver ran the whole input as one batch).
+  /// Aggregated by MAX, not sum, in totals() and accumulate_round().
+  std::uint64_t peak_resident_bytes = 0;
 
   PhaseTimes measured;  ///< host wall time of the functional simulation
   PhaseTimes modeled;   ///< modeled Summit time

@@ -11,6 +11,7 @@
 // the final table-dependent fields.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <optional>
@@ -67,6 +68,12 @@ inline void accumulate_round(RankMetrics& total, const RankMetrics& round) {
   total.modeled_alltoallv_volume_seconds +=
       round.modeled_alltoallv_volume_seconds;
   total.overlap_saved_seconds += round.overlap_saved_seconds;
+  total.spill_bytes_written += round.spill_bytes_written;
+  total.spill_bytes_read += round.spill_bytes_read;
+  // Peak footprint folds by MAX: the batches/bins were resident one at a
+  // time, not simultaneously.
+  total.peak_resident_bytes =
+      std::max(total.peak_resident_bytes, round.peak_resident_bytes);
 }
 
 /// Knobs of the overlapped exchange shared by all pipelines: which device

@@ -19,6 +19,7 @@
 #include "dedukt/io/datasets.hpp"
 #include "dedukt/io/fasta.hpp"
 #include "dedukt/io/fastq.hpp"
+#include "dedukt/io/read_stream.hpp"
 #include "dedukt/trace/trace.hpp"
 #include "dedukt/util/cli.hpp"
 #include "dedukt/util/error.hpp"
@@ -43,6 +44,12 @@ commands:
            [--freq-balanced] [--node-balanced] [--rounds-limit=N]
            [--overlap-rounds] [--hierarchical-exchange]
            [--smem-agg] [--no-smem-agg] [--sim-threads=N]
+           [--batch-reads=N] [--batch-bytes=N]  (stream ingest in bounded
+                                  batches; FASTQ inputs are decoded
+                                  incrementally, never fully resident)
+           [--ooc-spill=<dir>] [--ooc-bins=8]  (out-of-core two-pass run:
+                                  spill minimizer-partitioned supermer bins
+                                  under <dir>, then replay bin by bin)
            [--trace=trace.json]  (Chrome trace + <base>.metrics.json,
                                   same as DEDUKT_TRACE=<path>)
   histo    --counts=counts.bin [--max-rows=25]
@@ -98,8 +105,6 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
     trace::TraceSession::instance().enable(trace_path);
   }
 
-  const io::ReadBatch reads = load_input(cli, out);
-
   DriverOptions options;
   options.pipeline.kind = parse_pipeline(cli.get("pipeline", "gpu-supermer"));
   options.pipeline.k = static_cast<int>(cli.get_int("k", 17));
@@ -124,24 +129,63 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
   options.pipeline.smem_agg =
       cli.has("no-smem-agg") ? false : cli.get_bool("smem-agg", true);
   options.nranks = static_cast<int>(cli.get_int("ranks", 6));
+  options.batch.max_reads =
+      static_cast<std::size_t>(cli.get_int("batch-reads", 0));
+  options.batch.max_bytes =
+      static_cast<std::uint64_t>(cli.get_int("batch-bytes", 0));
+  options.ooc.spill_root = cli.get("ooc-spill");
+  options.ooc.bins = static_cast<int>(cli.get_int("ooc-bins", 8));
 
-  out << "counting " << format_count(reads.total_bases()) << " bases, k="
-      << options.pipeline.k << ", pipeline=" << to_string(
-             options.pipeline.kind)
-      << ", ranks=" << options.nranks << "\n";
+  // Bounded-batch or out-of-core runs on a FASTQ input stream straight
+  // from the file, so the full read set is never resident; everything else
+  // (FASTA, synthetic, plain in-memory runs) loads up front as before.
+  const bool streamed = !options.batch.unbounded() || options.ooc.enabled();
+  const std::string input = cli.get("input");
+  const bool stream_file =
+      streamed && !input.empty() &&
+      (input.ends_with(".fastq") || input.ends_with(".fq"));
 
-  const CountResult result = run_distributed_count(reads, options);
+  CountResult result;
+  if (stream_file) {
+    out << "counting " << input << " (streamed), k=" << options.pipeline.k
+        << ", pipeline=" << to_string(options.pipeline.kind)
+        << ", ranks=" << options.nranks << "\n";
+    io::FastqBatchStream stream(input, options.batch);
+    result = run_distributed_count(stream, options);
+  } else {
+    const io::ReadBatch reads = load_input(cli, out);
+    out << "counting " << format_count(reads.total_bases()) << " bases, k="
+        << options.pipeline.k << ", pipeline=" << to_string(
+               options.pipeline.kind)
+        << ", ranks=" << options.nranks << "\n";
+    result = run_distributed_count(reads, options);
+  }
   out << "counted " << format_count(result.totals().counted_kmers)
       << " k-mer instances, " << format_count(result.total_unique())
       << " distinct\n";
   const PhaseTimes breakdown = result.modeled_breakdown();
   out << "modeled Summit time:";
   bool first = true;
-  for (const auto& [name, seconds] : breakdown.ordered(kPhaseOrder)) {
+  const auto ordered = options.ooc.enabled()
+                           ? breakdown.ordered(kOocPhaseOrder)
+                           : breakdown.ordered(kPhaseOrder);
+  for (const auto& [name, seconds] : ordered) {
     out << (first ? " " : ", ") << name << " " << format_seconds(seconds);
     first = false;
   }
   out << "\n";
+  // Out-of-core / streamed footprint report: these lines only appear when
+  // the new modes are on, so plain-run output is unchanged.
+  const RankMetrics totals = result.totals();
+  if (options.ooc.enabled()) {
+    out << "out-of-core: " << options.ooc.bins << " bins, spilled "
+        << format_bytes(totals.spill_bytes_written) << ", reloaded "
+        << format_bytes(totals.spill_bytes_read) << "\n";
+  }
+  if (totals.peak_resident_bytes > 0) {
+    out << "peak resident bytes: " << format_bytes(totals.peak_resident_bytes)
+        << " per rank\n";
+  }
 
   if (!trace_path.empty()) {
     const std::string chrome = trace::TraceSession::instance().write_files();

@@ -1,8 +1,12 @@
 #include "dedukt/core/driver.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
+#include "dedukt/core/ooc.hpp"
 #include "dedukt/core/pipeline.hpp"
+#include "dedukt/core/round_runner.hpp"
 #include "dedukt/gpusim/device.hpp"
 #include "dedukt/io/partition.hpp"
 #include "dedukt/kmer/extract.hpp"
@@ -24,14 +28,56 @@ static_assert(std::is_trivially_copyable_v<KmerCount>);
 
 }  // namespace
 
+namespace detail {
+
+void merge_gathered_counts(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>& counts) {
+  std::sort(counts.begin(), counts.end());
+  // Partitioning normally sends every occurrence of a k-mer to one rank,
+  // so keys are disjoint across parts — but sum duplicates anyway: the
+  // frequency-balanced routing schemes re-sample their assignment per
+  // batch under streamed ingest, so a minimizer may legally land on
+  // different ranks in different batches.
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < counts.size(); ++read) {
+    if (write > 0 && counts[write - 1].first == counts[read].first) {
+      counts[write - 1].second += counts[read].second;
+    } else {
+      counts[write++] = counts[read];
+    }
+  }
+  counts.resize(write);
+}
+
+void merge_gathered_counts_wide(
+    std::vector<std::pair<kmer::WideKey, std::uint64_t>>& counts) {
+  std::sort(counts.begin(), counts.end());
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < counts.size(); ++read) {
+    if (write > 0 && counts[write - 1].first == counts[read].first) {
+      counts[write - 1].second += counts[read].second;
+    } else {
+      counts[write++] = counts[read];
+    }
+  }
+  counts.resize(write);
+}
+
+}  // namespace detail
+
 CountResult run_distributed_count(const io::ReadBatch& reads,
+                                  const DriverOptions& options) {
+  io::VectorBatchStream stream(reads, options.batch);
+  return run_distributed_count(stream, options);
+}
+
+CountResult run_distributed_count(io::ReadBatchStream& stream,
                                   const DriverOptions& options) {
   options.pipeline.validate();
   DEDUKT_REQUIRE(options.nranks >= 1);
+  if (options.ooc.enabled()) return run_ooc_count(stream, options);
 
-  const std::vector<io::ReadBatch> batches =
-      io::partition_by_bases(reads, options.nranks);
-
+  const auto nranks = static_cast<std::size_t>(options.nranks);
   const mpisim::NetworkModel network =
       options.summit_network
           ? summit::network(options.effective_ranks_per_node())
@@ -41,54 +87,94 @@ CountResult run_distributed_count(const io::ReadBatch& reads,
   CountResult result;
   result.config = options.pipeline;
   result.nranks = options.nranks;
-  result.ranks.resize(static_cast<std::size_t>(options.nranks));
+  result.ranks.resize(nranks);
+
+  // Per-rank tables persist across batches: each pulled batch runs the
+  // pipeline against them, so the final state equals the one-shot run's.
+  std::vector<HostHashTable> tables(nranks);
+  std::vector<std::uint64_t> peaks(nranks, 0);
 
   // Written only by rank 0 inside the run; read after the run returns.
   std::vector<std::vector<KmerCount>> gathered;
 
-  runtime.run([&](mpisim::Comm& comm) {
-    const auto rank = static_cast<std::size_t>(comm.rank());
-    const io::ReadBatch& mine = batches[rank];
+  // Pre-pull one batch ahead so the loop knows when it is processing the
+  // last one (the gather must happen inside that batch's runtime.run).
+  std::optional<io::ReadBatch> batch = stream.next();
+  if (!batch) batch.emplace();  // empty input: one empty batch
+  std::uint64_t batch_index = 0;
+  while (batch) {
+    std::optional<io::ReadBatch> following = stream.next();
+    const bool last = !following;
+    const std::vector<io::ReadBatch> parts =
+        io::partition_by_bases(*batch, options.nranks);
 
-    // Top-level app span: everything this rank does for the count — the
-    // pipeline's phase spans and collectives nest inside it.
-    trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
-    if (rank_span.active()) {
-      rank_span.arg_u64("reads", mine.size());
-      rank_span.arg_u64("bases", mine.total_bases());
-    }
+    runtime.run([&](mpisim::Comm& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      const io::ReadBatch& mine = parts[rank];
 
-    HostHashTable table;
-    RankMetrics metrics;
-    switch (options.pipeline.kind) {
-      case PipelineKind::kCpu:
-        metrics = run_cpu_rank(comm, mine, options.pipeline, table);
-        break;
-      case PipelineKind::kGpuKmer: {
-        gpusim::Device device(options.device);
-        metrics =
-            run_gpu_kmer_rank(comm, device, mine, options.pipeline, table);
-        break;
+      // Top-level app span: everything this rank does for the batch — the
+      // pipeline's phase spans and collectives nest inside it.
+      trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
+      if (rank_span.active()) {
+        rank_span.arg_u64("reads", mine.size());
+        rank_span.arg_u64("bases", mine.total_bases());
       }
-      case PipelineKind::kGpuSupermer: {
-        gpusim::Device device(options.device);
-        metrics = run_gpu_supermer_rank(comm, device, mine, options.pipeline,
-                                        table);
-        break;
-      }
-    }
-    result.ranks[rank] = metrics;
 
-    if (options.collect_counts) {
-      std::vector<KmerCount> entries;
-      entries.reserve(table.unique());
-      table.for_each([&](std::uint64_t key, std::uint64_t count) {
-        entries.push_back({key, count});
-      });
-      auto all = comm.gatherv(entries, /*root=*/0);
-      if (comm.rank() == 0) gathered = std::move(all);
-    }
-  });
+      HostHashTable& table = tables[rank];
+      RankMetrics metrics;
+      switch (options.pipeline.kind) {
+        case PipelineKind::kCpu:
+          metrics = run_cpu_rank(comm, mine, options.pipeline, table);
+          break;
+        case PipelineKind::kGpuKmer: {
+          gpusim::Device device(options.device);
+          metrics =
+              run_gpu_kmer_rank(comm, device, mine, options.pipeline, table);
+          break;
+        }
+        case PipelineKind::kGpuSupermer: {
+          gpusim::Device device(options.device);
+          metrics = run_gpu_supermer_rank(comm, device, mine,
+                                          options.pipeline, table);
+          break;
+        }
+      }
+      peaks[rank] = std::max(peaks[rank], io::resident_read_bytes(mine) +
+                                              metrics.bytes_sent +
+                                              metrics.bytes_received);
+      if (batch_index == 0) {
+        result.ranks[rank] = metrics;
+      } else {
+        RankMetrics& total = result.ranks[rank];
+        accumulate_round(total, metrics);
+        // Table-derived fields reflect the latest (cumulative) table state,
+        // not a per-batch delta — take the final batch's values.
+        total.unique_kmers = metrics.unique_kmers;
+        total.counted_kmers = metrics.counted_kmers;
+      }
+
+      if (last) {
+        if (batch_index > 0) {
+          // Streamed runs report the footprint; the single-batch path
+          // leaves the field 0 and emits no counter, so in-memory metrics
+          // output stays byte-identical to the pre-stream code.
+          result.ranks[rank].peak_resident_bytes = peaks[rank];
+          trace::counter("peak_resident_bytes", peaks[rank]);
+        }
+        if (options.collect_counts) {
+          std::vector<KmerCount> entries;
+          entries.reserve(table.unique());
+          table.for_each([&](std::uint64_t key, std::uint64_t count) {
+            entries.push_back({key, count});
+          });
+          auto all = comm.gatherv(entries, /*root=*/0);
+          if (comm.rank() == 0) gathered = std::move(all);
+        }
+      }
+    });
+    batch = std::move(following);
+    ++batch_index;
+  }
 
   if (options.collect_counts) {
     std::size_t total = 0;
@@ -99,22 +185,7 @@ CountResult run_distributed_count(const io::ReadBatch& reads,
         result.global_counts.emplace_back(entry.key, entry.count);
       }
     }
-    std::sort(result.global_counts.begin(), result.global_counts.end());
-    // Partitioning normally sends every occurrence of a k-mer to one rank,
-    // so keys are disjoint across parts — but be robust and sum duplicates
-    // (e.g. if a future routing scheme relaxes the guarantee).
-    std::size_t write = 0;
-    for (std::size_t read = 0; read < result.global_counts.size(); ++read) {
-      if (write > 0 &&
-          result.global_counts[write - 1].first ==
-              result.global_counts[read].first) {
-        result.global_counts[write - 1].second +=
-            result.global_counts[read].second;
-      } else {
-        result.global_counts[write++] = result.global_counts[read];
-      }
-    }
-    result.global_counts.resize(write);
+    detail::merge_gathered_counts(result.global_counts);
   }
   return result;
 }
@@ -147,13 +218,19 @@ static_assert(std::is_trivially_copyable_v<WideKmerCount>);
 
 WideCountResult run_distributed_count_wide(const io::ReadBatch& reads,
                                            const DriverOptions& options) {
+  io::VectorBatchStream stream(reads, options.batch);
+  return run_distributed_count_wide(stream, options);
+}
+
+WideCountResult run_distributed_count_wide(io::ReadBatchStream& stream,
+                                           const DriverOptions& options) {
   options.pipeline.validate();
   DEDUKT_REQUIRE_MSG(options.pipeline.kind == PipelineKind::kCpu,
                      "wide-k counting runs on the CPU pipeline");
   DEDUKT_REQUIRE(options.nranks >= 1);
+  if (options.ooc.enabled()) return run_ooc_count_wide(stream, options);
 
-  const std::vector<io::ReadBatch> batches =
-      io::partition_by_bases(reads, options.nranks);
+  const auto nranks = static_cast<std::size_t>(options.nranks);
   const mpisim::NetworkModel network =
       options.summit_network
           ? summit::network(options.effective_ranks_per_node())
@@ -163,26 +240,59 @@ WideCountResult run_distributed_count_wide(const io::ReadBatch& reads,
   WideCountResult result;
   result.base.config = options.pipeline;
   result.base.nranks = options.nranks;
-  result.base.ranks.resize(static_cast<std::size_t>(options.nranks));
+  result.base.ranks.resize(nranks);
 
+  std::vector<WideHostHashTable> tables(nranks);
+  std::vector<std::uint64_t> peaks(nranks, 0);
   std::vector<std::vector<WideKmerCount>> gathered;
-  runtime.run([&](mpisim::Comm& comm) {
-    const auto rank = static_cast<std::size_t>(comm.rank());
-    trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
-    WideHostHashTable table;
-    result.base.ranks[rank] =
-        run_cpu_wide_rank(comm, batches[rank], options.pipeline, table);
 
-    if (options.collect_counts) {
-      std::vector<WideKmerCount> entries;
-      entries.reserve(table.unique());
-      table.for_each([&](const kmer::WideKey& key, std::uint64_t count) {
-        entries.push_back({key, count});
-      });
-      auto all = comm.gatherv(entries, /*root=*/0);
-      if (comm.rank() == 0) gathered = std::move(all);
-    }
-  });
+  std::optional<io::ReadBatch> batch = stream.next();
+  if (!batch) batch.emplace();
+  std::uint64_t batch_index = 0;
+  while (batch) {
+    std::optional<io::ReadBatch> following = stream.next();
+    const bool last = !following;
+    const std::vector<io::ReadBatch> parts =
+        io::partition_by_bases(*batch, options.nranks);
+
+    runtime.run([&](mpisim::Comm& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
+      WideHostHashTable& table = tables[rank];
+      RankMetrics metrics =
+          run_cpu_wide_rank(comm, parts[rank], options.pipeline, table);
+      peaks[rank] =
+          std::max(peaks[rank], io::resident_read_bytes(parts[rank]) +
+                                    metrics.bytes_sent +
+                                    metrics.bytes_received);
+      if (batch_index == 0) {
+        result.base.ranks[rank] = metrics;
+      } else {
+        RankMetrics& total = result.base.ranks[rank];
+        accumulate_round(total, metrics);
+        total.unique_kmers = metrics.unique_kmers;
+        total.counted_kmers = metrics.counted_kmers;
+      }
+
+      if (last) {
+        if (batch_index > 0) {
+          result.base.ranks[rank].peak_resident_bytes = peaks[rank];
+          trace::counter("peak_resident_bytes", peaks[rank]);
+        }
+        if (options.collect_counts) {
+          std::vector<WideKmerCount> entries;
+          entries.reserve(table.unique());
+          table.for_each([&](const kmer::WideKey& key, std::uint64_t count) {
+            entries.push_back({key, count});
+          });
+          auto all = comm.gatherv(entries, /*root=*/0);
+          if (comm.rank() == 0) gathered = std::move(all);
+        }
+      }
+    });
+    batch = std::move(following);
+    ++batch_index;
+  }
 
   if (options.collect_counts) {
     for (const auto& part : gathered) {
@@ -190,7 +300,7 @@ WideCountResult run_distributed_count_wide(const io::ReadBatch& reads,
         result.global_counts.emplace_back(entry.key, entry.count);
       }
     }
-    std::sort(result.global_counts.begin(), result.global_counts.end());
+    detail::merge_gathered_counts_wide(result.global_counts);
   }
   return result;
 }

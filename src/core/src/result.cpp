@@ -20,6 +20,10 @@ RankMetrics CountResult::totals() const {
     total.inter_node_bytes += r.inter_node_bytes;
     total.unique_kmers += r.unique_kmers;
     total.counted_kmers += r.counted_kmers;
+    total.spill_bytes_written += r.spill_bytes_written;
+    total.spill_bytes_read += r.spill_bytes_read;
+    total.peak_resident_bytes =
+        std::max(total.peak_resident_bytes, r.peak_resident_bytes);
     total.measured.merge(r.measured);
     total.modeled.merge(r.modeled);
     total.modeled_volume.merge(r.modeled_volume);

@@ -1,0 +1,56 @@
+// Analytic disk performance model — the storage sibling of
+// mpisim::NetworkModel.
+//
+// The out-of-core spill path moves real bytes through local scratch files
+// (for correctness), but laptop SSD speed says nothing about the target
+// machine. This model converts the *exact byte and operation counts* of
+// spill writes and bin reloads into the time the same I/O would take on a
+// Summit node's burst-buffer NVMe (one Samsung PM1725a per node, paper
+// §V-A's machine). Like the network model, every charge splits into a
+// volume-proportional share (bytes / bandwidth — scales when a down-scaled
+// run is projected to full size) and a constant share (per-operation
+// latency — does not).
+#pragma once
+
+#include <cstdint>
+
+namespace dedukt::io {
+
+struct DiskModel {
+  /// Sequential write bandwidth, bytes/second (spill appends).
+  double seq_write_bw = 2.1e9;
+  /// Sequential read bandwidth, bytes/second (bin replay).
+  double seq_read_bw = 5.5e9;
+  /// Small-random read bandwidth, bytes/second (out-of-order bin probes;
+  /// unused by the sequential two-pass flow but part of the calibration).
+  double rand_read_bw = 1.2e9;
+  /// Per-operation software + device latency, seconds (one append or one
+  /// run-sized read).
+  double op_latency_s = 80e-6;
+
+  /// Summit burst-buffer defaults (the paper's machine; see
+  /// docs/out-of-core.md for the calibration table).
+  [[nodiscard]] static DiskModel summit_nvme();
+
+  /// Page-cache-class local scratch — effectively free, used when disk
+  /// modeling is irrelevant (mirrors NetworkModel::local()).
+  [[nodiscard]] static DiskModel local();
+
+  /// Modeled time of `ops` sequential appends totalling `bytes`.
+  [[nodiscard]] double write_seconds(std::uint64_t bytes,
+                                     std::uint64_t ops) const;
+  /// The volume-proportional (bandwidth) part of write_seconds().
+  [[nodiscard]] double write_volume_seconds(std::uint64_t bytes) const;
+
+  /// Modeled time of `ops` sequential reads totalling `bytes`.
+  [[nodiscard]] double read_seconds(std::uint64_t bytes,
+                                    std::uint64_t ops) const;
+  /// The volume-proportional (bandwidth) part of read_seconds().
+  [[nodiscard]] double read_volume_seconds(std::uint64_t bytes) const;
+
+  /// Modeled time of `ops` random reads totalling `bytes`.
+  [[nodiscard]] double random_read_seconds(std::uint64_t bytes,
+                                           std::uint64_t ops) const;
+};
+
+}  // namespace dedukt::io

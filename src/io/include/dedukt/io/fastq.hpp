@@ -9,6 +9,30 @@
 
 namespace dedukt::io {
 
+/// Incremental single-record FASTQ parser — the one implementation of the
+/// 4-line record grammar, shared by the whole-stream reader below and the
+/// chunked FastqBatchStream (read_stream.hpp). Malformed or truncated
+/// records mid-stream raise typed ParseError (never a precondition error,
+/// never bad_alloc: every allocation is bounded by a line already read);
+/// a clean end of input returns false.
+class FastqRecordReader {
+ public:
+  explicit FastqRecordReader(std::istream& in) : in_(in) {}
+
+  FastqRecordReader(const FastqRecordReader&) = delete;
+  FastqRecordReader& operator=(const FastqRecordReader&) = delete;
+
+  /// Parse the next record into `read` (bases upper-cased). Returns false
+  /// once the stream is exhausted; throws ParseError on malformed input.
+  bool next(Read& read);
+
+ private:
+  std::istream& in_;
+  // Line buffers reused across records so a batch pull does not
+  // reallocate four strings per read.
+  std::string header_, bases_, plus_, quality_;
+};
+
 /// Parse all FASTQ records from a stream. Bases are upper-cased. Throws
 /// ParseError on malformed records (missing '+', quality length mismatch...).
 [[nodiscard]] ReadBatch read_fastq(std::istream& in);

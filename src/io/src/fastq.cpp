@@ -9,48 +9,63 @@
 
 namespace dedukt::io {
 
-ReadBatch read_fastq(std::istream& in) {
-  ReadBatch batch;
-  std::string header, bases, plus, quality;
+namespace {
 
-  auto strip_cr = [](std::string& s) {
-    if (!s.empty() && s.back() == '\r') s.pop_back();
-  };
+void strip_cr(std::string& s) {
+  if (!s.empty() && s.back() == '\r') s.pop_back();
+}
 
-  while (std::getline(in, header)) {
-    strip_cr(header);
-    if (header.empty()) continue;
-    if (header[0] != '@') {
-      throw ParseError("FASTQ record must start with '@', got: " + header);
+}  // namespace
+
+bool FastqRecordReader::next(Read& read) {
+  while (std::getline(in_, header_)) {
+    strip_cr(header_);
+    if (header_.empty()) continue;
+    if (header_[0] != '@') {
+      throw ParseError("FASTQ record must start with '@', got: " + header_);
     }
-    if (!std::getline(in, bases)) {
-      throw ParseError("FASTQ record '" + header + "' truncated at sequence");
+    if (!std::getline(in_, bases_)) {
+      throw ParseError("FASTQ record '" + header_ +
+                       "' truncated at sequence");
     }
-    if (!std::getline(in, plus)) {
-      throw ParseError("FASTQ record '" + header + "' truncated at '+'");
+    if (!std::getline(in_, plus_)) {
+      throw ParseError("FASTQ record '" + header_ + "' truncated at '+'");
     }
-    if (!std::getline(in, quality)) {
-      throw ParseError("FASTQ record '" + header + "' truncated at quality");
+    if (!std::getline(in_, quality_)) {
+      throw ParseError("FASTQ record '" + header_ +
+                       "' truncated at quality");
     }
-    strip_cr(bases);
-    strip_cr(plus);
-    strip_cr(quality);
-    if (plus.empty() || plus[0] != '+') {
-      throw ParseError("FASTQ record '" + header + "' missing '+' separator");
+    strip_cr(bases_);
+    strip_cr(plus_);
+    strip_cr(quality_);
+    if (plus_.empty() || plus_[0] != '+') {
+      throw ParseError("FASTQ record '" + header_ +
+                       "' missing '+' separator");
     }
-    if (quality.size() != bases.size()) {
-      throw ParseError("FASTQ record '" + header +
+    if (quality_.size() != bases_.size()) {
+      throw ParseError("FASTQ record '" + header_ +
                        "' quality length does not match sequence length");
     }
-    Read read;
-    read.id = header.substr(1);
-    read.bases.reserve(bases.size());
-    for (char c : bases) {
+    read.id = header_.substr(1);
+    read.bases.clear();
+    read.bases.reserve(bases_.size());
+    for (char c : bases_) {
       read.bases.push_back(
           static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     }
-    read.quality = quality;
+    read.quality = quality_;
+    return true;
+  }
+  return false;
+}
+
+ReadBatch read_fastq(std::istream& in) {
+  ReadBatch batch;
+  FastqRecordReader reader(in);
+  Read read;
+  while (reader.next(read)) {
     batch.reads.push_back(std::move(read));
+    read = Read{};
   }
   return batch;
 }

@@ -1,0 +1,57 @@
+#include "dedukt/io/read_stream.hpp"
+
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::io {
+
+std::uint64_t fastq_record_bytes(const Read& read) {
+  // '@' + id + '\n' + bases + '\n' + "+\n" + quality + '\n'
+  return 1 + read.id.size() + 1 + read.bases.size() + 1 + 2 +
+         read.bases.size() + 1;
+}
+
+std::uint64_t resident_read_bytes(const ReadBatch& batch) {
+  std::uint64_t bytes = 0;
+  for (const Read& read : batch.reads) {
+    bytes += read.id.size() + read.bases.size() + read.quality.size();
+  }
+  return bytes;
+}
+
+std::optional<ReadBatch> VectorBatchStream::next() {
+  if (cursor_ >= reads_.reads.size()) return std::nullopt;
+  if (bounds_.unbounded()) {
+    cursor_ = reads_.reads.size();
+    return reads_;
+  }
+  ReadBatch batch;
+  std::uint64_t bytes = 0;
+  while (cursor_ < reads_.reads.size() &&
+         !bounds_.full(batch.reads.size(), bytes)) {
+    const Read& read = reads_.reads[cursor_++];
+    bytes += fastq_record_bytes(read);
+    batch.reads.push_back(read);
+  }
+  return batch;
+}
+
+FastqBatchStream::FastqBatchStream(const std::string& path,
+                                   BatchBounds bounds)
+    : in_(path), reader_(in_), bounds_(bounds) {
+  if (!in_) throw ParseError("cannot open FASTQ file: " + path);
+}
+
+std::optional<ReadBatch> FastqBatchStream::next() {
+  ReadBatch batch;
+  std::uint64_t bytes = 0;
+  Read read;
+  while (!bounds_.full(batch.reads.size(), bytes) && reader_.next(read)) {
+    bytes += fastq_record_bytes(read);
+    batch.reads.push_back(std::move(read));
+    read = Read{};
+  }
+  if (batch.reads.empty()) return std::nullopt;
+  return batch;
+}
+
+}  // namespace dedukt::io

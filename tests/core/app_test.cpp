@@ -196,6 +196,93 @@ TEST(AppTest, MissingCountsFileIsRuntimeFailure) {
   EXPECT_NE(result.err.find("error:"), std::string::npos);
 }
 
+TEST(AppTest, HelpDocumentsStreamingFlags) {
+  const AppResult result = run({"help"});
+  ASSERT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.out.find("--batch-reads"), std::string::npos);
+  EXPECT_NE(result.out.find("--batch-bytes"), std::string::npos);
+  EXPECT_NE(result.out.find("--ooc-spill"), std::string::npos);
+  EXPECT_NE(result.out.find("--ooc-bins"), std::string::npos);
+}
+
+TEST(AppTest, BatchedCountMatchesPlainCount) {
+  const std::string plain = temp_path("app_plain.bin");
+  const std::string batched = temp_path("app_batched.bin");
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=8000",
+                 "--ranks=3", "--output=" + plain})
+                .exit_code,
+            0);
+  const AppResult result =
+      run({"count", "--synthetic=ecoli30x", "--scale=8000", "--ranks=3",
+           "--batch-reads=20", "--output=" + batched});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("peak resident bytes"), std::string::npos);
+  const AppResult cmp = run({"compare", "--a=" + plain, "--b=" + batched});
+  ASSERT_EQ(cmp.exit_code, 0) << cmp.err;
+  EXPECT_NE(cmp.out.find("jaccard              : 1.0000"),
+            std::string::npos);
+  EXPECT_NE(cmp.out.find("bray-curtis          : 0.0000"),
+            std::string::npos);
+}
+
+TEST(AppTest, OutOfCoreCountMatchesPlainCountAndReportsSpill) {
+  const std::string plain = temp_path("app_ooc_plain.bin");
+  const std::string spilled = temp_path("app_ooc_spilled.bin");
+  ASSERT_EQ(run({"count", "--synthetic=ecoli30x", "--scale=8000",
+                 "--ranks=3", "--output=" + plain})
+                .exit_code,
+            0);
+  const AppResult result =
+      run({"count", "--synthetic=ecoli30x", "--scale=8000", "--ranks=3",
+           "--batch-reads=20", "--ooc-spill=" + temp_path("app_ooc_scratch"),
+           "--ooc-bins=3", "--output=" + spilled});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("out-of-core: 3 bins"), std::string::npos);
+  EXPECT_NE(result.out.find("spilled"), std::string::npos);
+  EXPECT_NE(result.out.find("spill"), std::string::npos);
+  EXPECT_NE(result.out.find("reload"), std::string::npos);
+  const AppResult cmp = run({"compare", "--a=" + plain, "--b=" + spilled});
+  ASSERT_EQ(cmp.exit_code, 0) << cmp.err;
+  EXPECT_NE(cmp.out.find("jaccard              : 1.0000"),
+            std::string::npos);
+}
+
+TEST(AppTest, StreamedFastqInputMatchesLoadedInput) {
+  io::GenomeSpec gspec;
+  gspec.length = 3'000;
+  io::ReadSpec rspec;
+  rspec.coverage = 2.0;
+  rspec.mean_read_length = 300;
+  rspec.min_read_length = 60;
+  const io::ReadBatch reads = io::generate_dataset(gspec, rspec);
+  const std::string fastq = temp_path("app_streamed.fastq");
+  io::write_fastq_file(fastq, reads);
+
+  const std::string loaded = temp_path("app_loaded_counts.bin");
+  const std::string streamed = temp_path("app_streamed_counts.bin");
+  ASSERT_EQ(run({"count", "--input=" + fastq, "--pipeline=cpu", "--ranks=3",
+                 "--k=11", "--output=" + loaded})
+                .exit_code,
+            0);
+  const AppResult result =
+      run({"count", "--input=" + fastq, "--pipeline=cpu", "--ranks=3",
+           "--k=11", "--batch-reads=8", "--output=" + streamed});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  // Streamed FASTQ ingest decodes incrementally; the banner says so.
+  EXPECT_NE(result.out.find("(streamed)"), std::string::npos);
+  const AppResult cmp = run({"compare", "--a=" + loaded, "--b=" + streamed});
+  EXPECT_NE(cmp.out.find("jaccard              : 1.0000"),
+            std::string::npos);
+}
+
+TEST(AppTest, OutOfCoreRejectsBadBins) {
+  const AppResult result =
+      run({"count", "--synthetic=ecoli30x", "--scale=8000", "--ranks=2",
+           "--ooc-spill=" + temp_path("app_badbins"), "--ooc-bins=0"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("--ooc-bins"), std::string::npos);
+}
+
 TEST(AppTest, CountWithExtensionsEnabled) {
   const std::string path = temp_path("app_ext.bin");
   const AppResult result =

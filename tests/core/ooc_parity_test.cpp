@@ -1,0 +1,412 @@
+// Out-of-core / streamed-ingest parity battery (`ctest -L ooc`).
+//
+// The streaming refactor's contract: a single-batch stream IS the
+// historical in-memory run (bit-identical CountResult, spectra, and trace
+// metrics), and every other ingest shape — bounded batches, batch-of-one,
+// disk-spilled two-pass — must agree with it on the counting *results*
+// (spectra, global counts, and for hash routing the per-rank tallies),
+// while only modeled times, footprint ledgers, and the new disk phases may
+// differ. The battery drives every pipeline variant through
+// {1 batch, bounded batches, batch=1 read} x {spill off, spill on} and
+// checks those invariants, plus the out-of-core bookkeeping: spill volume
+// symmetry, bounded peak-resident accounting, scratch cleanup, and the
+// config validation walls.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/core/ooc.hpp"
+#include "dedukt/io/read_stream.hpp"
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/trace/trace.hpp"
+#include "dedukt/util/error.hpp"
+#include "dedukt/util/thread_pool.hpp"
+
+namespace dedukt::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+io::ReadBatch parity_reads() {
+  io::GenomeSpec gspec;
+  gspec.length = 4'000;
+  gspec.seed = 271;
+  io::ReadSpec rspec;
+  rspec.coverage = 4.0;
+  rspec.mean_read_length = 250;
+  rspec.min_read_length = 80;
+  rspec.seed = 272;
+  return io::generate_dataset(gspec, rspec);
+}
+
+std::string spill_root() {
+  return ::testing::TempDir() + "dedukt-ooc-parity";
+}
+
+// --- deterministic identity rendering ----------------------------------
+
+void append_spectrum(std::ostringstream& out,
+                     const std::map<std::uint64_t, std::uint64_t>& spectrum) {
+  out << "spectrum:";
+  for (const auto& [multiplicity, distinct] : spectrum) {
+    out << " " << multiplicity << ":" << distinct;
+  }
+  out << "\n";
+}
+
+/// The global counting outcome: spectrum plus the full (key, count) table.
+std::string global_identity(const CountResult& result) {
+  std::ostringstream out;
+  append_spectrum(out, result.spectrum());
+  for (const auto& [key, count] : result.global_counts) {
+    out << key << ":" << count << "\n";
+  }
+  return out.str();
+}
+
+std::string global_identity_wide(const WideCountResult& result) {
+  std::ostringstream out;
+  std::map<std::uint64_t, std::uint64_t> spectrum;
+  for (const auto& [key, count] : result.global_counts) spectrum[count] += 1;
+  append_spectrum(out, spectrum);
+  for (const auto& [key, count] : result.global_counts) {
+    out << key.hi << "." << key.lo << ":" << count << "\n";
+  }
+  return out.str();
+}
+
+/// Per-rank table tallies — stable whenever the destination function is a
+/// pure hash of the key/minimizer.
+std::string rank_identity(const CountResult& result) {
+  std::ostringstream out;
+  for (int r = 0; r < result.nranks; ++r) {
+    const RankMetrics& m = result.ranks[static_cast<std::size_t>(r)];
+    out << "rank " << r << ": unique=" << m.unique_kmers
+        << " counted=" << m.counted_kmers << "\n";
+  }
+  return out.str();
+}
+
+// --- the scenario matrix ------------------------------------------------
+
+struct Scenario {
+  const char* name;
+  /// Destinations are a pure key/minimizer hash: per-rank tallies must be
+  /// invariant across every ingest shape. Frequency-balanced schemes
+  /// re-sample their routing from the first batch, so only the global
+  /// outcome is pinned for them.
+  bool hash_routing;
+  void (*configure)(DriverOptions&);
+};
+
+constexpr Scenario kScenarios[] = {
+    {"cpu", true,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kCpu; }},
+    {"cpu_canonical", true,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kCpu;
+       o.pipeline.canonical = true;
+     }},
+    {"gpu_kmer", true,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kGpuKmer; }},
+    {"gpu_supermer", true,
+     [](DriverOptions& o) { o.pipeline.kind = PipelineKind::kGpuSupermer; }},
+    {"gpu_supermer_wide", true,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuSupermer;
+       o.pipeline.wide_supermers = true;
+       o.pipeline.window = 40;
+     }},
+    {"gpu_supermer_freq", false,
+     [](DriverOptions& o) {
+       o.pipeline.kind = PipelineKind::kGpuSupermer;
+       o.pipeline.partition = PartitionScheme::kFrequencyBalanced;
+     }},
+};
+
+struct IngestShape {
+  const char* name;
+  std::uint64_t max_reads;  ///< 0 = unbounded (one batch)
+  bool spill;
+};
+
+constexpr IngestShape kShapes[] = {
+    {"one_batch", 0, false},
+    {"bounded_batches", 40, false},
+    {"batch_of_one", 1, false},
+    {"one_batch_spill", 0, true},
+    {"bounded_batches_spill", 40, true},
+    {"batch_of_one_spill", 1, true},
+};
+
+DriverOptions scenario_options(const Scenario& scenario) {
+  DriverOptions options;
+  scenario.configure(options);
+  options.nranks = 4;
+  return options;
+}
+
+CountResult run_shape(const Scenario& scenario, const IngestShape& shape) {
+  DriverOptions options = scenario_options(scenario);
+  options.batch.max_reads = shape.max_reads;
+  if (shape.spill) {
+    options.ooc.spill_root = spill_root();
+    options.ooc.bins = 3;
+  }
+  return run_distributed_count(parity_reads(), options);
+}
+
+class OocParity : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OocParity, EveryIngestShapeMatchesTheInMemoryRun) {
+  const auto [scenario_index, shape_index] = GetParam();
+  const Scenario& scenario = kScenarios[scenario_index];
+  const IngestShape& shape = kShapes[shape_index];
+
+  const CountResult baseline =
+      run_shape(scenario, IngestShape{"baseline", 0, false});
+  const CountResult shaped = run_shape(scenario, shape);
+
+  EXPECT_EQ(global_identity(baseline), global_identity(shaped))
+      << scenario.name << " / " << shape.name;
+  if (scenario.hash_routing) {
+    EXPECT_EQ(rank_identity(baseline), rank_identity(shaped))
+        << scenario.name << " / " << shape.name;
+  }
+
+  if (shape.spill) {
+    const RankMetrics totals = shaped.totals();
+    // Spilled bytes come back exactly once.
+    EXPECT_GT(totals.spill_bytes_written, 0u) << scenario.name;
+    EXPECT_EQ(totals.spill_bytes_written, totals.spill_bytes_read)
+        << scenario.name;
+    EXPECT_GT(totals.peak_resident_bytes, 0u) << scenario.name;
+    // The two disk phases are priced; the in-memory run never records them.
+    EXPECT_GT(shaped.modeled_breakdown().get(kPhaseSpill), 0.0);
+    EXPECT_GT(shaped.modeled_breakdown().get(kPhaseReload), 0.0);
+    EXPECT_DOUBLE_EQ(baseline.modeled_breakdown().get(kPhaseSpill), 0.0);
+    EXPECT_DOUBLE_EQ(baseline.modeled_breakdown().get(kPhaseReload), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScenariosAndShapes, OocParity,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 6)));
+
+// --- wide-k parity ------------------------------------------------------
+
+TEST(OocWideParity, StreamedAndSpilledWideRunsMatchInMemory) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kCpu;
+  options.pipeline.k = 33;
+  options.pipeline.canonical = true;
+  options.nranks = 4;
+
+  const io::ReadBatch reads = parity_reads();
+  const WideCountResult baseline = run_distributed_count_wide(reads, options);
+  const std::string baseline_identity = global_identity_wide(baseline);
+  ASSERT_FALSE(baseline.global_counts.empty());
+
+  options.batch.max_reads = 40;
+  const WideCountResult streamed = run_distributed_count_wide(reads, options);
+  EXPECT_EQ(baseline_identity, global_identity_wide(streamed));
+  EXPECT_EQ(rank_identity(baseline.base), rank_identity(streamed.base));
+
+  options.ooc.spill_root = spill_root();
+  options.ooc.bins = 3;
+  const WideCountResult spilled = run_distributed_count_wide(reads, options);
+  EXPECT_EQ(baseline_identity, global_identity_wide(spilled));
+  EXPECT_EQ(rank_identity(baseline.base), rank_identity(spilled.base));
+  const RankMetrics totals = spilled.base.totals();
+  EXPECT_EQ(totals.spill_bytes_written, totals.spill_bytes_read);
+  EXPECT_GT(totals.spill_bytes_written, 0u);
+}
+
+// --- single-batch bit-identity ------------------------------------------
+
+TEST(OocBitIdentity, UnboundedStreamIsTheInMemoryRunBitForBit) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 4;
+  const io::ReadBatch reads = parity_reads();
+
+  auto& session = trace::TraceSession::instance();
+  session.reset();
+  session.enable("");
+  const CountResult via_reads = run_distributed_count(reads, options);
+  const std::string json_reads =
+      session.metrics().to_json(/*include_wall=*/false);
+  session.reset();
+
+  io::VectorBatchStream stream(reads);
+  const CountResult via_stream = run_distributed_count(stream, options);
+  const std::string json_stream =
+      session.metrics().to_json(/*include_wall=*/false);
+  session.disable();
+
+  EXPECT_EQ(global_identity(via_reads), global_identity(via_stream));
+  EXPECT_EQ(rank_identity(via_reads), rank_identity(via_stream));
+  // Full metrics JSON, unscrubbed: modeled times, phase structure, byte
+  // counters — a single-batch stream leaves no trace of the streaming
+  // machinery (and records no footprint counter).
+  EXPECT_EQ(json_reads, json_stream);
+  EXPECT_EQ(json_reads.find("peak_resident_bytes"), std::string::npos);
+  for (std::size_t i = 0; i < via_reads.ranks.size(); ++i) {
+    EXPECT_EQ(via_reads.ranks[i].peak_resident_bytes, 0u);
+    EXPECT_DOUBLE_EQ(via_reads.ranks[i].modeled.total(),
+                     via_stream.ranks[i].modeled.total());
+  }
+}
+
+// --- footprint accounting -----------------------------------------------
+
+TEST(OocFootprint, StreamedRunsReportAPeakBoundedByBatchSize) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 4;
+  const io::ReadBatch reads = parity_reads();
+
+  options.batch.max_reads = 4;
+  const CountResult small = run_distributed_count(reads, options);
+  options.batch.max_reads = 32;
+  const CountResult large = run_distributed_count(reads, options);
+
+  const std::uint64_t small_peak = small.totals().peak_resident_bytes;
+  const std::uint64_t large_peak = large.totals().peak_resident_bytes;
+  EXPECT_GT(small_peak, 0u);
+  EXPECT_GT(large_peak, 0u);
+  // Peak residency grows with the batch bound — the knob the out-of-core
+  // mode turns to fit a dataset in memory.
+  EXPECT_LT(small_peak, large_peak);
+}
+
+TEST(OocFootprint, SpillCountersSurfaceInTraceMetrics) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 4;
+  options.batch.max_reads = 40;
+  options.ooc.spill_root = spill_root();
+  options.ooc.bins = 3;
+
+  auto& session = trace::TraceSession::instance();
+  session.reset();
+  session.enable("");
+  const CountResult result = run_distributed_count(parity_reads(), options);
+  const std::string json = session.metrics().to_json(/*include_wall=*/false);
+  session.disable();
+
+  EXPECT_NE(json.find("\"spill_bytes_written\":"), std::string::npos);
+  EXPECT_NE(json.find("\"spill_bytes_read\":"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_resident_bytes\":"), std::string::npos);
+  EXPECT_GT(result.totals().spill_bytes_written, 0u);
+}
+
+TEST(OocFootprint, ScratchDirectoryIsRemovedAfterTheRun) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kCpu;
+  options.nranks = 2;
+  options.ooc.spill_root = spill_root();
+  (void)run_distributed_count(parity_reads(), options);
+  // The root may remain; every per-run scratch subdirectory must be gone.
+  if (fs::exists(options.ooc.spill_root)) {
+    EXPECT_TRUE(fs::is_empty(options.ooc.spill_root));
+  }
+}
+
+// --- degenerate inputs and validation -----------------------------------
+
+TEST(OocDegenerate, EmptyInputCountsNothingInEveryMode) {
+  const io::ReadBatch empty;
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 3;
+
+  CountResult result = run_distributed_count(empty, options);
+  EXPECT_TRUE(result.global_counts.empty());
+
+  options.batch.max_reads = 8;
+  result = run_distributed_count(empty, options);
+  EXPECT_TRUE(result.global_counts.empty());
+
+  options.ooc.spill_root = spill_root();
+  result = run_distributed_count(empty, options);
+  EXPECT_TRUE(result.global_counts.empty());
+  EXPECT_EQ(result.totals().spill_bytes_written, 0u);
+}
+
+TEST(OocDegenerate, SingleRankSpillMatchesInMemory) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 1;
+  const io::ReadBatch reads = parity_reads();
+  const CountResult baseline = run_distributed_count(reads, options);
+  options.ooc.spill_root = spill_root();
+  options.batch.max_reads = 25;
+  const CountResult spilled = run_distributed_count(reads, options);
+  EXPECT_EQ(global_identity(baseline), global_identity(spilled));
+}
+
+TEST(OocValidation, IncompatibleConfigsAreRejected) {
+  const io::ReadBatch reads = parity_reads();
+  DriverOptions base;
+  base.pipeline.kind = PipelineKind::kGpuSupermer;
+  base.nranks = 2;
+  base.ooc.spill_root = spill_root();
+
+  DriverOptions options = base;
+  options.ooc.bins = 0;
+  EXPECT_THROW(run_distributed_count(reads, options), PreconditionError);
+
+  options = base;
+  options.pipeline.overlap_rounds = true;
+  EXPECT_THROW(run_distributed_count(reads, options), PreconditionError);
+
+  options = base;
+  options.pipeline.max_kmers_per_round = 1'000;
+  EXPECT_THROW(run_distributed_count(reads, options), PreconditionError);
+
+  options = base;
+  options.pipeline.filter_singletons = true;
+  EXPECT_THROW(run_distributed_count(reads, options), PreconditionError);
+
+  options = base;
+  options.pipeline.kind = PipelineKind::kGpuKmer;
+  options.pipeline.source_consolidation = true;
+  EXPECT_THROW(run_distributed_count(reads, options), PreconditionError);
+}
+
+// --- host-thread invariance ---------------------------------------------
+
+TEST(OocDeterminism, ResultsAreInvariantAcrossSimThreadCounts) {
+  DriverOptions options;
+  options.pipeline.kind = PipelineKind::kGpuSupermer;
+  options.nranks = 4;
+  options.batch.max_reads = 30;
+  options.ooc.spill_root = spill_root();
+  options.ooc.bins = 3;
+
+  util::ThreadPool::set_global_threads(1);
+  const CountResult serial = run_distributed_count(parity_reads(), options);
+  util::ThreadPool::set_global_threads(4);
+  const CountResult threaded = run_distributed_count(parity_reads(), options);
+  util::ThreadPool::set_global_threads(0);  // back to the default
+
+  EXPECT_EQ(global_identity(serial), global_identity(threaded));
+  EXPECT_EQ(rank_identity(serial), rank_identity(threaded));
+  EXPECT_EQ(serial.totals().spill_bytes_written,
+            threaded.totals().spill_bytes_written);
+  for (std::size_t r = 0; r < serial.ranks.size(); ++r) {
+    EXPECT_DOUBLE_EQ(serial.ranks[r].modeled.total(),
+                     threaded.ranks[r].modeled.total());
+  }
+}
+
+}  // namespace
+}  // namespace dedukt::core

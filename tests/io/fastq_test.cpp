@@ -96,5 +96,104 @@ TEST(FastqTest, MissingFileThrows) {
   EXPECT_THROW(read_fastq_file("/nonexistent/path.fq"), ParseError);
 }
 
+// --- hostile-input sweeps ----------------------------------------------
+// The ingest hardening contract: whatever bytes arrive, the parser either
+// succeeds or raises typed ParseError. It must never surface a
+// PreconditionError, a bad_alloc, or any other exception type — streamed
+// ingest feeds arbitrary file prefixes straight into the hot path.
+
+std::string well_formed_input() {
+  std::string text;
+  text += "@first read\nACGTACGTAC\n+\nIIIIIIIIII\n";
+  text += "@second\nTTGGCCAA\n+second\n!!!!!!!!\n";
+  text += "@third\nACGT\n+\nIIII\n";
+  return text;
+}
+
+/// Parse `text`, asserting the only allowed outcomes. Returns true if the
+/// parse succeeded.
+bool parse_is_clean(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)read_fastq(in);
+    return true;
+  } catch (const ParseError&) {
+    return false;  // allowed
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << "non-ParseError exception: " << e.what()
+                  << " for input:\n"
+                  << text;
+    return false;
+  }
+}
+
+TEST(FastqFuzzTest, EveryTruncationPrefixSucceedsOrThrowsParseError) {
+  const std::string text = well_formed_input();
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    (void)parse_is_clean(text.substr(0, cut));
+  }
+}
+
+TEST(FastqFuzzTest, EveryByteFlipSucceedsOrThrowsParseError) {
+  const std::string text = well_formed_input();
+  // Flip each position to a handful of hostile values: NUL, '@'-injection,
+  // newline-injection, high-bit garbage.
+  for (const char garbage : {'\0', '@', '\n', '+', '\x7f'}) {
+    for (std::size_t pos = 0; pos < text.size(); ++pos) {
+      std::string mutated = text;
+      mutated[pos] = garbage;
+      (void)parse_is_clean(mutated);
+    }
+  }
+}
+
+TEST(FastqFuzzTest, GarbageInputThrowsParseErrorNotWorse) {
+  EXPECT_FALSE(parse_is_clean("\x01\x02\x03 garbage"));
+  EXPECT_FALSE(parse_is_clean("@\n"));
+  EXPECT_FALSE(parse_is_clean("@only header"));
+  // A '+' line alone (no header) is not a record start.
+  EXPECT_FALSE(parse_is_clean("+\nIIII\n"));
+}
+
+TEST(FastqFuzzTest, StreamedReaderMatchesWholeFileOnTruncations) {
+  // The chunked FastqBatchStream shares FastqRecordReader with
+  // read_fastq: both sides of every truncation must agree on whether the
+  // prefix parses and on the records it yields.
+  const std::string text = well_formed_input();
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    const std::string prefix = text.substr(0, cut);
+    std::istringstream whole_in(prefix);
+    bool whole_ok = true;
+    ReadBatch whole;
+    try {
+      whole = read_fastq(whole_in);
+    } catch (const ParseError&) {
+      whole_ok = false;
+    }
+
+    std::istringstream chunk_in(prefix);
+    FastqRecordReader reader(chunk_in);
+    bool chunked_ok = true;
+    ReadBatch chunked;
+    try {
+      Read read;
+      while (reader.next(read)) {
+        chunked.reads.push_back(std::move(read));
+        read = Read{};
+      }
+    } catch (const ParseError&) {
+      chunked_ok = false;
+    }
+
+    EXPECT_EQ(whole_ok, chunked_ok) << "prefix length " << cut;
+    if (whole_ok && chunked_ok) {
+      ASSERT_EQ(whole.size(), chunked.size()) << "prefix length " << cut;
+      for (std::size_t i = 0; i < whole.size(); ++i) {
+        EXPECT_EQ(whole.reads[i].bases, chunked.reads[i].bases);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dedukt::io
