@@ -218,7 +218,11 @@ void write_bench_json(const std::string& path,
          << "\"spill_bytes\": " << r.spill_bytes << ", "
          << "\"peak_resident_bytes\": " << r.peak_resident_bytes << ", "
          << "\"disk_seconds\": " << json_double(r.disk_seconds) << ", "
-         << "\"compute_seconds\": " << json_double(r.compute_seconds) << "}"
+         << "\"compute_seconds\": " << json_double(r.compute_seconds) << ", "
+         << "\"sketch_bytes\": " << r.sketch_bytes << ", "
+         << "\"max_error\": " << r.max_error << ", "
+         << "\"mean_error\": " << json_double(r.mean_error) << ", "
+         << "\"heavy_hitters\": " << r.heavy_hitters << "}"
          << (i + 1 < records.size() ? "," : "") << "\n";
   }
   body << "]\n";

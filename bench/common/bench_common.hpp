@@ -148,6 +148,15 @@ struct BenchRecord {
   std::uint64_t peak_resident_bytes = 0;
   double disk_seconds = 0.0;
   double compute_seconds = 0.0;
+  /// Approximate-counting records (bench_sketch): the sketch's cell-array
+  /// footprint, its observed estimation error against the exact spectrum
+  /// (max and mean over-count across all exact keys), and the number of
+  /// heavy hitters extracted by the two-pass filter. All zero for exact
+  /// records.
+  std::uint64_t sketch_bytes = 0;
+  std::uint64_t max_error = 0;
+  double mean_error = 0.0;
+  std::uint64_t heavy_hitters = 0;
 };
 
 /// Write records as a JSON array of objects to `path` (overwrites).

@@ -5,13 +5,17 @@
 # BENCH_micro.json, the round-overlap / flat-vs-hierarchical exchange
 # records to BENCH_fig8.json, the Zipf-traffic query-throughput records to
 # BENCH_qps.json, and the peak-footprint / spill-volume / disk-vs-compute
-# records to BENCH_spill.json at the repo root. bench_qps self-checks with
+# records to BENCH_spill.json, and the count-min sketch error/memory sweep
+# to BENCH_sketch.json at the repo root. bench_qps self-checks with
 # DEDUKT_CHECK that every query answer is bit-identical to the flat counts
 # dump and that the cached configuration beats the uncached modeled QPS at
 # skew >= 1.0; bench_spill self-checks that every streamed/spilled
 # configuration's counts are bit-identical to the in-memory run, that
 # spilled bytes equal reloaded bytes, and that the streamed peak resident
-# footprint is monotone in batch size — so a serving or out-of-core
+# footprint is monotone in batch size; bench_sketch self-checks that every
+# sketch estimate is >= the exact count, that the swept sketches undercut
+# the exact table's memory at equal input, and that heavy-hitter recall is
+# exactly 1.0 — so a serving, out-of-core or approximate-counting
 # regression fails this script.
 #
 # Usage: scripts/run_bench.sh [build-dir] [--threads=1,2,4] [--repeats=N]
@@ -25,10 +29,12 @@ if [[ $# -gt 0 && "${1:0:2}" != "--" ]]; then shift; fi
 if [[ ! -x "$build_dir/bench/bench_pool" || \
       ! -x "$build_dir/bench/bench_fig8_alltoallv" || \
       ! -x "$build_dir/bench/bench_qps" || \
-      ! -x "$build_dir/bench/bench_spill" ]]; then
+      ! -x "$build_dir/bench/bench_spill" || \
+      ! -x "$build_dir/bench/bench_sketch" ]]; then
   cmake -B "$build_dir" -S "$repo_root"
   cmake --build "$build_dir" -j \
-    --target bench_pool bench_fig8_alltoallv bench_qps bench_spill
+    --target bench_pool bench_fig8_alltoallv bench_qps bench_spill \
+             bench_sketch
 fi
 
 "$build_dir/bench/bench_pool" \
@@ -45,5 +51,9 @@ fi
 "$build_dir/bench/bench_spill" \
   --json="$repo_root/BENCH_spill.json"
 
+"$build_dir/bench/bench_sketch" \
+  --json="$repo_root/BENCH_sketch.json"
+
 echo "results: $repo_root/BENCH_micro.json $repo_root/BENCH_fig8.json" \
-  "$repo_root/BENCH_qps.json $repo_root/BENCH_spill.json"
+  "$repo_root/BENCH_qps.json $repo_root/BENCH_spill.json" \
+  "$repo_root/BENCH_sketch.json"

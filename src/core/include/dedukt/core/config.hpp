@@ -112,6 +112,26 @@ struct PipelineConfig {
   /// the paper (and diBELLA) consolidate at the destination. GPU k-mer
   /// pipeline only.
   bool source_consolidation = false;
+  /// Approximate counting backend (ROADMAP item 5): replace the exact hash
+  /// tables with a per-rank count-min sketch of sketch_width x sketch_depth
+  /// u32 cells, merged across ranks with a cell-wise sum allreduce at the
+  /// end of the run. No k-mers cross the wire — each rank sketches its own
+  /// parsed stream — so the exchange cost drops from O(total k-mers) to
+  /// O(sketch bytes). Estimates are one-sided (never below the true count);
+  /// see docs/approximate.md for the error model.
+  bool sketch = false;
+  std::uint32_t sketch_width = 1u << 20;  ///< cells per row (power of two)
+  std::uint32_t sketch_depth = 4;         ///< independent hash rows
+  /// Estan-Varghese conservative update: tighter estimates, but the cell
+  /// contents become update-order-dependent (the device kernel runs
+  /// order-pinned; cross-rank merge keeps the one-sided bound but is no
+  /// longer bit-equal to a single-stream sketch).
+  bool sketch_conservative = false;
+  /// When > 0, run the two-pass heavy-hitter extraction: pass 1 builds and
+  /// merges the global sketch, pass 2 re-scans the input and keeps exact
+  /// counts for every k-mer whose global estimate reaches the threshold.
+  /// One-sided estimates make the recall exactly 1. Requires sketch.
+  std::uint64_t heavy_threshold = 0;
 
   [[nodiscard]] kmer::SupermerConfig supermer_config() const {
     kmer::SupermerConfig c;
@@ -166,6 +186,26 @@ struct PipelineConfig {
     DEDUKT_REQUIRE_MSG(!(source_consolidation && filter_singletons),
                        "source consolidation and the Bloom pre-filter are "
                        "mutually exclusive");
+    DEDUKT_REQUIRE_MSG(heavy_threshold == 0 || sketch,
+                       "--heavy-threshold requires the sketch backend");
+    if (sketch) {
+      DEDUKT_REQUIRE_MSG(sketch_width >= 16 &&
+                             (sketch_width & (sketch_width - 1)) == 0,
+                         "sketch width must be a power of two >= 16, got "
+                             << sketch_width);
+      DEDUKT_REQUIRE_MSG(sketch_depth >= 1 && sketch_depth <= 12,
+                         "sketch depth must be in [1, 12], got "
+                             << sketch_depth);
+      // The sketch path has no exact table and exchanges no k-mers, so the
+      // exact-backend refinements are meaningless there.
+      DEDUKT_REQUIRE_MSG(!filter_singletons,
+                         "the Bloom pre-filter applies to the exact "
+                         "backends, not the sketch");
+      DEDUKT_REQUIRE_MSG(!source_consolidation && !wide_supermers &&
+                             !overlap_rounds && !hierarchical_exchange,
+                         "the sketch backend exchanges no k-mers; exchange "
+                         "shaping options do not apply");
+    }
   }
 };
 

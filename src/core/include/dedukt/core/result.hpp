@@ -115,6 +115,34 @@ struct RankMetrics {
   PhaseTimes modeled_volume;
 };
 
+/// Result of a sketch-backend run (config.sketch): the merged global
+/// count-min cell array plus the two-pass heavy-hitter extraction.
+struct SketchSummary {
+  bool enabled = false;
+  std::uint32_t width = 0;
+  std::uint32_t depth = 0;
+  bool conservative = false;
+  std::uint64_t heavy_threshold = 0;
+  /// Global stream length: k-mer occurrences absorbed across all ranks.
+  std::uint64_t sketched_kmers = 0;
+  /// Per-rank cell-array footprint (width * depth * 4 bytes).
+  std::uint64_t sketch_bytes = 0;
+  /// Merged global cells (row-major, depth x width): the cell-wise-sum
+  /// allreduce of every rank's sketch. Identical on all ranks.
+  std::vector<std::uint32_t> cells;
+  /// Exact global counts of every candidate that survived the sketch
+  /// filter (estimate >= heavy_threshold), sorted by key. The one-sided
+  /// estimate guarantees every key with true count >= threshold is here;
+  /// entries whose exact count falls below the threshold are the false
+  /// positives. Empty when heavy_threshold == 0.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> heavy_hitters;
+
+  /// Point query against the merged cells: >= the true global count.
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const;
+  /// Heavy-hitter entries whose exact count misses the threshold.
+  [[nodiscard]] std::uint64_t false_positives() const;
+};
+
 /// Whole-run result.
 struct CountResult {
   PipelineConfig config;
@@ -122,8 +150,12 @@ struct CountResult {
   std::vector<RankMetrics> ranks;
 
   /// Global (k-mer, count) pairs, sorted by key. Populated only when the
-  /// driver is asked to collect counts.
+  /// driver is asked to collect counts. Empty on sketch runs (the sketch
+  /// holds the spectrum approximately; see `sketch`).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> global_counts;
+
+  /// Sketch-backend output; `sketch.enabled` is false on exact runs.
+  SketchSummary sketch;
 
   // --- aggregates ---
 

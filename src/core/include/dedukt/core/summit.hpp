@@ -59,6 +59,15 @@ inline constexpr double kCpuParseBasesPerSec = 85e3;
 /// CPU baseline hash-table build: k-mers per second per core (Fig. 3a).
 inline constexpr double kCpuCountKmersPerSec = 47e3;
 
+/// Count-min sketch update kernel: `depth` global atomic adds per k-mer
+/// after block-local aggregation, no probe walks — lighter than the
+/// hash-table build, so it clears the count rate.
+inline constexpr double kGpuSketchKmersPerSec = 250e6;
+
+/// Sketch point-query kernel (heavy-hitter pass 2): `depth` dependent
+/// reads per key, no writes.
+inline constexpr double kGpuSketchEstimateKeysPerSec = 350e6;
+
 // Fixed (volume-independent) per-phase overheads of the GPU pipelines:
 // kernel-launch batching, stream synchronization, allocator setup, and
 // small-message MPI software costs at 96-768 ranks. Calibrated from

@@ -44,6 +44,12 @@ commands:
            [--freq-balanced] [--node-balanced] [--rounds-limit=N]
            [--overlap-rounds] [--hierarchical-exchange]
            [--smem-agg] [--no-smem-agg] [--sim-threads=N]
+           [--sketch] [--sketch-width=N] [--sketch-depth=N]
+           [--sketch-conservative] [--heavy-threshold=N]
+                                  (approximate counting: per-rank count-min
+                                  sketch, merged with one allreduce; with a
+                                  threshold, a second pass extracts exact
+                                  counts of the heavy hitters)
            [--batch-reads=N] [--batch-bytes=N]  (stream ingest in bounded
                                   batches; FASTQ inputs are decoded
                                   incrementally, never fully resident)
@@ -58,6 +64,8 @@ commands:
   info     --counts=counts.bin
   compare  --a=a.bin --b=b.bin
   query    --store=<dir> --kmers=ACGT...,TTGA... [--cache-shards=N]
+           [--freq-admission]  (frequency-aware cache admission: never
+                                evict a hotter shard for a colder one)
 
 synthetic presets: ecoli30x paeruginosa30x vvulnificus30x abaumannii30x
                    celegans40x hsapiens54x
@@ -128,6 +136,15 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
       cli.get_bool("hierarchical-exchange", false);
   options.pipeline.smem_agg =
       cli.has("no-smem-agg") ? false : cli.get_bool("smem-agg", true);
+  options.pipeline.sketch = cli.get_bool("sketch", false);
+  options.pipeline.sketch_width =
+      static_cast<std::uint32_t>(cli.get_int("sketch-width", 1 << 20));
+  options.pipeline.sketch_depth =
+      static_cast<std::uint32_t>(cli.get_int("sketch-depth", 4));
+  options.pipeline.sketch_conservative =
+      cli.get_bool("sketch-conservative", false);
+  options.pipeline.heavy_threshold =
+      static_cast<std::uint64_t>(cli.get_int("heavy-threshold", 0));
   options.nranks = static_cast<int>(cli.get_int("ranks", 6));
   options.batch.max_reads =
       static_cast<std::size_t>(cli.get_int("batch-reads", 0));
@@ -160,9 +177,29 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
         << ", ranks=" << options.nranks << "\n";
     result = run_distributed_count(reads, options);
   }
-  out << "counted " << format_count(result.totals().counted_kmers)
-      << " k-mer instances, " << format_count(result.total_unique())
-      << " distinct\n";
+  if (result.sketch.enabled) {
+    // Sketch runs count no distinct keys; report the stream and the
+    // summary's shape instead, keeping exact-mode output byte-identical.
+    out << "sketched " << format_count(result.sketch.sketched_kmers)
+        << " k-mer instances into a " << result.sketch.width << "x"
+        << result.sketch.depth
+        << (result.sketch.conservative ? " conservative" : "")
+        << " count-min sketch (" << format_bytes(result.sketch.sketch_bytes)
+        << ")\n";
+    if (result.sketch.heavy_threshold > 0) {
+      out << "heavy hitters (count >= " << result.sketch.heavy_threshold
+          << "): " << format_count(result.sketch.heavy_hitters.size())
+          << " candidates, "
+          << format_count(result.sketch.heavy_hitters.size() -
+                          result.sketch.false_positives())
+          << " true, " << format_count(result.sketch.false_positives())
+          << " sketch false positives\n";
+    }
+  } else {
+    out << "counted " << format_count(result.totals().counted_kmers)
+        << " k-mer instances, " << format_count(result.total_unique())
+        << " distinct\n";
+  }
   const PhaseTimes breakdown = result.modeled_breakdown();
   out << "modeled Summit time:";
   bool first = true;
@@ -198,7 +235,10 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
     CountsFile file;
     file.k = options.pipeline.k;
     file.encoding = options.pipeline.encoding();
-    file.counts = result.global_counts;
+    // Sketch runs gather no exact table; the heavy hitters (exact counts
+    // from the second pass) are the writable artifact.
+    file.counts = result.sketch.enabled ? result.sketch.heavy_hitters
+                                        : result.global_counts;
     if (output.ends_with(".tsv")) {
       write_counts_tsv_file(output, file);
     } else {
@@ -249,6 +289,7 @@ int cmd_query(const CliParser& cli, std::ostream& out) {
   store::QueryEngineConfig config;
   config.cache_shards =
       static_cast<std::uint32_t>(cli.get_int("cache-shards", 0));
+  config.freq_admission = cli.get_bool("freq-admission", false);
   store::QueryEngine engine(kmer_store, device, config);
   const std::vector<std::uint64_t> counts = engine.lookup(keys);
   for (std::size_t i = 0; i < names.size(); ++i) {

@@ -75,6 +75,7 @@ CountResult run_distributed_count(io::ReadBatchStream& stream,
                                   const DriverOptions& options) {
   options.pipeline.validate();
   DEDUKT_REQUIRE(options.nranks >= 1);
+  if (options.pipeline.sketch) return run_sketch_count(stream, options);
   if (options.ooc.enabled()) return run_ooc_count(stream, options);
 
   const auto nranks = static_cast<std::size_t>(options.nranks);

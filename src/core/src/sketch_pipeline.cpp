@@ -1,0 +1,445 @@
+// Sketch-backend pipeline + driver (ROADMAP item 5).
+//
+// The exact pipelines route every k-mer occurrence to its owning rank
+// before counting; the sketch backend inverts that. Each rank absorbs its
+// OWN parsed stream into a local count-min sketch — a fixed-size cell
+// array is a mergeable summary, so nothing per-k-mer ever crosses the wire
+// — and the run ends with one cell-wise-sum allreduce of O(width * depth)
+// bytes, charged to the exchange phase. That turns the exchange cost from
+// O(total k-mers) into O(sketch bytes), the whole point of approximate
+// counting at scale.
+//
+// Pipeline kinds: the CPU kind parses on the host and updates the host
+// sketch; both GPU kinds share the k-mer parse kernels with parts=1 (all
+// k-mers stay device-resident — supermers exist only to compress the
+// exchange, and there is no exchange here) and run the priced device
+// update kernel against the rank's persistent cells (H2D-loaded per batch,
+// D2H'd back — honest streaming cost).
+//
+// Heavy hitters (heavy_threshold > 0): after the merge, a second pass
+// re-parses the retained input, point-queries the merged global sketch,
+// and keeps EXACT occurrence counts for every candidate key whose estimate
+// reaches the threshold. One-sided estimates (estimate >= true count,
+// preserved by the sum-merge) make the recall exactly 1; false positives
+// are keys whose over-counted estimate cleared the bar. The candidates'
+// exact counts gather to rank 0 like the exact backend's tables do. This
+// generalizes the Bloom two-pass machinery: the sketch is the first-pass
+// filter, the exact table exists only for survivors. Streamed runs retain
+// their batches for the second pass (the bounded-memory claim holds only
+// for pure sketching; the footprint test runs without a threshold).
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dedukt/core/driver.hpp"
+#include "dedukt/core/kernels.hpp"
+#include "dedukt/core/ooc.hpp"
+#include "dedukt/core/phase_scope.hpp"
+#include "dedukt/core/round_runner.hpp"
+#include "dedukt/core/sketch.hpp"
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/io/partition.hpp"
+#include "dedukt/kmer/extract.hpp"
+#include "dedukt/mpisim/runtime.hpp"
+#include "dedukt/trace/trace.hpp"
+#include "dedukt/util/error.hpp"
+
+namespace dedukt::core {
+
+namespace {
+
+/// Wire format for gathering heavy-hitter candidates to rank 0 (same shape
+/// as the exact driver's table gather).
+struct KmerCount {
+  std::uint64_t key;
+  std::uint64_t count;
+};
+static_assert(std::is_trivially_copyable_v<KmerCount>);
+
+SketchParams params_from(const PipelineConfig& config) {
+  SketchParams params;
+  params.width = config.sketch_width;
+  params.depth = config.sketch_depth;
+  params.conservative = config.sketch_conservative;
+  return params;
+}
+
+/// Host parse of one batch: every k-mer key, in read order (the order the
+/// conservative discipline is defined over).
+std::vector<std::uint64_t> parse_host_keys(const io::ReadBatch& reads,
+                                           const PipelineConfig& config) {
+  const io::BaseEncoding enc = config.encoding();
+  std::vector<std::uint64_t> keys;
+  keys.reserve(reads.total_kmers(config.k));
+  for (const auto& read : reads.reads) {
+    for (std::string_view fragment : kmer::acgt_fragments(read.bases)) {
+      kmer::for_each_kmer(fragment, config.k, enc, [&](kmer::KmerCode code) {
+        if (config.canonical) code = kmer::canonical(code, config.k, enc);
+        keys.push_back(code);
+      });
+    }
+  }
+  return keys;
+}
+
+/// Device parse of one batch with parts=1: the rank's whole k-mer stream,
+/// device-resident. The same two-pass kernels as the GPU k-mer pipeline;
+/// with one partition the fill pass preserves input order, which the
+/// order-pinned conservative kernel relies on.
+gpusim::DeviceBuffer<std::uint64_t> parse_device_keys(
+    gpusim::Device& device, const io::ReadBatch& reads,
+    const PipelineConfig& config, std::uint64_t& total) {
+  const io::BaseEncoding enc = config.encoding();
+  kernels::EncodedReads staging =
+      kernels::EncodedReads::build(reads, config.k);
+  auto d_bases = device.alloc<char>(staging.bases.size());
+  device.copy_to_device<char>(staging.bases, d_bases);
+
+  auto d_counts = device.alloc<std::uint32_t>(1, 0u);
+  kernels::parse_count_kmers(device, d_bases, staging.bases.size(), config.k,
+                             enc, /*parts=*/1, d_counts);
+  std::vector<std::uint32_t> counts(1);
+  device.copy_to_host(d_counts, std::span<std::uint32_t>(counts));
+  total = counts[0];
+  DEDUKT_CHECK_MSG(total == staging.total_kmers,
+                   "sketch parse lost k-mers: " << total << " vs "
+                                                << staging.total_kmers);
+
+  std::vector<std::uint64_t> offsets{0};
+  auto d_offsets = device.alloc<std::uint64_t>(1);
+  device.copy_to_device<std::uint64_t>(offsets, d_offsets);
+  auto d_cursors = device.alloc<std::uint32_t>(1, 0u);
+  auto d_out =
+      device.alloc<std::uint64_t>(std::max<std::uint64_t>(total, 1));
+  kernels::parse_fill_kmers(device, d_bases, staging.bases.size(), config.k,
+                            enc, /*parts=*/1, d_offsets, d_cursors, d_out);
+
+  device.free(d_bases);
+  device.free(d_counts);
+  device.free(d_offsets);
+  device.free(d_cursors);
+  return d_out;
+}
+
+/// One round of the sketch pipeline: parse the batch, absorb it into the
+/// rank's persistent sketch.
+RankMetrics run_sketch_single(gpusim::Device* device,
+                              const io::ReadBatch& reads,
+                              const PipelineConfig& config,
+                              HostCountMinSketch& sketch) {
+  RankMetrics metrics;
+  metrics.reads = reads.size();
+  metrics.bases = reads.total_bases();
+
+  if (config.kind == PipelineKind::kCpu) {
+    std::vector<std::uint64_t> keys;
+    {
+      PhaseScope phase(metrics, kPhaseParse);
+      keys = parse_host_keys(reads, config);
+      metrics.kmers_parsed = keys.size();
+      phase.set_uniform_charge(static_cast<double>(metrics.bases) /
+                               summit::kCpuParseBasesPerSec);
+    }
+    {
+      PhaseScope phase(metrics, kPhaseCount);
+      for (const std::uint64_t key : keys) sketch.update(key);
+      metrics.kmers_received = keys.size();
+      phase.set_uniform_charge(static_cast<double>(keys.size()) /
+                               summit::kCpuCountKmersPerSec);
+    }
+    return metrics;
+  }
+
+  DEDUKT_CHECK(device != nullptr);
+  gpusim::DeviceBuffer<std::uint64_t> d_kmers;
+  std::uint64_t total = 0;
+  {
+    PhaseScope phase(metrics, kPhaseParse, *device);
+    d_kmers = parse_device_keys(*device, reads, config, total);
+    metrics.kmers_parsed = total;
+    phase.set_device_floor_charge(
+        static_cast<double>(total) / summit::kGpuParseKmersPerSec,
+        summit::kGpuParseOverheadSec);
+  }
+  {
+    PhaseScope phase(metrics, kPhaseCount, *device);
+    DeviceCountMinSketch device_sketch(*device, sketch.params());
+    device_sketch.load(sketch.cells());
+    device_sketch.update(d_kmers, total);
+    device->free(d_kmers);
+    sketch.assign_cells(device_sketch.to_host());
+    sketch.add_total(total);
+    metrics.kmers_received = total;
+    phase.set_device_floor_charge(
+        static_cast<double>(total) / summit::kGpuSketchKmersPerSec,
+        summit::kGpuCountOverheadSec);
+  }
+  return metrics;
+}
+
+/// RoundRunner table adapter: the sketch has no distinct-key count; the
+/// counted total is the stream length it absorbed.
+struct SketchTableView {
+  const HostCountMinSketch& sketch;
+  [[nodiscard]] std::uint64_t unique() const { return 0; }
+  [[nodiscard]] std::uint64_t total() const {
+    return sketch.total_updates();
+  }
+};
+
+/// One rank's share of one pulled batch, through the staged RoundRunner
+/// framework (max_kmers_per_round splits the batch like the exact paths).
+RankMetrics run_sketch_rank(mpisim::Comm& comm, gpusim::Device* device,
+                            const io::ReadBatch& reads,
+                            const PipelineConfig& config,
+                            HostCountMinSketch& sketch) {
+  const RoundRunner runner(comm, reads, config);
+  SketchTableView view{sketch};
+  return runner.run(view, [&](const io::ReadBatch& batch) {
+    return run_sketch_single(device, batch, config, sketch);
+  });
+}
+
+/// Heavy-hitter pass 2 over one retained batch: re-parse, estimate every
+/// occurrence against the merged global cells, and count survivors exactly
+/// in `candidates`. Work counters stay zero — the occurrences were already
+/// counted in pass 1 — but the parse/estimate time is charged in full (the
+/// two-pass cost is real).
+RankMetrics run_heavy_pass(gpusim::Device* device, const io::ReadBatch& reads,
+                           const PipelineConfig& config,
+                           const std::vector<std::uint32_t>& merged,
+                           HostHashTable& candidates) {
+  RankMetrics metrics;
+  const std::uint64_t threshold = config.heavy_threshold;
+
+  if (config.kind == PipelineKind::kCpu) {
+    std::vector<std::uint64_t> keys;
+    {
+      PhaseScope phase(metrics, kPhaseParse);
+      keys = parse_host_keys(reads, config);
+      phase.set_uniform_charge(static_cast<double>(reads.total_bases()) /
+                               summit::kCpuParseBasesPerSec);
+    }
+    {
+      PhaseScope phase(metrics, kPhaseCount);
+      for (const std::uint64_t key : keys) {
+        if (sketch_estimate_cells(merged, config.sketch_width,
+                                  config.sketch_depth, key) >= threshold) {
+          candidates.add(key);
+        }
+      }
+      phase.set_uniform_charge(static_cast<double>(keys.size()) /
+                               summit::kCpuCountKmersPerSec);
+    }
+    return metrics;
+  }
+
+  DEDUKT_CHECK(device != nullptr);
+  gpusim::DeviceBuffer<std::uint64_t> d_kmers;
+  std::uint64_t total = 0;
+  {
+    PhaseScope phase(metrics, kPhaseParse, *device);
+    d_kmers = parse_device_keys(*device, reads, config, total);
+    phase.set_device_floor_charge(
+        static_cast<double>(total) / summit::kGpuParseKmersPerSec,
+        summit::kGpuParseOverheadSec);
+  }
+  {
+    PhaseScope phase(metrics, kPhaseCount, *device);
+    DeviceCountMinSketch device_sketch(*device, params_from(config));
+    device_sketch.load(merged);
+    auto d_estimates =
+        device->alloc<std::uint32_t>(std::max<std::uint64_t>(total, 1));
+    device_sketch.estimate(d_kmers, total, d_estimates);
+    std::vector<std::uint32_t> estimates(total);
+    device->copy_to_host(d_estimates,
+                         std::span<std::uint32_t>(estimates));
+    std::vector<std::uint64_t> keys(total);
+    device->copy_to_host(d_kmers, std::span<std::uint64_t>(keys));
+    device->free(d_estimates);
+    device->free(d_kmers);
+    device_sketch.release();
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (estimates[i] >= threshold) candidates.add(keys[i]);
+    }
+    phase.set_device_floor_charge(
+        static_cast<double>(total) / summit::kGpuSketchEstimateKeysPerSec,
+        summit::kGpuCountOverheadSec);
+  }
+  return metrics;
+}
+
+}  // namespace
+
+CountResult run_sketch_count(io::ReadBatchStream& stream,
+                             const DriverOptions& options) {
+  const PipelineConfig& config = options.pipeline;
+  config.validate();
+  DEDUKT_REQUIRE(config.sketch);
+  DEDUKT_REQUIRE(options.nranks >= 1);
+  DEDUKT_REQUIRE_MSG(!options.ooc.enabled(),
+                     "the sketch backend is already one-pass with a fixed "
+                     "footprint; compose --batch-reads/--batch-bytes "
+                     "streaming instead of --ooc-spill");
+  SketchParams params = params_from(config);
+  params.validate();
+  const bool device_kind = config.kind != PipelineKind::kCpu;
+  const bool heavy = config.heavy_threshold > 0;
+
+  const auto nranks = static_cast<std::size_t>(options.nranks);
+  const mpisim::NetworkModel network =
+      options.summit_network
+          ? summit::network(options.effective_ranks_per_node())
+          : mpisim::NetworkModel::local();
+  mpisim::Runtime runtime(options.nranks, network);
+
+  CountResult result;
+  result.config = config;
+  result.nranks = options.nranks;
+  result.ranks.resize(nranks);
+  result.sketch.enabled = true;
+  result.sketch.width = params.width;
+  result.sketch.depth = params.depth;
+  result.sketch.conservative = params.conservative;
+  result.sketch.heavy_threshold = config.heavy_threshold;
+  result.sketch.sketch_bytes = params.bytes();
+
+  // Per-rank sketches persist across batches, like the exact tables.
+  std::vector<HostCountMinSketch> sketches(nranks,
+                                           HostCountMinSketch(params));
+  // Pass-2 exact counts of heavy-hitter candidates.
+  std::vector<HostHashTable> candidate_tables(nranks);
+  std::vector<std::uint64_t> peaks(nranks, 0);
+  std::vector<std::uint64_t> retained_bytes(nranks, 0);
+
+  // The heavy-hitter second pass must re-scan every batch, so streamed
+  // input is retained per rank (and honestly added to the peak footprint);
+  // a pure sketch run retains nothing.
+  std::vector<std::vector<io::ReadBatch>> retained(nranks);
+
+  // Written only by rank 0 inside the run; read after the run returns.
+  std::vector<std::vector<KmerCount>> gathered;
+
+  std::optional<io::ReadBatch> batch = stream.next();
+  if (!batch) batch.emplace();  // empty input: one empty batch
+  std::uint64_t batch_index = 0;
+  while (batch) {
+    std::optional<io::ReadBatch> following = stream.next();
+    const bool last = !following;
+    const std::vector<io::ReadBatch> parts =
+        io::partition_by_bases(*batch, options.nranks);
+
+    runtime.run([&](mpisim::Comm& comm) {
+      const auto rank = static_cast<std::size_t>(comm.rank());
+      const io::ReadBatch& mine = parts[rank];
+
+      trace::ScopedSpan rank_span(trace::kCategoryApp, "rank_pipeline");
+      if (rank_span.active()) {
+        rank_span.arg_u64("reads", mine.size());
+        rank_span.arg_u64("bases", mine.total_bases());
+      }
+
+      std::optional<gpusim::Device> device;
+      if (device_kind) device.emplace(options.device);
+      RankMetrics metrics = run_sketch_rank(
+          comm, device ? &*device : nullptr, mine, config, sketches[rank]);
+      if (heavy) {
+        retained[rank].push_back(mine);
+        retained_bytes[rank] += io::resident_read_bytes(mine);
+      }
+      peaks[rank] = std::max(
+          peaks[rank], std::max(io::resident_read_bytes(mine),
+                                retained_bytes[rank]) +
+                           params.bytes());
+      if (batch_index == 0) {
+        result.ranks[rank] = metrics;
+      } else {
+        RankMetrics& total = result.ranks[rank];
+        accumulate_round(total, metrics);
+        total.unique_kmers = metrics.unique_kmers;
+        total.counted_kmers = metrics.counted_kmers;
+      }
+
+      if (last) {
+        // Cell-wise-sum merge of the per-rank sketches — the sketch
+        // backend's entire exchange, charged to the exchange phase so the
+        // Figure 3/7 breakdown keeps its meaning.
+        std::vector<std::uint32_t> merged;
+        {
+          RankMetrics merge_metrics;
+          {
+            PhaseScope phase(merge_metrics, kPhaseExchange);
+            mpisim::CommCapture capture(comm);
+            merged = comm.allreduce_vector(sketches[rank].cells(),
+                                           mpisim::ReduceOp::kSum);
+            merge_metrics.bytes_sent = capture.bytes_sent();
+            merge_metrics.bytes_received = capture.bytes_received();
+            phase.set_charge(capture.modeled_seconds(),
+                             capture.modeled_volume_seconds());
+          }
+          accumulate_round(result.ranks[rank], merge_metrics);
+        }
+
+        // The u32-cell contract: vanilla cells sum every occurrence that
+        // hashes to them, so the global stream length bounds any cell.
+        const std::uint64_t global_total = comm.allreduce(
+            sketches[rank].total_updates(), mpisim::ReduceOp::kSum);
+        DEDUKT_REQUIRE_MSG(
+            global_total <=
+                std::numeric_limits<std::uint32_t>::max(),
+            "sketch cells are u32; the global k-mer stream ("
+                << global_total << ") would overflow them");
+        if (rank == 0) {
+          result.sketch.sketched_kmers = global_total;
+          result.sketch.cells = merged;
+        }
+
+        if (heavy) {
+          RankMetrics pass2;
+          for (const io::ReadBatch& kept : retained[rank]) {
+            std::optional<gpusim::Device> device;
+            if (device_kind) device.emplace(options.device);
+            accumulate_round(
+                pass2, run_heavy_pass(device ? &*device : nullptr, kept,
+                                      config, merged,
+                                      candidate_tables[rank]));
+          }
+          accumulate_round(result.ranks[rank], pass2);
+
+          std::vector<KmerCount> entries;
+          entries.reserve(candidate_tables[rank].unique());
+          candidate_tables[rank].for_each(
+              [&](std::uint64_t key, std::uint64_t count) {
+                entries.push_back({key, count});
+              });
+          auto all = comm.gatherv(entries, /*root=*/0);
+          if (comm.rank() == 0) gathered = std::move(all);
+        }
+
+        if (batch_index > 0) {
+          result.ranks[rank].peak_resident_bytes = peaks[rank];
+          trace::counter("peak_resident_bytes", peaks[rank]);
+        }
+      }
+    });
+    batch = std::move(following);
+    ++batch_index;
+  }
+
+  if (heavy) {
+    std::size_t total = 0;
+    for (const auto& part : gathered) total += part.size();
+    result.sketch.heavy_hitters.reserve(total);
+    for (const auto& part : gathered) {
+      for (const auto& entry : part) {
+        result.sketch.heavy_hitters.emplace_back(entry.key, entry.count);
+      }
+    }
+    detail::merge_gathered_counts(result.sketch.heavy_hitters);
+  }
+  return result;
+}
+
+}  // namespace dedukt::core

@@ -555,6 +555,57 @@ class Comm {
     return result;
   }
 
+  /// Element-wise reduction of equal-length vectors; every rank receives
+  /// the reduced vector (MPI_Allreduce over a buffer). The sketch backend
+  /// merges per-rank count-min cell arrays through this with kSum.
+  template <typename T>
+  [[nodiscard]] std::vector<T> allreduce_vector(const std::vector<T>& value,
+                                                ReduceOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    trace::ScopedSpan span(trace::kCategoryCollective, "allreduce_vector");
+    publish(&value, op_tag(0xB, typeid(T)));
+    std::vector<T> acc = *static_cast<const std::vector<T>*>(board_.ptrs[0]);
+    for (int src = 1; src < nranks_; ++src) {
+      const auto& v = *static_cast<const std::vector<T>*>(board_.ptrs[src]);
+      // Every rank sees the same board, so a mismatch throws on all ranks
+      // before anyone reaches the finish barriers.
+      DEDUKT_REQUIRE_MSG(v.size() == acc.size(),
+                         "allreduce_vector length mismatch: rank "
+                             << src << " sent " << v.size() << " elements, "
+                             << "rank 0 sent " << acc.size());
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] = apply(acc[i], v[i], op);
+      }
+    }
+    // Ring-allreduce traffic shape: reduce-scatter + allgather move
+    // 2 * bytes * (P-1)/P through each rank's link, both directions.
+    const std::uint64_t bytes = value.size() * sizeof(T);
+    const std::uint64_t wire =
+        nranks_ > 1 ? 2 * bytes * static_cast<std::uint64_t>(nranks_ - 1) /
+                          static_cast<std::uint64_t>(nranks_)
+                    : 0;
+    finish_with_bytes(wire);
+    stats_.collective_calls += 1;
+    stats_.bytes_sent += wire;
+    stats_.bytes_received += wire;
+    const double modeled =
+        network_.collective_latency_seconds(nranks_) +
+        network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    const double volume =
+        network_.alltoallv_volume_seconds(last_round_max_bytes_, nranks_);
+    stats_.modeled_seconds += modeled;
+    stats_.modeled_volume_seconds += volume;
+    if (span.active()) {
+      span.set_modeled_seconds(modeled);
+      span.set_modeled_volume_seconds(volume);
+      span.arg_u64("bytes_sent", wire);
+      span.arg_u64("bytes_received", wire);
+      trace::counter("comm.bytes_sent", wire);
+      trace::counter("comm.bytes_received", wire);
+    }
+    return acc;
+  }
+
   /// Broadcast `value` from `root` to all ranks.
   template <typename T>
   [[nodiscard]] T bcast(const T& value, int root) {

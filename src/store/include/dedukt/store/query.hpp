@@ -37,6 +37,12 @@ struct QueryEngineConfig {
   /// Histogram bins: bin i counts keys with count == i for i < bins-1,
   /// the last bin collects every count >= bins-1.
   std::uint32_t histogram_bins = 256;
+  /// Frequency-aware admission: a miss whose shard has been touched fewer
+  /// times (all-time) than every resident shard is staged transiently and
+  /// released after use instead of evicting a hotter shard. Protects a hot
+  /// working set from one-off scans (e.g. a full-store histogram) that
+  /// plain LRU lets flush the cache. Off by default: pure LRU.
+  bool freq_admission = false;
 };
 
 /// Cumulative accounting across an engine's lifetime. All counters are
@@ -51,6 +57,9 @@ struct QueryStats {
   std::uint64_t staged_bytes = 0; ///< H2D bytes spent staging shards
   double modeled_seconds = 0.0;   ///< total modeled device time
   double transfer_seconds = 0.0;  ///< H2D/D2H share of modeled_seconds
+  /// Misses staged transiently by frequency-aware admission instead of
+  /// evicting a hotter resident shard (freq_admission mode only).
+  std::uint64_t admission_bypasses = 0;
 };
 
 class QueryEngine {
@@ -85,6 +94,9 @@ class QueryEngine {
     gpusim::DeviceBuffer<std::uint64_t> counts;
     gpusim::DeviceBuffer<std::uint64_t> index;
     std::uint64_t last_touch = 0;
+    /// Staged past a full cache by the admission policy; released after
+    /// the batch that staged it, never a member of the durable set.
+    bool transient = false;
   };
 
   ResidentShard& ensure_resident(std::uint32_t shard);
@@ -106,6 +118,9 @@ class QueryEngine {
   /// shard id -> resident buffers; std::map so iteration (and therefore
   /// eviction tie-breaks) is ordered and deterministic.
   std::map<std::uint32_t, ResidentShard> resident_;
+  /// shard id -> all-time touch count; the admission policy's frequency
+  /// signal. Deterministic (a pure function of the query stream).
+  std::map<std::uint32_t, std::uint64_t> touch_counts_;
 };
 
 }  // namespace dedukt::store

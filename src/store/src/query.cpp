@@ -1,5 +1,8 @@
 #include "dedukt/store/query.hpp"
 
+#include <algorithm>
+#include <limits>
+
 #include "dedukt/gpusim/lookup.hpp"
 #include "dedukt/trace/trace.hpp"
 #include "dedukt/util/error.hpp"
@@ -28,6 +31,7 @@ gpusim::SortedTableView QueryEngine::table_view(
 QueryEngine::ResidentShard& QueryEngine::ensure_resident(
     std::uint32_t shard_id) {
   ++touch_clock_;
+  ++touch_counts_[shard_id];
   auto it = resident_.find(shard_id);
   if (it != resident_.end()) {
     stats_.cache_hits += 1;
@@ -35,11 +39,30 @@ QueryEngine::ResidentShard& QueryEngine::ensure_resident(
     return it->second;
   }
   stats_.cache_misses += 1;
-  if (config_.cache_shards > 0) {
-    while (resident_.size() >= config_.cache_shards) evict_lru();
+  bool transient = false;
+  if (config_.cache_shards > 0 &&
+      resident_.size() >= config_.cache_shards) {
+    if (config_.freq_admission) {
+      // Admission check: staging this shard durably would evict the
+      // coldest resident. If the candidate is colder still (fewer
+      // all-time touches, counting this one), keep the resident set and
+      // stage the candidate transiently instead.
+      std::uint64_t coldest = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& [id, _] : resident_) {
+        coldest = std::min(coldest, touch_counts_[id]);
+      }
+      if (touch_counts_[shard_id] < coldest) {
+        transient = true;
+        stats_.admission_bypasses += 1;
+      }
+    }
+    if (!transient) {
+      while (resident_.size() >= config_.cache_shards) evict_lru();
+    }
   }
   const ShardFile& shard = store_.shard(shard_id);
   ResidentShard resident;
+  resident.transient = transient;
   resident.keys = device_.alloc<std::uint64_t>(shard.keys.size());
   resident.counts = device_.alloc<std::uint64_t>(shard.counts.size());
   resident.index = device_.alloc<std::uint64_t>(shard.index.size());
@@ -93,6 +116,7 @@ void QueryEngine::run_batch(std::span<const std::uint64_t> keys,
   for (const auto& [shard_id, positions] : by_shard) {
     const ShardFile& shard = store_.shard(shard_id);
     ResidentShard& resident = ensure_resident(shard_id);
+    const bool transient = resident.transient;
     std::vector<std::uint64_t> shard_queries;
     shard_queries.reserve(positions.size());
     for (const std::size_t pos : positions) {
@@ -103,7 +127,7 @@ void QueryEngine::run_batch(std::span<const std::uint64_t> keys,
     launch(table_view(resident, shard), queries_dev, shard_queries.size(),
            positions);
     device_.free(queries_dev);
-    if (config_.cache_shards == 0) release(shard_id);
+    if (config_.cache_shards == 0 || transient) release(shard_id);
   }
   stats_.batches += 1;
   stats_.queries += keys.size();
@@ -163,9 +187,10 @@ std::vector<std::uint64_t> QueryEngine::histogram() {
     const ShardFile& shard = store_.shard(s);
     if (shard.entries() == 0) continue;
     ResidentShard& resident = ensure_resident(s);
+    const bool transient = resident.transient;
     gpusim::value_histogram(device_, resident.counts, shard.entries(),
                             config_.histogram_bins, bins_dev);
-    if (config_.cache_shards == 0) release(s);
+    if (config_.cache_shards == 0 || transient) release(s);
   }
   std::vector<std::uint64_t> bins(config_.histogram_bins, 0);
   device_.copy_to_host(bins_dev, std::span<std::uint64_t>(bins));

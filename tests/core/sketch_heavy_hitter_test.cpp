@@ -1,0 +1,166 @@
+// Heavy-hitter extraction battery (ctest -L sketch): Zipf-skewed inputs
+// through --sketch --heavy-threshold, checked against the exact backend.
+//
+// One-sidedness makes the second pass's recall EXACTLY 1.0 — any key whose
+// true global count reaches the threshold has estimate >= count >=
+// threshold in the merged sketch, so it cannot be filtered out. False
+// positives (cold keys whose over-counted estimate clears the bar) are
+// possible; the battery records them via SketchSummary::false_positives()
+// and bounds their rate. The extracted counts come from an exact table in
+// pass 2, so they must be bit-identical to the exact backend's.
+#include "dedukt/core/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dedukt/core/sketch.hpp"
+#include "dedukt/util/rng.hpp"
+
+namespace dedukt::core {
+namespace {
+
+/// Skewed dataset: a few hot templates repeated many times over a bed of
+/// unique cold reads — every hot template's k-mers are heavy, the cold
+/// k-mers are (mostly) singletons.
+io::ReadBatch skewed_reads(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const char bases[] = {'A', 'C', 'G', 'T'};
+  auto random_read = [&](std::size_t length) {
+    std::string read(length, 'A');
+    for (char& base : read) base = bases[rng.below(4)];
+    return read;
+  };
+  io::ReadBatch batch;
+  std::size_t id = 0;
+  auto push = [&](const std::string& read) {
+    batch.reads.push_back({"r" + std::to_string(id++), read, ""});
+  };
+  // 6 hot templates x 40 copies: their k-mers reach count >= 40.
+  std::vector<std::string> hot;
+  for (int h = 0; h < 6; ++h) hot.push_back(random_read(60));
+  for (int copy = 0; copy < 40; ++copy) {
+    for (const std::string& read : hot) push(read);
+  }
+  // 300 cold unique reads.
+  for (int c = 0; c < 300; ++c) push(random_read(60));
+  return batch;
+}
+
+DriverOptions heavy_options(PipelineKind kind, bool conservative,
+                            std::uint64_t threshold) {
+  DriverOptions options;
+  options.pipeline.kind = kind;
+  options.pipeline.sketch = true;
+  options.pipeline.sketch_width = 1u << 14;
+  options.pipeline.sketch_depth = 4;
+  options.pipeline.sketch_conservative = conservative;
+  options.pipeline.heavy_threshold = threshold;
+  options.nranks = 3;
+  return options;
+}
+
+std::map<std::uint64_t, std::uint64_t> exact_counts(
+    const io::ReadBatch& reads) {
+  DriverOptions exact;
+  exact.pipeline.kind = PipelineKind::kCpu;
+  exact.nranks = 3;
+  const CountResult result = run_distributed_count(reads, exact);
+  return {result.global_counts.begin(), result.global_counts.end()};
+}
+
+void check_extraction(const io::ReadBatch& reads, PipelineKind kind,
+                      bool conservative) {
+  constexpr std::uint64_t kThreshold = 30;
+  const auto truth = exact_counts(reads);
+  const CountResult result =
+      run_distributed_count(reads, heavy_options(kind, conservative,
+                                                 kThreshold));
+  ASSERT_TRUE(result.sketch.enabled);
+  const std::map<std::uint64_t, std::uint64_t> extracted(
+      result.sketch.heavy_hitters.begin(),
+      result.sketch.heavy_hitters.end());
+  ASSERT_EQ(extracted.size(), result.sketch.heavy_hitters.size())
+      << "duplicate keys in the merged heavy-hitter list";
+
+  // Recall must be exactly 1.0, with bit-identical exact counts.
+  std::uint64_t heavy_truth = 0;
+  for (const auto& [key, count] : truth) {
+    if (count < kThreshold) continue;
+    ++heavy_truth;
+    const auto it = extracted.find(key);
+    ASSERT_NE(it, extracted.end()) << "missed heavy key " << key
+                                   << " (count " << count << ")";
+    EXPECT_EQ(it->second, count);
+  }
+  ASSERT_GT(heavy_truth, 0u) << "test input produced no heavy keys";
+
+  // Every extracted count is the exact count (pass 2 counts exactly).
+  std::uint64_t false_positives = 0;
+  for (const auto& [key, count] : extracted) {
+    const auto it = truth.find(key);
+    ASSERT_NE(it, truth.end());
+    EXPECT_EQ(count, it->second);
+    if (count < kThreshold) ++false_positives;
+  }
+  // The summary's own FP accounting agrees with the ground truth...
+  EXPECT_EQ(result.sketch.false_positives(), false_positives);
+  // ...and at this width the over-count needed to fake 30x is rare: the
+  // candidate set stays dominated by true heavy hitters.
+  EXPECT_LE(false_positives, extracted.size() / 2);
+}
+
+TEST(SketchHeavyHitterTest, VanillaCpuExtractionExact) {
+  check_extraction(skewed_reads(31), PipelineKind::kCpu,
+                   /*conservative=*/false);
+}
+
+TEST(SketchHeavyHitterTest, ConservativeCpuExtractionExact) {
+  // Conservative estimates are tighter, so the FP set can only shrink;
+  // recall stays 1.0 because conservative updates are still one-sided.
+  check_extraction(skewed_reads(31), PipelineKind::kCpu,
+                   /*conservative=*/true);
+}
+
+TEST(SketchHeavyHitterTest, GpuKindsUseEstimateKernel) {
+  check_extraction(skewed_reads(32), PipelineKind::kGpuKmer,
+                   /*conservative=*/false);
+  check_extraction(skewed_reads(32), PipelineKind::kGpuSupermer,
+                   /*conservative=*/false);
+}
+
+TEST(SketchHeavyHitterTest, ExtractionIdenticalAcrossKinds) {
+  const io::ReadBatch reads = skewed_reads(33);
+  const CountResult cpu = run_distributed_count(
+      reads, heavy_options(PipelineKind::kCpu, false, 30));
+  const CountResult gpu = run_distributed_count(
+      reads, heavy_options(PipelineKind::kGpuKmer, false, 30));
+  EXPECT_EQ(cpu.sketch.heavy_hitters, gpu.sketch.heavy_hitters);
+}
+
+TEST(SketchHeavyHitterTest, StreamedRunExtractsSameHitters) {
+  // --batch-reads composition retains batches for pass 2; the extraction
+  // must match the in-memory run exactly.
+  const io::ReadBatch reads = skewed_reads(34);
+  const CountResult whole = run_distributed_count(
+      reads, heavy_options(PipelineKind::kCpu, false, 30));
+  DriverOptions streamed = heavy_options(PipelineKind::kCpu, false, 30);
+  streamed.batch.max_reads = 100;
+  const CountResult batched = run_distributed_count(reads, streamed);
+  EXPECT_EQ(batched.sketch.heavy_hitters, whole.sketch.heavy_hitters);
+  EXPECT_EQ(batched.sketch.cells, whole.sketch.cells);
+}
+
+TEST(SketchHeavyHitterTest, ThresholdAboveEverythingExtractsNothing) {
+  const io::ReadBatch reads = skewed_reads(35);
+  const CountResult result = run_distributed_count(
+      reads, heavy_options(PipelineKind::kCpu, false, 1u << 20));
+  EXPECT_TRUE(result.sketch.heavy_hitters.empty());
+  EXPECT_EQ(result.sketch.false_positives(), 0u);
+}
+
+}  // namespace
+}  // namespace dedukt::core

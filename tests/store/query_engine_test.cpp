@@ -245,5 +245,89 @@ TEST(QueryEngineTest, CachingWinsOnSkewedTraffic) {
   EXPECT_LT(cached, uncached);
 }
 
+TEST(QueryEngineTest, FullScanThrashesHalfSizeLruCache) {
+  // Regression for the bench_qps scan-thrash: a hot working set that fits
+  // the cache, interleaved with full-store histogram scans at cache_shards
+  // = shards/2. Plain LRU lets every scan flush the hot set (each cold
+  // shard evicts a hot one), so the hot queries that follow miss again;
+  // frequency-aware admission stages the cold scan shards transiently and
+  // must strictly beat LRU on misses, staged bytes and modeled time.
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  const std::uint32_t cache = store.shards() / 2;
+  ASSERT_GE(cache, 2u);
+
+  // Hot keys drawn from the first `cache` shards only, so the hot set is
+  // exactly cache-sized.
+  Xoshiro256 rng(0xCAFE);
+  std::vector<std::uint64_t> hot_keys;
+  for (int i = 0; i < 256; ++i) {
+    const ShardFile& shard = store.shard(
+        static_cast<std::uint32_t>(rng.below(cache)));
+    ASSERT_GT(shard.entries(), 0u);
+    hot_keys.push_back(shard.keys[rng.below(shard.entries())]);
+  }
+
+  auto run_workload = [&](bool freq_admission) {
+    gpusim::Device device;
+    QueryEngineConfig config;
+    config.cache_shards = cache;
+    config.freq_admission = freq_admission;
+    QueryEngine engine(store, device, config);
+    std::vector<std::uint64_t> results;
+    // Warm the hot set (and its touch counts), then alternate full scans
+    // with hot batches — the thrash pattern.
+    for (int round = 0; round < 4; ++round) {
+      const std::vector<std::uint64_t> counts = engine.lookup(hot_keys);
+      results.insert(results.end(), counts.begin(), counts.end());
+      (void)engine.histogram();
+    }
+    const std::vector<std::uint64_t> counts = engine.lookup(hot_keys);
+    results.insert(results.end(), counts.begin(), counts.end());
+    return std::make_pair(results, engine.stats());
+  };
+
+  const auto [lru_results, lru] = run_workload(false);
+  const auto [freq_results, freq] = run_workload(true);
+
+  // The policy changes residency traffic, never answers.
+  EXPECT_EQ(freq_results, lru_results);
+  EXPECT_EQ(lru.admission_bypasses, 0u);
+  EXPECT_GT(freq.admission_bypasses, 0u);
+  EXPECT_LT(freq.cache_misses, lru.cache_misses);
+  EXPECT_LT(freq.staged_bytes, lru.staged_bytes);
+  EXPECT_LT(freq.modeled_seconds, lru.modeled_seconds);
+}
+
+TEST(QueryEngineTest, FreqAdmissionDeterministicAcrossSimThreads) {
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  const std::vector<std::uint64_t> keys =
+      query_stream(store, 1024, 0xFADE);
+  auto run_with_threads = [&](unsigned threads) {
+    util::ThreadPool::set_global_threads(threads);
+    gpusim::Device device;
+    QueryEngineConfig config;
+    config.cache_shards = 2;
+    config.freq_admission = true;
+    QueryEngine engine(store, device, config);
+    for (std::size_t begin = 0; begin < keys.size(); begin += 128) {
+      const std::vector<std::uint64_t> batch(
+          keys.begin() + static_cast<std::ptrdiff_t>(begin),
+          keys.begin() + static_cast<std::ptrdiff_t>(begin + 128));
+      (void)engine.lookup(batch);
+    }
+    (void)engine.histogram();
+    return engine.stats();
+  };
+  const QueryStats stats1 = run_with_threads(1);
+  const QueryStats stats4 = run_with_threads(4);
+  util::ThreadPool::set_global_threads(0);  // restore default sizing
+  EXPECT_EQ(stats1.cache_hits, stats4.cache_hits);
+  EXPECT_EQ(stats1.cache_misses, stats4.cache_misses);
+  EXPECT_EQ(stats1.evictions, stats4.evictions);
+  EXPECT_EQ(stats1.admission_bypasses, stats4.admission_bypasses);
+  EXPECT_EQ(stats1.staged_bytes, stats4.staged_bytes);
+  EXPECT_EQ(stats1.modeled_seconds, stats4.modeled_seconds);
+}
+
 }  // namespace
 }  // namespace dedukt::store
