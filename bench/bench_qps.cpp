@@ -14,6 +14,17 @@
 // strictly beat the uncached configuration once traffic is skewed
 // (skew >= 1.0 concentrates queries on few shards, so hot shards stay
 // device-resident instead of being re-staged every batch).
+//
+// The second half sweeps the distributed serving tier
+// (store::DistributedQueryEngine): the same traffic served by P ranks with
+// shard i pinned to rank i mod P, across ranks x skew x cache discipline,
+// lockstep and pipelined. The store is built from a 32-rank counting run
+// (--gpu-ranks) so every tier size places multiple shards per rank.
+// Tier self-checks: answers bit-identical to the single-rank engine (and
+// therefore to the flat dump) at every rank count, 8-rank aggregate QPS
+// >= 4x the single-rank engine on skewed traffic, and --overlap-batches
+// strictly reduces modeled serve time whenever both the exchange and the
+// lookups cost anything.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -25,6 +36,7 @@
 #include "bench_common.hpp"
 #include "dedukt/core/store_export.hpp"
 #include "dedukt/gpusim/device.hpp"
+#include "dedukt/store/distributed_query.hpp"
 #include "dedukt/store/query.hpp"
 #include "dedukt/store/store.hpp"
 #include "dedukt/util/error.hpp"
@@ -153,7 +165,7 @@ int main(int argc, char** argv) {
       "Modeled query throughput of the sharded k-mer store under\n"
       "Zipf-skewed batched point lookups (not a paper figure).");
 
-  const int nranks = static_cast<int>(cli.get_int("gpu-ranks", 8));
+  const int nranks = static_cast<int>(cli.get_int("gpu-ranks", 32));
   const auto queries_total =
       static_cast<std::size_t>(cli.get_int("queries", 32768));
 
@@ -286,6 +298,144 @@ int main(int argc, char** argv) {
   std::printf("check: cached (%u resident shards) beats uncached modeled "
               "QPS at every skew >= 1.0 configuration\n",
               full_cache);
+
+  // ---- distributed serving tier sweep -------------------------------
+  //
+  // The same skewed traffic served by a rank-pinned tier: ranks x cache
+  // discipline, lockstep and pipelined. Every configuration's answers are
+  // checked bit-identical to a single-rank QueryEngine fed the identical
+  // batches (which the first half already pinned to the flat dump).
+  const std::size_t dist_batch = 8192;
+  const std::vector<int> tier_sizes = {1, 2, 4, 8};
+  const std::vector<double> dist_skews = {1.0, 1.5};
+
+  TextTable dist_table(
+      "Distributed serving tier — modeled aggregate QPS, batch " +
+      std::to_string(dist_batch));
+  dist_table.set_header({"skew", "discipline", "ranks", "overlap",
+                         "modeled QPS", "serve", "exchange", "speedup"});
+
+  for (const double skew : dist_skews) {
+    const std::vector<std::uint64_t> traffic = make_traffic(
+        keys, skew, queries_total, kstore.k(), reference,
+        0xC0FFEEull + static_cast<std::uint64_t>(skew * 1000));
+    std::vector<std::vector<std::uint64_t>> batch_list;
+    for (std::size_t begin = 0; begin < traffic.size();
+         begin += dist_batch) {
+      const std::size_t len = std::min(dist_batch, traffic.size() - begin);
+      batch_list.emplace_back(
+          traffic.begin() + static_cast<std::ptrdiff_t>(begin),
+          traffic.begin() + static_cast<std::ptrdiff_t>(begin + len));
+    }
+
+    // The bit-identity oracle: a fully cached single-rank engine fed the
+    // same batches. Its per-key answers were already checked against the
+    // flat dump above, so tier == oracle implies tier == dump.
+    std::vector<std::vector<std::uint64_t>> oracle;
+    double single_engine_seconds = 0.0;
+    {
+      gpusim::Device device;
+      store::QueryEngineConfig config;
+      config.cache_shards = full_cache;
+      store::QueryEngine engine(kstore, device, config);
+      for (const auto& b : batch_list) oracle.push_back(engine.lookup(b));
+      single_engine_seconds = engine.stats().modeled_seconds;
+      for (std::size_t b = 0; b < batch_list.size(); ++b) {
+        for (std::size_t i = 0; i < batch_list[b].size(); ++i) {
+          const auto it = reference.find(batch_list[b][i]);
+          const std::uint64_t expected =
+              it == reference.end() ? 0 : it->second;
+          DEDUKT_CHECK_MSG(oracle[b][i] == expected,
+                           "oracle answer diverged from the flat dump");
+        }
+      }
+    }
+    const double single_qps =
+        static_cast<double>(queries_total) / single_engine_seconds;
+
+    for (const bool freq : {false, true}) {
+      for (const int tier : tier_sizes) {
+        double lockstep_serve = 0.0;
+        for (const bool overlap : {false, true}) {
+          if (overlap && tier < 2) continue;
+          store::DistributedQueryConfig config;
+          config.ranks = tier;
+          config.cache_shards =
+              (kstore.shards() + static_cast<std::uint32_t>(tier) - 1) /
+              static_cast<std::uint32_t>(tier);
+          config.freq_admission = freq;
+          config.overlap_batches = overlap;
+          store::DistributedQueryEngine engine(kstore, config);
+          const std::vector<std::vector<std::uint64_t>> answers =
+              engine.lookup_batches(batch_list);
+          DEDUKT_CHECK_MSG(answers == oracle,
+                           "distributed answers diverged from the "
+                           "single-rank engine at ranks "
+                               << tier << " skew " << skew);
+          const store::DistributedQueryStats& st = engine.stats();
+          const double qps =
+              static_cast<double>(st.queries) / st.serve_seconds;
+          if (!overlap) {
+            lockstep_serve = st.serve_seconds;
+            DEDUKT_CHECK_MSG(st.overlap_saved_seconds == 0.0,
+                             "lockstep run reported overlap savings");
+          } else {
+            // The pipelined run's components are bit-identical to the
+            // lockstep run's, so its counterfactual lockstep time must
+            // reproduce the lockstep run exactly — and the overlapped
+            // schedule must be strictly cheaper (exchange and lookups
+            // both cost something here).
+            DEDUKT_CHECK_MSG(st.lockstep_seconds == lockstep_serve,
+                             "pipelined run's lockstep model diverged "
+                             "from the lockstep run");
+            DEDUKT_CHECK_MSG(st.serve_seconds < lockstep_serve,
+                             "--overlap-batches did not reduce modeled "
+                             "serve time at ranks "
+                                 << tier << " skew " << skew);
+            DEDUKT_CHECK_MSG(st.overlap_saved_seconds > 0.0,
+                             "pipelined run saved nothing");
+          }
+
+          char skew_buf[16], speedup_buf[16];
+          std::snprintf(skew_buf, sizeof(skew_buf), "%.1f", skew);
+          std::snprintf(speedup_buf, sizeof(speedup_buf), "%.2fx",
+                        qps / single_qps);
+          dist_table.add_row(
+              {skew_buf, freq ? "freq" : "lru", std::to_string(tier),
+               overlap ? "on" : "off",
+               format_count(static_cast<std::uint64_t>(qps)),
+               format_seconds(st.serve_seconds),
+               format_seconds(st.exchange_seconds), speedup_buf});
+
+          bench::BenchRecord record;
+          record.name = "qps-dist/skew=" + std::string(skew_buf) +
+                        "/disc=" + (freq ? "freq" : "lru") +
+                        "/ranks=" + std::to_string(tier) +
+                        (overlap ? "/overlap" : "");
+          record.modeled_seconds = st.serve_seconds;
+          record.overlap_saved_seconds = st.overlap_saved_seconds;
+          record.queries = st.queries;
+          record.ranks = static_cast<std::uint64_t>(tier);
+          record.exchange_seconds = st.exchange_seconds;
+          records.push_back(record);
+
+          // The tentpole claim: pinning shards across 8 ranks must serve
+          // skewed traffic at >= 4x the single-rank engine's QPS.
+          if (tier == 8 && !overlap) {
+            DEDUKT_CHECK_MSG(
+                qps >= 4.0 * single_qps,
+                "8-rank tier QPS " << qps << " is under 4x the single-rank "
+                                   << single_qps << " at skew " << skew);
+          }
+        }
+      }
+    }
+  }
+  dist_table.print();
+  std::printf(
+      "\ncheck: tier answers bit-identical to the single-rank engine at "
+      "every rank count; 8-rank QPS >= 4x single-rank; pipelining "
+      "strictly reduces modeled serve time\n");
 
   bench::maybe_write_bench_json(cli, records);
   std::filesystem::remove_all(store_dir);

@@ -215,6 +215,9 @@ void write_bench_json(const std::string& path,
          << ", "
          << "\"p50_seconds\": " << json_double(r.p50_seconds) << ", "
          << "\"p99_seconds\": " << json_double(r.p99_seconds) << ", "
+         << "\"ranks\": " << r.ranks << ", "
+         << "\"exchange_seconds\": " << json_double(r.exchange_seconds)
+         << ", "
          << "\"spill_bytes\": " << r.spill_bytes << ", "
          << "\"peak_resident_bytes\": " << r.peak_resident_bytes << ", "
          << "\"disk_seconds\": " << json_double(r.disk_seconds) << ", "

@@ -139,6 +139,11 @@ struct BenchRecord {
   std::uint64_t queries = 0;
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
+  /// Distributed-serving records (bench_qps --ranks sweep): serving ranks
+  /// of the tier (1 = single-rank engine) and the modeled query+answer
+  /// exchange share of the serve time. Zero elsewhere.
+  std::uint64_t ranks = 0;
+  double exchange_seconds = 0.0;
   /// Out-of-core records (bench_spill): run payload spilled to disk bins
   /// (== bytes reloaded in pass 2), the per-rank peak resident footprint,
   /// and the modeled split of the critical path into disk phases

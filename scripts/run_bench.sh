@@ -9,7 +9,11 @@
 # to BENCH_sketch.json at the repo root. bench_qps self-checks with
 # DEDUKT_CHECK that every query answer is bit-identical to the flat counts
 # dump and that the cached configuration beats the uncached modeled QPS at
-# skew >= 1.0; bench_spill self-checks that every streamed/spilled
+# skew >= 1.0; its distributed sweep (ranks x skew x cache discipline,
+# the qps-dist/... records) additionally checks that every tier answers
+# bit-identically to the single-rank engine, that the 8-rank tier reaches
+# >= 4x the single-rank modeled QPS, and that --overlap-batches strictly
+# reduces modeled serve seconds; bench_spill self-checks that every streamed/spilled
 # configuration's counts are bit-identical to the in-memory run, that
 # spilled bytes equal reloaded bytes, and that the streamed peak resident
 # footprint is monotone in batch size; bench_sketch self-checks that every

@@ -1,6 +1,7 @@
 #include "dedukt/core/app.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <string>
@@ -14,6 +15,7 @@
 #include "dedukt/core/spectrum.hpp"
 #include "dedukt/core/store_export.hpp"
 #include "dedukt/gpusim/device.hpp"
+#include "dedukt/store/distributed_query.hpp"
 #include "dedukt/store/query.hpp"
 #include "dedukt/store/store.hpp"
 #include "dedukt/io/datasets.hpp"
@@ -66,6 +68,15 @@ commands:
   query    --store=<dir> --kmers=ACGT...,TTGA... [--cache-shards=N]
            [--freq-admission]  (frequency-aware cache admission: never
                                 evict a hotter shard for a colder one)
+           [--ranks=P]         (distributed serving tier: shard i pinned to
+                                rank i mod P, queries scatter/gathered over
+                                the simulated network; 1 = single rank)
+           [--batch=N]         (split the key list into N-key batches;
+                                0 = one batch)
+           [--overlap-batches] (pipeline batch b's answer exchange behind
+                                batch b+1's lookup kernels; needs --ranks>=2)
+           [--json]            (machine-readable results + serve stats on
+                                stdout instead of the human summary)
 
 synthetic presets: ecoli30x paeruginosa30x vvulnificus30x abaumannii30x
                    celegans40x hsapiens54x
@@ -261,6 +272,63 @@ int cmd_count(const CliParser& cli, std::ostream& out) {
   return 0;
 }
 
+/// The query command's serve-side accounting, filled identically by the
+/// single-rank and distributed paths so --json always carries every key.
+struct QueryRunSummary {
+  std::uint64_t queries = 0;
+  std::uint64_t found = 0;
+  std::uint64_t dedup_saved = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t admission_bypasses = 0;
+  std::uint64_t staged_bytes = 0;
+  std::uint64_t routed_queries = 0;
+  std::uint64_t nic_bytes = 0;
+  double lookup_seconds = 0.0;
+  double exchange_seconds = 0.0;
+  double serve_seconds = 0.0;
+  double overlap_saved_seconds = 0.0;
+};
+
+void write_query_json(std::ostream& out, const std::string& dir, int ranks,
+                      bool overlap, const QueryRunSummary& s,
+                      const std::vector<std::string>& names,
+                      const std::vector<std::uint64_t>& counts) {
+  const auto d = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  out << "{\n";
+  out << "  \"store\": \"" << dir << "\",\n";
+  out << "  \"ranks\": " << ranks << ",\n";
+  out << "  \"overlap_batches\": " << (overlap ? "true" : "false") << ",\n";
+  out << "  \"queries\": " << s.queries << ",\n";
+  out << "  \"found\": " << s.found << ",\n";
+  out << "  \"dedup_saved\": " << s.dedup_saved << ",\n";
+  out << "  \"cache_hits\": " << s.cache_hits << ",\n";
+  out << "  \"cache_misses\": " << s.cache_misses << ",\n";
+  out << "  \"evictions\": " << s.evictions << ",\n";
+  out << "  \"admission_bypasses\": " << s.admission_bypasses << ",\n";
+  out << "  \"staged_bytes\": " << s.staged_bytes << ",\n";
+  out << "  \"routed_queries\": " << s.routed_queries << ",\n";
+  out << "  \"nic_bytes\": " << s.nic_bytes << ",\n";
+  out << "  \"lookup_seconds\": " << d(s.lookup_seconds) << ",\n";
+  out << "  \"exchange_seconds\": " << d(s.exchange_seconds) << ",\n";
+  out << "  \"serve_seconds\": " << d(s.serve_seconds) << ",\n";
+  out << "  \"overlap_saved_seconds\": " << d(s.overlap_saved_seconds)
+      << ",\n";
+  out << "  \"results\": [";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << "{\"kmer\": \"" << names[i] << "\", \"count\": " << counts[i]
+        << "}";
+  }
+  out << "]\n";
+  out << "}\n";
+}
+
 int cmd_query(const CliParser& cli, std::ostream& out) {
   const std::string dir = cli.get("store");
   DEDUKT_REQUIRE_MSG(!dir.empty(), "query needs --store=<dir>");
@@ -285,19 +353,108 @@ int cmd_query(const CliParser& cli, std::ostream& out) {
     keys.push_back(kmer::pack(name, kmer_store.encoding()));
   }
 
-  gpusim::Device device;
-  store::QueryEngineConfig config;
-  config.cache_shards =
-      static_cast<std::uint32_t>(cli.get_int("cache-shards", 0));
-  config.freq_admission = cli.get_bool("freq-admission", false);
-  store::QueryEngine engine(kmer_store, device, config);
-  const std::vector<std::uint64_t> counts = engine.lookup(keys);
+  const int ranks = static_cast<int>(cli.get_int("ranks", 1));
+  DEDUKT_REQUIRE_MSG(ranks >= 1, "--ranks must be >= 1");
+  const bool overlap = cli.get_bool("overlap-batches", false);
+  DEDUKT_REQUIRE_MSG(!overlap || ranks >= 2,
+                     "--overlap-batches needs a distributed tier "
+                     "(--ranks>=2)");
+  const auto batch =
+      static_cast<std::size_t>(cli.get_int("batch", 0));
+  const bool json = cli.get_bool("json", false);
+
+  // Split the key list into batches (0 = serve everything in one round
+  // trip). Batches are the unit --overlap-batches pipelines across.
+  std::vector<std::vector<std::uint64_t>> batches;
+  if (batch == 0 || batch >= keys.size()) {
+    batches.push_back(keys);
+  } else {
+    for (std::size_t i = 0; i < keys.size(); i += batch) {
+      const std::size_t n = std::min(batch, keys.size() - i);
+      batches.emplace_back(keys.begin() + static_cast<std::ptrdiff_t>(i),
+                           keys.begin() + static_cast<std::ptrdiff_t>(i + n));
+    }
+  }
+
+  QueryRunSummary summary;
+  std::vector<std::uint64_t> counts;
+  if (ranks == 1) {
+    gpusim::Device device;
+    store::QueryEngineConfig config;
+    config.cache_shards =
+        static_cast<std::uint32_t>(cli.get_int("cache-shards", 0));
+    config.freq_admission = cli.get_bool("freq-admission", false);
+    store::QueryEngine engine(kmer_store, device, config);
+    for (const auto& b : batches) {
+      const std::vector<std::uint64_t> part = engine.lookup(b);
+      counts.insert(counts.end(), part.begin(), part.end());
+    }
+    const store::QueryStats& st = engine.stats();
+    summary.queries = st.queries;
+    summary.found = st.found;
+    summary.dedup_saved = st.dedup_saved;
+    summary.cache_hits = st.cache_hits;
+    summary.cache_misses = st.cache_misses;
+    summary.evictions = st.evictions;
+    summary.admission_bypasses = st.admission_bypasses;
+    summary.staged_bytes = st.staged_bytes;
+    summary.routed_queries = st.queries - st.dedup_saved;
+    summary.lookup_seconds = st.modeled_seconds;
+    summary.serve_seconds = st.modeled_seconds;
+  } else {
+    store::DistributedQueryConfig config;
+    config.ranks = ranks;
+    config.cache_shards =
+        static_cast<std::uint32_t>(cli.get_int("cache-shards", 0));
+    config.freq_admission = cli.get_bool("freq-admission", false);
+    config.overlap_batches = overlap;
+    store::DistributedQueryEngine engine(kmer_store, config);
+    const std::vector<std::vector<std::uint64_t>> answers =
+        engine.lookup_batches(batches);
+    for (const auto& part : answers) {
+      counts.insert(counts.end(), part.begin(), part.end());
+    }
+    const store::DistributedQueryStats& st = engine.stats();
+    summary.queries = st.queries;
+    summary.found = st.found;
+    summary.dedup_saved = st.dedup_saved;
+    summary.routed_queries = st.routed_queries;
+    summary.nic_bytes = st.nic_bytes;
+    summary.lookup_seconds = st.lookup_seconds;
+    summary.exchange_seconds = st.exchange_seconds;
+    summary.serve_seconds = st.serve_seconds;
+    summary.overlap_saved_seconds = st.overlap_saved_seconds;
+    for (int r = 0; r < ranks; ++r) {
+      const store::QueryStats& rs = engine.rank_stats(r);
+      summary.cache_hits += rs.cache_hits;
+      summary.cache_misses += rs.cache_misses;
+      summary.evictions += rs.evictions;
+      summary.admission_bypasses += rs.admission_bypasses;
+      summary.staged_bytes += rs.staged_bytes;
+    }
+  }
+
+  if (json) {
+    write_query_json(out, dir, ranks, overlap, summary, names, counts);
+    return 0;
+  }
   for (std::size_t i = 0; i < names.size(); ++i) {
     out << names[i] << "\t" << counts[i] << "\n";
   }
   out << "queried " << names.size() << " k-mers across "
-      << kmer_store.shards() << " shards, modeled "
-      << format_seconds(engine.stats().modeled_seconds) << "\n";
+      << kmer_store.shards() << " shards";
+  if (ranks > 1) {
+    out << " on " << ranks << " ranks, modeled serve "
+        << format_seconds(summary.serve_seconds) << " (exchange "
+        << format_seconds(summary.exchange_seconds) << ")";
+    if (overlap) {
+      out << ", overlap saved "
+          << format_seconds(summary.overlap_saved_seconds);
+    }
+    out << "\n";
+  } else {
+    out << ", modeled " << format_seconds(summary.serve_seconds) << "\n";
+  }
   return 0;
 }
 

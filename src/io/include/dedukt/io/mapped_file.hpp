@@ -1,0 +1,59 @@
+// Read-only memory-mapped file — the zero-copy input path for the store's
+// shard readers (ROADMAP item 2: "true mmap readers instead of stream
+// parsing").
+//
+// A MappedFile wraps one POSIX mmap(2) of a whole file: bytes() is a view
+// straight into the page cache, so parsers validate in place instead of
+// pulling the payload through a stream buffer. The mapping is read-only
+// and private; the file descriptor is closed as soon as the mapping is
+// established (the mapping keeps the pages alive). On platforms without
+// mmap the class reports supported() == false and callers keep their
+// stream-parsing fallback.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace dedukt::io {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// True when this platform/build can mmap at all. When false, open()
+  /// always throws and try_open() always returns nullopt.
+  [[nodiscard]] static bool supported();
+
+  /// Map `path` read-only; throws ParseError when the file cannot be
+  /// opened, stat'ed, or mapped. An empty file maps to an empty view.
+  [[nodiscard]] static MappedFile open(const std::string& path);
+
+  /// open() that reports failure as nullopt instead of throwing — the
+  /// hook for "try the mapped reader, fall back to the stream parser".
+  [[nodiscard]] static std::optional<MappedFile> try_open(
+      const std::string& path);
+
+  /// The whole file, valid for the lifetime of this object.
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(addr_), size_};
+  }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void reset() noexcept;
+
+  void* addr_ = nullptr;  ///< nullptr for unopened and empty files alike
+  std::size_t size_ = 0;
+  std::string path_;
+};
+
+}  // namespace dedukt::io

@@ -1,0 +1,86 @@
+#include "dedukt/io/mapped_file.hpp"
+
+#include <utility>
+
+#include "dedukt/util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DEDUKT_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DEDUKT_HAVE_MMAP 0
+#endif
+
+namespace dedukt::io {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_), path_(std::move(other.path_)) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    addr_ = other.addr_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+#if DEDUKT_HAVE_MMAP
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+#endif
+  addr_ = nullptr;
+  size_ = 0;
+}
+
+bool MappedFile::supported() { return DEDUKT_HAVE_MMAP != 0; }
+
+MappedFile MappedFile::open(const std::string& path) {
+#if DEDUKT_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(*-vararg)
+  if (fd < 0) throw ParseError("cannot open for mapping: " + path);
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw ParseError("cannot stat for mapping: " + path);
+  }
+  MappedFile mapped;
+  mapped.path_ = path;
+  mapped.size_ = static_cast<std::size_t>(st.st_size);
+  if (mapped.size_ > 0) {
+    void* addr = ::mmap(nullptr, mapped.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      throw ParseError("cannot mmap: " + path);
+    }
+    mapped.addr_ = addr;
+  }
+  // The mapping pins the pages; the descriptor is no longer needed.
+  ::close(fd);
+  return mapped;
+#else
+  throw ParseError("memory mapping is unsupported on this platform: " + path);
+#endif
+}
+
+std::optional<MappedFile> MappedFile::try_open(const std::string& path) {
+  if (!supported()) return std::nullopt;
+  try {
+    return open(path);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace dedukt::io

@@ -205,6 +205,14 @@ class Comm {
   [[nodiscard]] int size() const { return nranks_; }
   [[nodiscard]] CommStats& stats() { return stats_; }
   [[nodiscard]] const NetworkModel& network() const { return network_; }
+  /// Round-max payload bytes of the most recent alltoallv-style charge
+  /// (blocking or at a Request's completion). Lets a caller reprice that
+  /// one exchange exactly — network().alltoallv_seconds(...) of it is a
+  /// pure function of the traffic, free of the rounding a ledger-delta
+  /// (sum-then-subtract) picks up from whatever was accumulated before.
+  [[nodiscard]] std::uint64_t last_round_max_bytes() const {
+    return last_round_max_bytes_;
+  }
 
   // --- topology (derived from NetworkModel::ranks_per_node) ---
   //

@@ -60,6 +60,10 @@ struct QueryStats {
   /// Misses staged transiently by frequency-aware admission instead of
   /// evicting a hotter resident shard (freq_admission mode only).
   std::uint64_t admission_bypasses = 0;
+  /// Duplicate keys removed by per-batch dedup before staging/probing.
+  /// The kernels only ever see queries - dedup_saved probes; answers are
+  /// fanned back out to every duplicate position.
+  std::uint64_t dedup_saved = 0;
 };
 
 class QueryEngine {
@@ -78,6 +82,26 @@ class QueryEngine {
   /// Count histogram over the whole store (every shard's counts), capped
   /// at config.histogram_bins — the serving-side k-mer spectrum.
   [[nodiscard]] std::vector<std::uint64_t> histogram();
+
+  /// Histogram restricted to the given shards (ascending, no duplicates).
+  /// The distributed tier's per-rank partial: summing the partials of a
+  /// shard partition bit-reproduces histogram() (u64 adds commute).
+  [[nodiscard]] std::vector<std::uint64_t> histogram_shards(
+      std::span<const std::uint32_t> shard_ids);
+
+  /// Per-batch dedup plan: the distinct keys in first-occurrence order
+  /// plus, for every original position, the index of its distinct key —
+  /// the fan-out map that turns per-distinct answers back into per-query
+  /// answers. Zipf traffic is duplicate-heavy, so probing each distinct
+  /// key once is strictly fewer staged query bytes and kernel probes.
+  /// Public so the distributed tier's frontend ranks run the identical
+  /// dedup before routing (fewer routed bytes, same fan-out map).
+  struct BatchPlan {
+    std::vector<std::uint64_t> unique_keys;
+    std::vector<std::size_t> dup_of;  ///< original position -> unique index
+  };
+  [[nodiscard]] static BatchPlan dedupe_batch(
+      std::span<const std::uint64_t> keys);
 
   [[nodiscard]] const QueryStats& stats() const { return stats_; }
   /// Modeled device seconds of the most recent lookup/contains batch.
@@ -105,9 +129,13 @@ class QueryEngine {
   [[nodiscard]] gpusim::SortedTableView table_view(
       const ResidentShard& resident, const ShardFile& shard) const;
 
-  /// Shared drive for lookup/contains: group by shard, stage, launch.
+  /// Shared drive for lookup/contains: group the plan's distinct keys by
+  /// shard, stage, launch. `launch` sees positions into the deduped key
+  /// array; callers fan results out through plan.dup_of afterwards.
+  /// `original_queries` is the pre-dedup batch size, for the ledgers.
   template <typename Launch>
-  void run_batch(std::span<const std::uint64_t> keys, Launch&& launch);
+  void run_batch(const BatchPlan& plan, std::size_t original_queries,
+                 Launch&& launch);
 
   const KmerStore& store_;
   gpusim::Device& device_;

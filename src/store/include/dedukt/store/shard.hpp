@@ -70,7 +70,14 @@ struct ShardFile {
 void write_shard_file(const std::string& path, const ShardFile& shard);
 
 /// Read and fully validate a shard file; any truncation, trailing bytes,
-/// or inconsistent header/index/keys raise ParseError.
+/// or inconsistent header/index/keys raise ParseError. Parses through a
+/// zero-copy io::MappedFile view when the platform supports it and falls
+/// back to the stream parser otherwise — both run the same validation and
+/// produce byte-identical shards.
 [[nodiscard]] ShardFile read_shard_file(const std::string& path);
+
+/// The stream-parsing reader (the mapped path's fallback), kept callable
+/// so tests can pin mapped-vs-stream byte identity.
+[[nodiscard]] ShardFile read_shard_file_stream(const std::string& path);
 
 }  // namespace dedukt::store

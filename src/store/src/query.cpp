@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
 
 #include "dedukt/gpusim/lookup.hpp"
 #include "dedukt/trace/trace.hpp"
@@ -102,16 +103,32 @@ void QueryEngine::evict_lru() {
   stats_.evictions += 1;
 }
 
+QueryEngine::BatchPlan QueryEngine::dedupe_batch(
+    std::span<const std::uint64_t> keys) {
+  BatchPlan plan;
+  plan.dup_of.reserve(keys.size());
+  std::unordered_map<std::uint64_t, std::size_t> first;
+  first.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    const auto [it, inserted] = first.emplace(key, plan.unique_keys.size());
+    if (inserted) plan.unique_keys.push_back(key);
+    plan.dup_of.push_back(it->second);
+  }
+  return plan;
+}
+
 template <typename Launch>
-void QueryEngine::run_batch(std::span<const std::uint64_t> keys,
-                            Launch&& launch) {
+void QueryEngine::run_batch(const BatchPlan& plan,
+                            std::size_t original_queries, Launch&& launch) {
   trace::ScopedSpan span(trace::kCategoryApp, "store_query_batch");
   gpusim::DeviceCapture capture(device_);
-  // Route and group: one kernel launch per touched shard, shards visited
-  // in ascending id so residency traffic is a pure function of the stream.
+  // Route and group the deduped keys: one kernel launch per touched shard,
+  // shards visited in ascending id so residency traffic is a pure function
+  // of the stream. Dedup never changes which shards a batch touches, only
+  // how many probes each receives.
   std::map<std::uint32_t, std::vector<std::size_t>> by_shard;
-  for (std::size_t i = 0; i < keys.size(); ++i) {
-    by_shard[store_.routing().shard_of(keys[i])].push_back(i);
+  for (std::size_t i = 0; i < plan.unique_keys.size(); ++i) {
+    by_shard[store_.routing().shard_of(plan.unique_keys[i])].push_back(i);
   }
   for (const auto& [shard_id, positions] : by_shard) {
     const ShardFile& shard = store_.shard(shard_id);
@@ -120,7 +137,7 @@ void QueryEngine::run_batch(std::span<const std::uint64_t> keys,
     std::vector<std::uint64_t> shard_queries;
     shard_queries.reserve(positions.size());
     for (const std::size_t pos : positions) {
-      shard_queries.push_back(keys[pos]);
+      shard_queries.push_back(plan.unique_keys[pos]);
     }
     auto queries_dev = device_.alloc<std::uint64_t>(shard_queries.size());
     device_.copy_to_device<std::uint64_t>(shard_queries, queries_dev);
@@ -130,60 +147,83 @@ void QueryEngine::run_batch(std::span<const std::uint64_t> keys,
     if (config_.cache_shards == 0 || transient) release(shard_id);
   }
   stats_.batches += 1;
-  stats_.queries += keys.size();
+  stats_.queries += original_queries;
+  stats_.dedup_saved += original_queries - plan.unique_keys.size();
   last_batch_seconds_ = capture.modeled_seconds();
   stats_.modeled_seconds += capture.modeled_seconds();
   stats_.transfer_seconds += capture.transfer_seconds();
   if (span.active()) {
     span.set_modeled_seconds(capture.modeled_seconds());
-    span.arg_u64("queries", keys.size());
+    span.arg_u64("queries", original_queries);
+    span.arg_u64("unique_queries", plan.unique_keys.size());
     span.arg_u64("shards_touched", by_shard.size());
   }
 }
 
 std::vector<std::uint64_t> QueryEngine::lookup(
     std::span<const std::uint64_t> keys) {
-  std::vector<std::uint64_t> results(keys.size(), 0);
-  run_batch(keys, [&](const gpusim::SortedTableView& table,
-                      const gpusim::DeviceBuffer<std::uint64_t>& queries,
-                      std::size_t n, const std::vector<std::size_t>& pos) {
+  const BatchPlan plan = dedupe_batch(keys);
+  std::vector<std::uint64_t> unique_counts(plan.unique_keys.size(), 0);
+  run_batch(plan, keys.size(),
+            [&](const gpusim::SortedTableView& table,
+                const gpusim::DeviceBuffer<std::uint64_t>& queries,
+                std::size_t n, const std::vector<std::size_t>& pos) {
     auto out_dev = device_.alloc<std::uint64_t>(n);
     gpusim::lookup_sorted(device_, table, queries, n, out_dev);
     std::vector<std::uint64_t> out_host(n);
     device_.copy_to_host(out_dev, std::span<std::uint64_t>(out_host));
     device_.free(out_dev);
     for (std::size_t i = 0; i < n; ++i) {
-      results[pos[i]] = out_host[i];
-      if (out_host[i] != 0) stats_.found += 1;
+      unique_counts[pos[i]] = out_host[i];
     }
   });
+  std::vector<std::uint64_t> results(keys.size(), 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    results[i] = unique_counts[plan.dup_of[i]];
+    if (results[i] != 0) stats_.found += 1;
+  }
   return results;
 }
 
 std::vector<std::uint8_t> QueryEngine::contains(
     std::span<const std::uint64_t> keys) {
-  std::vector<std::uint8_t> results(keys.size(), 0);
-  run_batch(keys, [&](const gpusim::SortedTableView& table,
-                      const gpusim::DeviceBuffer<std::uint64_t>& queries,
-                      std::size_t n, const std::vector<std::size_t>& pos) {
+  const BatchPlan plan = dedupe_batch(keys);
+  std::vector<std::uint8_t> unique_member(plan.unique_keys.size(), 0);
+  run_batch(plan, keys.size(),
+            [&](const gpusim::SortedTableView& table,
+                const gpusim::DeviceBuffer<std::uint64_t>& queries,
+                std::size_t n, const std::vector<std::size_t>& pos) {
     auto out_dev = device_.alloc<std::uint8_t>(n);
     gpusim::member_sorted(device_, table, queries, n, out_dev);
     std::vector<std::uint8_t> out_host(n);
     device_.copy_to_host(out_dev, std::span<std::uint8_t>(out_host));
     device_.free(out_dev);
     for (std::size_t i = 0; i < n; ++i) {
-      results[pos[i]] = out_host[i];
+      unique_member[pos[i]] = out_host[i];
     }
   });
+  std::vector<std::uint8_t> results(keys.size(), 0);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    results[i] = unique_member[plan.dup_of[i]];
+  }
   return results;
 }
 
 std::vector<std::uint64_t> QueryEngine::histogram() {
+  std::vector<std::uint32_t> all(store_.shards());
+  for (std::uint32_t s = 0; s < store_.shards(); ++s) all[s] = s;
+  return histogram_shards(all);
+}
+
+std::vector<std::uint64_t> QueryEngine::histogram_shards(
+    std::span<const std::uint32_t> shard_ids) {
   trace::ScopedSpan span(trace::kCategoryApp, "store_histogram");
   gpusim::DeviceCapture capture(device_);
   auto bins_dev =
       device_.alloc<std::uint64_t>(config_.histogram_bins, std::uint64_t{0});
-  for (std::uint32_t s = 0; s < store_.shards(); ++s) {
+  for (const std::uint32_t s : shard_ids) {
+    DEDUKT_REQUIRE_MSG(s < store_.shards(),
+                       "histogram shard id out of range: " << s);
     const ShardFile& shard = store_.shard(s);
     if (shard.entries() == 0) continue;
     ResidentShard& resident = ensure_resident(s);
@@ -200,6 +240,7 @@ std::vector<std::uint64_t> QueryEngine::histogram() {
   if (span.active()) {
     span.set_modeled_seconds(capture.modeled_seconds());
     span.arg_u64("bins", config_.histogram_bins);
+    span.arg_u64("shards_scanned", shard_ids.size());
   }
   return bins;
 }

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <optional>
+#include <span>
 #include <utility>
 
+#include "dedukt/io/mapped_file.hpp"
 #include "dedukt/kmer/kmer.hpp"
 #include "dedukt/util/error.hpp"
 
@@ -20,19 +23,58 @@ void write_u64(std::ostream& out, std::uint64_t v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-std::uint32_t read_u32(std::istream& in, const char* what) {
-  std::uint32_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) throw ParseError(std::string("truncated shard file (") + what + ")");
-  return v;
+[[noreturn]] void throw_truncated(const char* what) {
+  throw ParseError(std::string("truncated shard file (") + what + ")");
 }
 
-std::uint64_t read_u64(std::istream& in, const char* what) {
-  std::uint64_t v = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof(v));
-  if (!in) throw ParseError(std::string("truncated shard file (") + what + ")");
-  return v;
-}
+/// Primitive reads off an ifstream — the portable fallback parser source.
+struct StreamSource {
+  std::istream& in;
+
+  template <typename T>
+  T read(const char* what) {
+    T v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    if (!in) throw_truncated(what);
+    return v;
+  }
+
+  bool read_magic(char out[4]) {
+    in.read(out, 4);
+    return static_cast<bool>(in);
+  }
+
+  [[nodiscard]] bool at_end() {
+    return in.peek() == std::ifstream::traits_type::eof();
+  }
+};
+
+/// Primitive reads off a mapped byte view — the zero-copy parser source.
+/// Values are memcpy'd out per element (the fixed header leaves the u64
+/// arrays 4-byte aligned, so direct typed loads would be UB), but the
+/// payload itself is only ever touched in place in the mapping.
+struct ViewSource {
+  std::span<const std::byte> view;
+  std::size_t pos = 0;
+
+  template <typename T>
+  T read(const char* what) {
+    if (view.size() - pos < sizeof(T)) throw_truncated(what);
+    T v;
+    std::memcpy(&v, view.data() + pos, sizeof(T));
+    pos += sizeof(T);
+    return v;
+  }
+
+  bool read_magic(char out[4]) {
+    if (view.size() - pos < 4) return false;
+    std::memcpy(out, view.data() + pos, 4);
+    pos += 4;
+    return true;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos == view.size(); }
+};
 
 // Bounded reserve: never trust an on-disk count for an allocation size —
 // a corrupt header would otherwise turn into a bad_alloc instead of the
@@ -137,31 +179,36 @@ void write_shard_file(const std::string& path, const ShardFile& shard) {
   if (!out) throw ParseError("failed writing shard file: " + path);
 }
 
-ShardFile read_shard_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw ParseError("cannot open shard file: " + path);
+namespace {
+
+/// The one shard parser, templated over its primitive-read source so the
+/// mapped and stream paths cannot drift: every validation — magic, version,
+/// header consistency, index span/monotonicity, key range/order/bucket
+/// membership, zero counts, trailing bytes — runs identically on both.
+template <typename Source>
+ShardFile parse_shard(Source& src, const std::string& path) {
   char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kShardMagic, sizeof(magic)) != 0) {
+  if (!src.read_magic(magic) ||
+      std::memcmp(magic, kShardMagic, sizeof(magic)) != 0) {
     throw ParseError("not a DEDUKT shard file (bad magic): " + path);
   }
-  const std::uint32_t version = read_u32(in, "version");
+  const auto version = src.template read<std::uint32_t>("version");
   if (version != kShardVersion) {
     throw ParseError("unsupported shard file version " +
                      std::to_string(version));
   }
   ShardFile shard;
-  shard.k = static_cast<int>(read_u32(in, "k"));
-  const std::uint32_t encoding_tag = read_u32(in, "encoding");
-  const std::uint32_t fanout = read_u32(in, "fanout");
+  shard.k = static_cast<int>(src.template read<std::uint32_t>("k"));
+  const auto encoding_tag = src.template read<std::uint32_t>("encoding");
+  const auto fanout = src.template read<std::uint32_t>("fanout");
   check_header(shard.k, encoding_tag, fanout);
   shard.encoding = encoding_tag == 0 ? io::BaseEncoding::kStandard
                                      : io::BaseEncoding::kRandomized;
-  const std::uint64_t n = read_u64(in, "entry count");
+  const auto n = src.template read<std::uint64_t>("entry count");
 
   shard.index.reserve(fanout + 1);
   for (std::uint64_t b = 0; b <= fanout; ++b) {
-    shard.index.push_back(read_u64(in, "index"));
+    shard.index.push_back(src.template read<std::uint64_t>("index"));
   }
   if (shard.index.front() != 0 || shard.index.back() != n) {
     throw ParseError("shard prefix index does not span the entry array");
@@ -176,7 +223,7 @@ ShardFile read_shard_file(const std::string& path) {
   const int shift = shard_prefix_shift(shard.k);
   shard.keys.reserve(std::min(n, kMaxReserve));
   for (std::uint64_t i = 0; i < n; ++i) {
-    const std::uint64_t key = read_u64(in, "key");
+    const auto key = src.template read<std::uint64_t>("key");
     if (key > mask) {
       throw ParseError("shard key wider than 2k bits: " + std::to_string(key));
     }
@@ -191,14 +238,37 @@ ShardFile read_shard_file(const std::string& path) {
   }
   shard.counts.reserve(std::min(n, kMaxReserve));
   for (std::uint64_t i = 0; i < n; ++i) {
-    const std::uint64_t count = read_u64(in, "count");
+    const auto count = src.template read<std::uint64_t>("count");
     if (count == 0) throw ParseError("shard entry with zero count");
     shard.counts.push_back(count);
   }
-  if (in.peek() != std::ifstream::traits_type::eof()) {
+  if (!src.at_end()) {
     throw ParseError("trailing bytes after shard payload: " + path);
   }
   return shard;
+}
+
+}  // namespace
+
+ShardFile read_shard_file_stream(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ParseError("cannot open shard file: " + path);
+  StreamSource src{in};
+  return parse_shard(src, path);
+}
+
+ShardFile read_shard_file(const std::string& path) {
+  // Zero-copy fast path: map the file and parse in place. Any mapping
+  // failure (unsupported platform, unmappable file) falls back to the
+  // stream parser, which also owns the canonical cannot-open error.
+  if (io::MappedFile::supported()) {
+    std::optional<io::MappedFile> mapped = io::MappedFile::try_open(path);
+    if (mapped.has_value()) {
+      ViewSource src{mapped->bytes()};
+      return parse_shard(src, path);
+    }
+  }
+  return read_shard_file_stream(path);
 }
 
 }  // namespace dedukt::store

@@ -1,0 +1,456 @@
+// Distributed serving-tier tests: scatter/gather answers bit-identical to
+// the single-rank engine (and the flat dump) at every rank count, frontend
+// dedup as a pure traffic optimization, histogram invariance under rank
+// partitioning and frequency-aware admission, the pipelined mode's strict
+// modeled win, and pool-size determinism of the whole tier.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dedukt/core/app.hpp"
+#include "dedukt/core/driver.hpp"
+#include "dedukt/core/store_export.hpp"
+#include "dedukt/gpusim/device.hpp"
+#include "dedukt/io/synthetic.hpp"
+#include "dedukt/kmer/kmer.hpp"
+#include "dedukt/store/distributed_query.hpp"
+#include "dedukt/store/query.hpp"
+#include "dedukt/store/store.hpp"
+#include "dedukt/util/rng.hpp"
+#include "dedukt/util/thread_pool.hpp"
+
+namespace dedukt::store {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// One pipeline-built store shared by the whole battery (built once).
+const std::string& pipeline_store_dir() {
+  static const std::string dir = [] {
+    io::GenomeSpec gspec;
+    gspec.length = 8'000;
+    gspec.seed = 31;
+    io::ReadSpec rspec;
+    rspec.coverage = 4.0;
+    rspec.mean_read_length = 300;
+    rspec.min_read_length = 80;
+    const io::ReadBatch reads = io::generate_dataset(gspec, rspec);
+    core::DriverOptions options;
+    options.nranks = 6;
+    const core::CountResult result =
+        core::run_distributed_count(reads, options);
+    const std::string path = fresh_dir("distributed_query_store");
+    (void)core::write_store_from_result(path, result);
+    return path;
+  }();
+  return dir;
+}
+
+/// Deterministic query stream: stored keys plus ~1/4 absent keys, with
+/// plenty of repeats (Zipf-ish traffic is duplicate-heavy by nature).
+std::vector<std::uint64_t> query_stream(const KmerStore& store,
+                                        std::size_t n, std::uint64_t seed) {
+  const auto flat = store.scan_all();
+  std::map<std::uint64_t, std::uint64_t> present(flat.begin(), flat.end());
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  while (keys.size() < n) {
+    if (rng.below(4) == 0) {
+      std::uint64_t absent = rng.below(kmer::code_mask(store.k()) + 1);
+      while (present.count(absent) != 0) ++absent;
+      keys.push_back(absent);
+    } else {
+      // Draw from the head of the dump so repeats are common.
+      keys.push_back(flat[rng.below(std::min<std::size_t>(
+          flat.size(), 64))].first);
+    }
+  }
+  return keys;
+}
+
+std::vector<std::vector<std::uint64_t>> split_batches(
+    const std::vector<std::uint64_t>& keys, std::size_t batch) {
+  std::vector<std::vector<std::uint64_t>> out;
+  for (std::size_t begin = 0; begin < keys.size(); begin += batch) {
+    const std::size_t len = std::min(batch, keys.size() - begin);
+    out.emplace_back(keys.begin() + static_cast<std::ptrdiff_t>(begin),
+                     keys.begin() + static_cast<std::ptrdiff_t>(begin + len));
+  }
+  return out;
+}
+
+TEST(DistributedQueryTest, OwnedShardsPartitionTheStore) {
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  DistributedQueryConfig config;
+  config.ranks = 4;
+  DistributedQueryEngine engine(store, config);
+  std::vector<bool> seen(store.shards(), false);
+  for (int r = 0; r < 4; ++r) {
+    for (const std::uint32_t s : engine.owned_shards(r)) {
+      EXPECT_EQ(DistributedQueryEngine::owner_of(s, 4), r);
+      EXPECT_FALSE(seen[s]);
+      seen[s] = true;
+    }
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(DistributedQueryTest, BitIdenticalToSingleRankEngineAtEveryRankCount) {
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  const auto flat = store.scan_all();
+  const std::map<std::uint64_t, std::uint64_t> reference(flat.begin(),
+                                                         flat.end());
+  const std::vector<std::uint64_t> keys = query_stream(store, 1024, 0xABB0);
+  const auto batches = split_batches(keys, 256);
+
+  // Single-rank oracle, checked against the host map first.
+  gpusim::Device device;
+  QueryEngine oracle(store, device, {.cache_shards = store.shards()});
+  std::vector<std::vector<std::uint64_t>> expected;
+  for (const auto& b : batches) expected.push_back(oracle.lookup(b));
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    for (std::size_t i = 0; i < batches[b].size(); ++i) {
+      const auto it = reference.find(batches[b][i]);
+      ASSERT_EQ(expected[b][i], it == reference.end() ? 0u : it->second);
+    }
+  }
+  const std::vector<std::uint8_t> expected_members = oracle.contains(keys);
+
+  // 3 does not divide the shard count, 8 exceeds it (two empty ranks).
+  for (const int ranks : {1, 2, 3, 4, 8}) {
+    DistributedQueryConfig config;
+    config.ranks = ranks;
+    config.cache_shards =
+        (store.shards() + static_cast<std::uint32_t>(ranks) - 1) /
+        static_cast<std::uint32_t>(ranks);
+    DistributedQueryEngine engine(store, config);
+    EXPECT_EQ(engine.lookup_batches(batches), expected)
+        << "ranks=" << ranks;
+    EXPECT_EQ(engine.contains(keys), expected_members) << "ranks=" << ranks;
+    EXPECT_EQ(engine.stats().queries, 2 * keys.size());
+    EXPECT_GT(engine.stats().dedup_saved, 0u);
+    if (ranks > 1) {
+      EXPECT_GT(engine.stats().nic_bytes, 0u);
+      EXPECT_GT(engine.stats().exchange_seconds, 0.0);
+    } else {
+      EXPECT_EQ(engine.stats().nic_bytes, 0u);
+    }
+    EXPECT_GT(engine.stats().serve_seconds, 0.0);
+  }
+}
+
+TEST(DistributedQueryTest, HistogramInvariantAcrossRankCounts) {
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  gpusim::Device device;
+  QueryEngineConfig single_config;
+  single_config.histogram_bins = 32;
+  QueryEngine single(store, device, single_config);
+  const std::vector<std::uint64_t> expected = single.histogram();
+
+  std::vector<std::uint64_t> host(32, 0);
+  for (const auto& [key, count] : store.scan_all()) {
+    host[std::min<std::uint64_t>(count, 31)] += 1;
+  }
+  ASSERT_EQ(expected, host);
+
+  for (const int ranks : {1, 2, 3, 5}) {
+    DistributedQueryConfig config;
+    config.ranks = ranks;
+    config.histogram_bins = 32;
+    DistributedQueryEngine engine(store, config);
+    EXPECT_EQ(engine.histogram(), expected) << "ranks=" << ranks;
+  }
+}
+
+TEST(DistributedQueryTest, HistogramUnderFreqAdmission) {
+  // The bench_qps scan-thrash shape, distributed: warm a cache-sized hot
+  // set on each rank, then run full-store histograms under frequency-aware
+  // admission. The cold scan shards must be staged transiently (bypasses),
+  // and the bins must stay bit-identical to the LRU tier and the host
+  // spectrum — admission changes residency traffic, never results.
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  std::vector<std::uint64_t> host(32, 0);
+  for (const auto& [key, count] : store.scan_all()) {
+    host[std::min<std::uint64_t>(count, 31)] += 1;
+  }
+  // Hot keys from shards 0 and 1 — under 2 ranks those are rank 0's and
+  // rank 1's first owned shards, so each rank has a one-shard hot set
+  // against a one-slot cache.
+  std::vector<std::uint64_t> hot;
+  for (const std::uint32_t s : {0u, 1u}) {
+    const ShardFile& shard = store.shard(s);
+    ASSERT_GT(shard.entries(), 0u);
+    for (std::size_t i = 0; i < std::min<std::size_t>(shard.entries(), 64);
+         ++i) {
+      hot.push_back(shard.keys[i]);
+    }
+  }
+
+  auto run = [&](bool freq) {
+    DistributedQueryConfig config;
+    config.ranks = 2;
+    config.cache_shards = 1;
+    config.histogram_bins = 32;
+    config.freq_admission = freq;
+    DistributedQueryEngine engine(store, config);
+    std::vector<std::vector<std::uint64_t>> bins;
+    for (int round = 0; round < 3; ++round) {
+      (void)engine.lookup(hot);
+      bins.push_back(engine.histogram());
+    }
+    std::uint64_t bypasses = 0;
+    for (int r = 0; r < 2; ++r) {
+      bypasses += engine.rank_stats(r).admission_bypasses;
+    }
+    return std::make_pair(bins, bypasses);
+  };
+
+  const auto [lru_bins, lru_bypasses] = run(false);
+  const auto [freq_bins, freq_bypasses] = run(true);
+  EXPECT_EQ(lru_bypasses, 0u);
+  EXPECT_GT(freq_bypasses, 0u);
+  EXPECT_EQ(freq_bins, lru_bins);
+  for (const auto& bins : freq_bins) EXPECT_EQ(bins, host);
+}
+
+TEST(DistributedQueryTest, DedupRegression) {
+  // A duplicate-heavy batch must probe like its distinct-key projection:
+  // identical answers fanned back out, identical modeled device time, and
+  // the dedup ledger accounting for every removed duplicate.
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  const auto flat = store.scan_all();
+  ASSERT_GE(flat.size(), 8u);
+
+  std::vector<std::uint64_t> unique_keys;
+  for (std::size_t i = 0; i < 8; ++i) unique_keys.push_back(flat[i].first);
+  std::vector<std::uint64_t> dup_heavy;
+  Xoshiro256 rng(0xD0B);
+  for (std::size_t i = 0; i < 512; ++i) {
+    dup_heavy.push_back(unique_keys[rng.below(unique_keys.size())]);
+  }
+
+  gpusim::Device device_a;
+  QueryEngine dup_engine(store, device_a, {});
+  const std::vector<std::uint64_t> dup_counts = dup_engine.lookup(dup_heavy);
+  gpusim::Device device_b;
+  QueryEngine unique_engine(store, device_b, {});
+  const std::vector<std::uint64_t> unique_counts =
+      unique_engine.lookup(unique_keys);
+
+  // Answers fan out: every duplicate position carries its key's count.
+  std::map<std::uint64_t, std::uint64_t> by_key;
+  for (std::size_t i = 0; i < unique_keys.size(); ++i) {
+    by_key[unique_keys[i]] = unique_counts[i];
+  }
+  for (std::size_t i = 0; i < dup_heavy.size(); ++i) {
+    EXPECT_EQ(dup_counts[i], by_key.at(dup_heavy[i])) << "position " << i;
+  }
+
+  // The kernels never saw the duplicates: same probes, same modeled time
+  // as the distinct projection (the duplicate-heavy batch hits the same
+  // unique set in the same first-occurrence order only if we present it
+  // that way, so compare against the engine's own ledger instead).
+  EXPECT_EQ(dup_engine.stats().queries, dup_heavy.size());
+  EXPECT_EQ(dup_engine.stats().dedup_saved,
+            dup_heavy.size() - unique_keys.size());
+  EXPECT_EQ(unique_engine.stats().dedup_saved, 0u);
+
+  // And distributed: the tier's dedup ledger sees the same saving split
+  // across frontend slices, with bit-identical answers.
+  DistributedQueryConfig config;
+  config.ranks = 2;
+  DistributedQueryEngine tier(store, config);
+  EXPECT_EQ(tier.lookup(dup_heavy), dup_counts);
+  EXPECT_GT(tier.stats().dedup_saved, 0u);
+  EXPECT_EQ(tier.stats().routed_queries + tier.stats().dedup_saved,
+            dup_heavy.size());
+}
+
+TEST(DistributedQueryTest, OverlapStrictlyReducesModeledServeTime) {
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  const std::vector<std::uint64_t> keys = query_stream(store, 1024, 0x0EE7);
+  const auto batches = split_batches(keys, 256);
+  ASSERT_GE(batches.size(), 2u);
+
+  auto run = [&](bool overlap) {
+    DistributedQueryConfig config;
+    config.ranks = 3;
+    config.cache_shards = 2;
+    config.overlap_batches = overlap;
+    DistributedQueryEngine engine(store, config);
+    const auto answers = engine.lookup_batches(batches);
+    return std::make_pair(answers, engine.stats());
+  };
+
+  const auto [lockstep_answers, lockstep] = run(false);
+  const auto [overlap_answers, overlapped] = run(true);
+
+  // Pipelining is a schedule change, never a result change.
+  EXPECT_EQ(overlap_answers, lockstep_answers);
+  EXPECT_EQ(lockstep.overlap_saved_seconds, 0.0);
+  EXPECT_EQ(lockstep.serve_seconds, lockstep.lockstep_seconds);
+
+  // Both exchange and lookups cost something here, so the overlapped
+  // schedule must be strictly cheaper — by exactly the saved share.
+  ASSERT_GT(overlapped.exchange_seconds, 0.0);
+  ASSERT_GT(overlapped.lookup_seconds, 0.0);
+  EXPECT_EQ(overlapped.lockstep_seconds, lockstep.serve_seconds);
+  EXPECT_LT(overlapped.serve_seconds, overlapped.lockstep_seconds);
+  EXPECT_GT(overlapped.overlap_saved_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(
+      overlapped.lockstep_seconds - overlapped.serve_seconds,
+      overlapped.overlap_saved_seconds);
+}
+
+TEST(DistributedQueryTest, DeterministicAcrossSimThreads) {
+  const KmerStore store = KmerStore::open(pipeline_store_dir());
+  const std::vector<std::uint64_t> keys = query_stream(store, 768, 0x51DE);
+  const auto batches = split_batches(keys, 192);
+
+  auto run_with_threads = [&](unsigned threads) {
+    util::ThreadPool::set_global_threads(threads);
+    DistributedQueryConfig config;
+    config.ranks = 3;
+    config.cache_shards = 2;
+    config.overlap_batches = true;
+    DistributedQueryEngine engine(store, config);
+    const auto answers = engine.lookup_batches(batches);
+    const auto histogram = engine.histogram();
+    return std::make_tuple(answers, histogram, engine.stats());
+  };
+
+  const auto [answers1, histo1, stats1] = run_with_threads(1);
+  const auto [answers4, histo4, stats4] = run_with_threads(4);
+  util::ThreadPool::set_global_threads(0);  // restore default sizing
+
+  EXPECT_EQ(answers1, answers4);
+  EXPECT_EQ(histo1, histo4);
+  EXPECT_EQ(stats1.queries, stats4.queries);
+  EXPECT_EQ(stats1.found, stats4.found);
+  EXPECT_EQ(stats1.dedup_saved, stats4.dedup_saved);
+  EXPECT_EQ(stats1.routed_queries, stats4.routed_queries);
+  EXPECT_EQ(stats1.nic_bytes, stats4.nic_bytes);
+  // Bit-identical modeled time is the simulator's determinism contract.
+  EXPECT_EQ(stats1.exchange_seconds, stats4.exchange_seconds);
+  EXPECT_EQ(stats1.lookup_seconds, stats4.lookup_seconds);
+  EXPECT_EQ(stats1.serve_seconds, stats4.serve_seconds);
+  EXPECT_EQ(stats1.overlap_saved_seconds, stats4.overlap_saved_seconds);
+}
+
+// --- CLI integration: query --ranks / --overlap-batches / --json ---
+
+struct AppResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+AppResult run_cli(std::vector<std::string> args) {
+  std::vector<const char*> argv = {"dedukt"};
+  for (const auto& arg : args) argv.push_back(arg.c_str());
+  std::ostringstream out, err;
+  const int code = core::run_app(static_cast<int>(argv.size()), argv.data(),
+                                 out, err);
+  return {code, out.str(), err.str()};
+}
+
+/// A CLI-built store plus two stored k-mer strings to query for.
+struct CliStore {
+  std::string dir;
+  std::string kmer0, kmer1;
+  std::uint64_t count0 = 0, count1 = 0;
+};
+
+const CliStore& cli_store() {
+  static const CliStore fixture = [] {
+    CliStore f;
+    f.dir = fresh_dir("distributed_cli_store");
+    const AppResult count = run_cli(
+        {"count", "--synthetic=ecoli30x", "--scale=4000", "--ranks=4",
+         "--store-out=" + f.dir});
+    EXPECT_EQ(count.exit_code, 0) << count.err;
+    const KmerStore store = KmerStore::open(f.dir);
+    EXPECT_GE(store.scan_all().size(), 2u);
+    const auto [key0, count0] = store.scan_all().front();
+    const auto [key1, count1] = store.scan_all().back();
+    f.kmer0 = kmer::unpack(key0, store.k(), store.encoding());
+    f.kmer1 = kmer::unpack(key1, store.k(), store.encoding());
+    f.count0 = count0;
+    f.count1 = count1;
+    return f;
+  }();
+  return fixture;
+}
+
+TEST(DistributedQueryCliTest, RanksFlagAnswersLikeSingleRank) {
+  const CliStore& f = cli_store();
+  const std::string kmers = f.kmer0 + "," + f.kmer1 + "," + f.kmer0;
+  const AppResult single =
+      run_cli({"query", "--store=" + f.dir, "--kmers=" + kmers});
+  ASSERT_EQ(single.exit_code, 0) << single.err;
+  const AppResult tiered = run_cli(
+      {"query", "--store=" + f.dir, "--kmers=" + kmers, "--ranks=3"});
+  ASSERT_EQ(tiered.exit_code, 0) << tiered.err;
+
+  // Identical per-kmer answer lines (the summary lines differ).
+  const std::string line0 = f.kmer0 + "\t" + std::to_string(f.count0);
+  const std::string line1 = f.kmer1 + "\t" + std::to_string(f.count1);
+  for (const AppResult* r : {&single, &tiered}) {
+    EXPECT_NE(r->out.find(line0), std::string::npos) << r->out;
+    EXPECT_NE(r->out.find(line1), std::string::npos) << r->out;
+  }
+  EXPECT_NE(tiered.out.find("3 ranks"), std::string::npos) << tiered.out;
+}
+
+TEST(DistributedQueryCliTest, OverlapBatchesRequiresDistributedTier) {
+  const CliStore& f = cli_store();
+  const AppResult bad = run_cli({"query", "--store=" + f.dir,
+                                 "--kmers=" + f.kmer0, "--overlap-batches"});
+  EXPECT_NE(bad.exit_code, 0);
+  EXPECT_NE(bad.err.find("--ranks"), std::string::npos) << bad.err;
+
+  const AppResult good =
+      run_cli({"query", "--store=" + f.dir,
+               "--kmers=" + f.kmer0 + "," + f.kmer1, "--ranks=2",
+               "--batch=1", "--overlap-batches"});
+  ASSERT_EQ(good.exit_code, 0) << good.err;
+  EXPECT_NE(good.out.find(f.kmer0 + "\t" + std::to_string(f.count0)),
+            std::string::npos);
+}
+
+TEST(DistributedQueryCliTest, JsonStatsReportTheServeSurface) {
+  const CliStore& f = cli_store();
+  const AppResult result = run_cli(
+      {"query", "--store=" + f.dir,
+       "--kmers=" + f.kmer0 + "," + f.kmer1 + "," + f.kmer0, "--ranks=2",
+       "--json"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+
+  const std::string& json = result.out;
+  EXPECT_NE(json.find("\"queries\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ranks\": 2"), std::string::npos) << json;
+  for (const char* key :
+       {"\"found\"", "\"dedup_saved\"", "\"cache_hits\"", "\"cache_misses\"",
+        "\"admission_bypasses\"", "\"staged_bytes\"", "\"routed_queries\"",
+        "\"nic_bytes\"", "\"lookup_seconds\"", "\"exchange_seconds\"",
+        "\"serve_seconds\"", "\"results\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  EXPECT_NE(json.find("\"kmer\": \"" + f.kmer0 + "\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": " + std::to_string(f.count0)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dedukt::store
